@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite (imported by the bench modules).
+
+Every benchmark module regenerates one evaluation artifact of the paper
+(figure or theorem-check table) at a scaled-down size, prints the resulting
+table/plot to stdout (run pytest with ``-s`` to see it), and stores the raw
+results as JSON/CSV under ``benchmarks/results/``.
+
+Two environment variables control the fidelity:
+
+* ``REPRO_BENCH_TRIALS`` — Monte-Carlo trials per sweep point (overrides the
+  scaled-down defaults of each bench).
+* ``REPRO_BENCH_PAPER_SCALE=1`` — use the paper-scale sweeps where defined
+  (hours of compute; off by default).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_trials(default: int) -> int:
+    """Trials per sweep point, overridable via ``REPRO_BENCH_TRIALS``."""
+    value = os.environ.get("REPRO_BENCH_TRIALS")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+def paper_scale() -> bool:
+    """Whether to run the paper-scale sweeps (``REPRO_BENCH_PAPER_SCALE=1``)."""
+    return os.environ.get("REPRO_BENCH_PAPER_SCALE", "0") == "1"
+
+
+def results_dir() -> Path:
+    """Directory where benchmark artifacts (JSON/CSV/text) are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

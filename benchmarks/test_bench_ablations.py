@@ -1,0 +1,148 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Three ablations, each a small table:
+
+* **Topology** — torus (the paper's model) vs bounded grid: the paper claims
+  boundary effects do not change the asymptotics; this table quantifies the
+  finite-size gap for both strategies.
+* **Number of choices** — d = 1, 2, 3, 4 for the proximity-aware strategy:
+  the paper analyses d = 2; the d-ablation shows the textbook pattern that the
+  second choice gives almost all of the benefit.
+* **Placement** — proportional-with-replacement (the paper's placement) vs
+  uniform-distinct vs deterministic partition at fixed (n, K, M): the strategy
+  results should be insensitive to this choice, which justifies the paper's
+  convenience assumption.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.report import render_comparison_table
+from repro.simulation.config import SimulationConfig
+from repro.simulation.multirun import run_trials
+
+
+def _point(topology, strategy, placement="proportional", num_choices=2, radius=6):
+    params = {}
+    if strategy == "proximity_two_choice":
+        params = {"radius": radius, "num_choices": num_choices}
+    return SimulationConfig(
+        num_nodes=1024,
+        num_files=400,
+        cache_size=10,
+        topology=topology,
+        placement=placement,
+        strategy=strategy,
+        strategy_params=params,
+    )
+
+
+def test_bench_ablation_topology(benchmark, artifact_dir):
+    trials = bench_trials(5)
+
+    def run():
+        rows = []
+        for topology in ("torus", "grid"):
+            for strategy in ("nearest_replica", "proximity_two_choice"):
+                result = run_trials(_point(topology, strategy), trials, seed=101)
+                rows.append(
+                    {
+                        "topology": topology,
+                        "strategy": strategy,
+                        "max load": result.mean_max_load,
+                        "avg hops": result.mean_communication_cost,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_comparison_table(rows, title="Ablation: torus vs bounded grid (n=1024, K=400, M=10)")
+    print("\n" + report)
+    (artifact_dir / "ablation_topology.txt").write_text(report)
+
+    # Boundary effects are a second-order correction: per strategy, the grid
+    # and torus metrics differ by well under 50%.
+    by_strategy: dict[str, list[dict]] = {}
+    for row in rows:
+        by_strategy.setdefault(row["strategy"], []).append(row)
+    for strategy_rows in by_strategy.values():
+        loads = [r["max load"] for r in strategy_rows]
+        hops = [r["avg hops"] for r in strategy_rows]
+        assert max(loads) / min(loads) < 1.5
+        assert max(hops) / min(hops) < 1.5
+
+
+def test_bench_ablation_num_choices(benchmark, artifact_dir):
+    trials = bench_trials(5)
+
+    def run():
+        rows = []
+        for d in (1, 2, 3, 4):
+            result = run_trials(
+                _point("torus", "proximity_two_choice", num_choices=d), trials, seed=103
+            )
+            rows.append(
+                {
+                    "choices d": d,
+                    "max load": result.mean_max_load,
+                    "avg hops": result.mean_communication_cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_comparison_table(rows, title="Ablation: number of choices d (r=6)")
+    print("\n" + report)
+    (artifact_dir / "ablation_num_choices.txt").write_text(report)
+
+    loads = [row["max load"] for row in rows]
+    # d = 2 is markedly better than d = 1 ...
+    assert loads[1] < loads[0]
+    # ... and d > 2 adds at most marginal gains (within one request of d = 2).
+    assert loads[1] - min(loads[1:]) <= 1.0
+    # The hop cost is essentially independent of d (same candidate ball).
+    hops = [row["avg hops"] for row in rows]
+    assert max(hops) / min(hops) < 1.2
+
+
+def test_bench_ablation_placement(benchmark, artifact_dir):
+    trials = bench_trials(5)
+
+    def run():
+        rows = []
+        for placement in ("proportional", "uniform_distinct", "partition"):
+            for strategy in ("nearest_replica", "proximity_two_choice"):
+                result = run_trials(
+                    _point("torus", strategy, placement=placement), trials, seed=107
+                )
+                rows.append(
+                    {
+                        "placement": placement,
+                        "strategy": strategy,
+                        "max load": result.mean_max_load,
+                        "avg hops": result.mean_communication_cost,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_comparison_table(
+        rows, title="Ablation: cache placement rule (n=1024, K=400, M=10)"
+    )
+    print("\n" + report)
+    (artifact_dir / "ablation_placement.txt").write_text(report)
+
+    # The strategies' relative ordering is robust to the placement rule:
+    # for every placement, two choices balance at least as well as nearest.
+    for placement in ("proportional", "uniform_distinct", "partition"):
+        nearest = next(
+            r for r in rows if r["placement"] == placement and r["strategy"] == "nearest_replica"
+        )
+        two = next(
+            r
+            for r in rows
+            if r["placement"] == placement and r["strategy"] == "proximity_two_choice"
+        )
+        assert two["max load"] <= nearest["max load"]
+        assert nearest["avg hops"] <= two["avg hops"]

@@ -1,0 +1,44 @@
+"""TAB-BB — balls-into-bins sanity: one choice vs two choices vs graph allocation.
+
+This table anchors the cache-network results in the classical theory the paper
+builds on: the one-choice process grows like log n / log log n, the two-choice
+process stays at log log n (Azar et al.), and balanced allocation on the edges
+of a sufficiently dense graph matches the two-choice behaviour
+(Kenthapadi–Panigrahi, the paper's Theorem 5).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import ballsbins_table
+
+
+def test_bench_ballsbins_reference(benchmark, artifact_dir):
+    sizes = (1000, 10000, 100000, 1000000) if paper_scale() else (1000, 10000, 100000)
+    trials = bench_trials(3)
+
+    rows = benchmark.pedantic(
+        lambda: ballsbins_table(sizes=sizes, degrees=(4, 32), trials=trials, seed=29),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = render_comparison_table(rows, title="TAB-BB: balls-into-bins reference processes")
+    print("\n" + report)
+    (artifact_dir / "table_ballsbins.txt").write_text(report)
+
+    for row in rows:
+        # (a) two choices beat one choice at every size.
+        assert row["two_choice_measured"] < row["one_choice_measured"]
+        # (b) the two-choice max load stays in the log log n range.
+        assert row["two_choice_measured"] <= 5
+    # (c) the one-choice load grows with n while the two-choice load does not.
+    one_growth = rows[-1]["one_choice_measured"] - rows[0]["one_choice_measured"]
+    two_growth = rows[-1]["two_choice_measured"] - rows[0]["two_choice_measured"]
+    assert one_growth >= two_growth
+    # (d) allocation on a denser graph is at least as balanced as on a sparser one.
+    for row in rows:
+        if "graph_d4_measured" in row and "graph_d32_measured" in row:
+            assert row["graph_d32_measured"] <= row["graph_d4_measured"] + 1.0

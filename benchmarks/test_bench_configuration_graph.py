@@ -1,0 +1,50 @@
+"""TAB-H — Lemma 2 / Lemma 3 check: placement goodness and H near-regularity.
+
+For a sweep of cache sizes and radii the table reports whether the
+proportional placement is (delta, mu)-good (Definition 5 with Lemma 2's
+parameters) and the degree statistics of the configuration graph ``H``
+(Definition 4) against Lemma 3's predicted degree ``Theta(M^2 |B_2r| / K)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import goodness_table
+
+
+def test_bench_goodness_and_configuration_graph(benchmark, artifact_dir):
+    num_nodes = 900 if paper_scale() else 400
+    rows = benchmark.pedantic(
+        lambda: goodness_table(
+            num_nodes=num_nodes,
+            num_files=num_nodes,
+            cache_sizes=(2, 5, 10, 20),
+            radii=(4, 8, np.inf),
+            seed=23,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = render_comparison_table(rows, title="TAB-H: goodness and configuration graph H")
+    print("\n" + report)
+    (artifact_dir / "table_configuration_graph.txt").write_text(report)
+
+    # (a) the placement is good for every swept configuration (Lemma 2).
+    assert all(row["is_good"] for row in rows)
+    # (b) the mean degree of H tracks Lemma 3's prediction within a factor 3.
+    for row in rows:
+        if row["H_edges"] == 0:
+            continue
+        ratio = row["H_mean_degree"] / row["H_predicted_degree"]
+        assert 1 / 3 < ratio < 3
+    # (c) more memory means a denser H at fixed radius.
+    r4 = sorted((r for r in rows if r["radius"] == 4.0), key=lambda r: r["M"])
+    edges = [r["H_edges"] for r in r4]
+    assert all(a < b for a, b in zip(edges, edges[1:]))
+    # (d) pairwise overlaps stay small (t(u, v) < mu) even for the largest M.
+    assert max(row["max_t(u,v)"] for row in rows) < max(row["mu"] for row in rows)

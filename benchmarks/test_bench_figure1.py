@@ -1,0 +1,49 @@
+"""FIG1 — Figure 1 of the paper: Strategy I maximum load vs number of servers.
+
+Paper setup: torus, K = 100 files, Uniform popularity, cache sizes
+{1, 2, 10, 100}, n from ~100 to ~3000, 10 000 runs per point.  The scaled-down
+default sweeps n up to 900 with a handful of trials; the qualitative shape to
+look for is a slow (logarithmic) growth of the maximum load in n and lower
+curves for larger cache sizes.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments import (
+    figure1_spec,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+from repro.experiments.figures import PAPER_FIGURE1_SIZES
+
+
+def _spec():
+    sizes = PAPER_FIGURE1_SIZES if paper_scale() else (100, 225, 400, 625, 900)
+    return figure1_spec(sizes=sizes, cache_sizes=(1, 2, 10, 100), trials=bench_trials(5))
+
+
+def test_bench_figure1(benchmark, artifact_dir):
+    spec = _spec()
+    result = benchmark.pedantic(lambda: run_experiment(spec, seed=11), rounds=1, iterations=1)
+
+    report = render_experiment(result)
+    print("\n" + report)
+    save_experiment_result(result, artifact_dir / "figure1.json")
+    result_to_csv(result, artifact_dir / "figure1.csv")
+    (artifact_dir / "figure1.txt").write_text(report)
+
+    # Qualitative checks of the paper's Figure 1:
+    for series in result.series:
+        loads = series.metric("max_load")
+        # (a) the maximum load grows with the number of servers ...
+        assert loads[-1] >= loads[0]
+        # (b) ... but stays in the single digits at these sizes (log n scale).
+        assert loads[-1] < 15
+    # (c) bigger caches balance better: the M=100 curve sits below the M=1 curve.
+    small_cache = result.series_by_label("Cache size = 1").metric("max_load")
+    large_cache = result.series_by_label("Cache size = 100").metric("max_load")
+    assert large_cache[-1] <= small_cache[-1]

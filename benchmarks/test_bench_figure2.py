@@ -1,0 +1,58 @@
+"""FIG2 — Figure 2 of the paper: Strategy I communication cost vs cache size.
+
+Paper setup: torus of 2025 servers, library sizes {100, 1000, 2000}, cache
+size swept from 1 to 100, 10 000 runs per point.  Expected shape: the cost
+falls like sqrt(K/M) in the cache size and grows with the library size.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments import (
+    figure2_spec,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+from repro.theory.comm_cost import strategy1_comm_cost_uniform
+
+
+def _spec():
+    cache_sizes = (1, 2, 5, 10, 20, 40, 70, 100) if paper_scale() else (1, 2, 5, 10, 25, 50, 100)
+    num_nodes = 2025
+    return figure2_spec(
+        cache_sizes=cache_sizes,
+        library_sizes=(100, 1000, 2000),
+        num_nodes=num_nodes,
+        trials=bench_trials(2),
+    )
+
+
+def test_bench_figure2(benchmark, artifact_dir):
+    spec = _spec()
+    result = benchmark.pedantic(lambda: run_experiment(spec, seed=22), rounds=1, iterations=1)
+
+    report = render_experiment(result)
+    print("\n" + report)
+    save_experiment_result(result, artifact_dir / "figure2.json")
+    result_to_csv(result, artifact_dir / "figure2.csv")
+    (artifact_dir / "figure2.txt").write_text(report)
+
+    for series in result.series:
+        costs = series.metric("communication_cost")
+        # (a) cost decreases monotonically (up to noise) in the cache size.
+        assert costs[0] > costs[-1]
+        # (b) sqrt(K/M) shape: going from M=1 to M=100 should shrink the cost
+        #     by roughly a factor of 10 (allow a generous band).
+        ratio = costs[0] / costs[-1]
+        assert 4.0 < ratio < 25.0
+    # (c) at fixed M the cost grows with the library size.
+    small_lib = result.series_by_label("Library size = 100").metric("communication_cost")
+    large_lib = result.series_by_label("Library size = 2000").metric("communication_cost")
+    assert large_lib[0] > small_lib[0]
+    # (d) the measured M=1 / K=2000 point tracks the Theorem 3 scale within a
+    #     small constant factor.
+    predicted = strategy1_comm_cost_uniform(2000, 1)
+    assert 0.2 * predicted < large_lib[0] < 3.0 * predicted

@@ -1,0 +1,46 @@
+"""FIG3 — Figure 3 of the paper: Strategy II maximum load vs servers (r = inf).
+
+Paper setup: torus, K = 2000 files, Uniform popularity, cache sizes
+{1, 2, 10, 100}, n up to 1.2e5, 800 runs per point.  Expected shape: for small
+M the curve grows quickly with n while replication is scarce (Strategy-I-like
+behaviour), whereas for large M the curve is flat at the log log n scale —
+more memory restores the power of two choices.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments import (
+    figure3_spec,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+from repro.experiments.figures import PAPER_FIGURE3_SIZES
+
+
+def _spec():
+    sizes = PAPER_FIGURE3_SIZES if paper_scale() else (400, 900, 2500, 4900, 10000)
+    return figure3_spec(sizes=sizes, cache_sizes=(1, 2, 10, 100), trials=bench_trials(3))
+
+
+def test_bench_figure3(benchmark, artifact_dir):
+    spec = _spec()
+    result = benchmark.pedantic(lambda: run_experiment(spec, seed=33), rounds=1, iterations=1)
+
+    report = render_experiment(result)
+    print("\n" + report)
+    save_experiment_result(result, artifact_dir / "figure3.json")
+    result_to_csv(result, artifact_dir / "figure3.csv")
+    (artifact_dir / "figure3.txt").write_text(report)
+
+    scarce = result.series_by_label("Cache size = 1").metric("max_load")
+    rich = result.series_by_label("Cache size = 100").metric("max_load")
+    # (a) abundant memory keeps the maximum load at the two-choice scale
+    #     (single digits, essentially flat) at every size.
+    assert rich.max() <= 6
+    # (b) the scarce-replication curve sits above the memory-rich curve at the
+    #     largest size (the replication-starved regime of Example 2).
+    assert scarce[-1] >= rich[-1]

@@ -1,0 +1,50 @@
+"""FIG4 — Figure 4 of the paper: Strategy II communication cost vs servers (r = inf).
+
+Same sweep as Figure 3; with no proximity constraint the two candidate
+replicas are essentially uniform over the torus, so the average hop count
+grows like Theta(sqrt(n)) and is almost independent of the cache size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments import (
+    figure4_spec,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+from repro.experiments.figures import PAPER_FIGURE3_SIZES
+
+
+def _spec():
+    sizes = PAPER_FIGURE3_SIZES if paper_scale() else (400, 900, 2500, 4900, 10000)
+    return figure4_spec(sizes=sizes, cache_sizes=(1, 2, 10, 100), trials=bench_trials(3))
+
+
+def test_bench_figure4(benchmark, artifact_dir):
+    spec = _spec()
+    result = benchmark.pedantic(lambda: run_experiment(spec, seed=44), rounds=1, iterations=1)
+
+    report = render_experiment(result)
+    print("\n" + report)
+    save_experiment_result(result, artifact_dir / "figure4.json")
+    result_to_csv(result, artifact_dir / "figure4.csv")
+    (artifact_dir / "figure4.txt").write_text(report)
+
+    sizes = result.series[0].x_values()
+    for series in result.series:
+        costs = series.metric("communication_cost")
+        # (a) cost grows with n ...
+        assert np.all(np.diff(costs) > 0)
+        # (b) ... like sqrt(n): the cost/sqrt(n) ratio stays within a narrow band.
+        ratios = costs / np.sqrt(sizes)
+        assert ratios.max() / ratios.min() < 1.6
+    # (c) the curves for different cache sizes nearly coincide (< 15% spread at
+    #     the largest n) — the cost is driven by the torus, not the memory.
+    last_costs = [series.metric("communication_cost")[-1] for series in result.series]
+    assert max(last_costs) / min(last_costs) < 1.15

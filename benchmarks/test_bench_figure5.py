@@ -1,0 +1,63 @@
+"""FIG5 — Figure 5 of the paper: the maximum-load / communication-cost trade-off.
+
+Paper setup: torus of 2025 servers, K = 500 files, Uniform popularity, cache
+sizes {1, 2, 5, 10, 20, 50, 200}, proximity radius swept, 5 000 runs per
+point.  Expected shape (reading each curve as the radius grows, i.e. moving
+right along the cost axis):
+
+* high-memory curves (M = 50, 200) drop to the two-choice load level after a
+  tiny increase in cost;
+* the M = 1 curve stays flat — no amount of communication budget can balance
+  the load when every file has a single slot per server;
+* intermediate memories trace out the trade-off between the two extremes.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments import (
+    figure5_spec,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+
+
+def _spec():
+    radii = (1, 2, 3, 4, 6, 8, 12, 16, 22) if paper_scale() else (1, 2, 4, 8, 16)
+    return figure5_spec(
+        radii=radii,
+        cache_sizes=(1, 2, 5, 10, 20, 50, 200),
+        num_nodes=2025,
+        num_files=500,
+        trials=bench_trials(3),
+    )
+
+
+def test_bench_figure5(benchmark, artifact_dir):
+    spec = _spec()
+    result = benchmark.pedantic(lambda: run_experiment(spec, seed=55), rounds=1, iterations=1)
+
+    report = render_experiment(result)
+    print("\n" + report)
+    save_experiment_result(result, artifact_dir / "figure5.json")
+    result_to_csv(result, artifact_dir / "figure5.csv")
+    (artifact_dir / "figure5.txt").write_text(report)
+
+    # (a) for every cache size, a larger radius costs more hops.
+    for series in result.series:
+        costs = series.metric("communication_cost")
+        assert costs[-1] > costs[0]
+
+    low_memory = result.series_by_label("Cache size = 1")
+    high_memory = result.series_by_label("Cache size = 200")
+    # (b) with abundant memory the extra radius buys a visibly lower max load.
+    assert high_memory.metric("max_load")[-1] < high_memory.metric("max_load")[0]
+    # (c) with M = 1 the load barely moves no matter the radius.
+    low_loads = low_memory.metric("max_load")
+    assert abs(low_loads[-1] - low_loads[0]) <= 1.0
+    # (d) at the largest radius the high-memory system is strictly better
+    #     balanced than the single-slot system.
+    assert high_memory.metric("max_load")[-1] < low_loads[-1]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These are not paper artifacts; they track the cost of the building blocks the
+figure benches are made of (distance matrices, placement, the per-request loop
+of Strategy II, the vectorised Strategy I pass) so performance regressions in
+the hot paths are visible in the pytest-benchmark comparison output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.placement.proportional import ProportionalPlacement
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import run_single_trial
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+
+@pytest.fixture(scope="module")
+def medium_system():
+    torus = Torus2D(2025)
+    library = FileLibrary(500)
+    cache = ProportionalPlacement(10).place(torus, library, seed=0)
+    requests = UniformOriginWorkload().generate(torus, library, seed=1)
+    return torus, library, cache, requests
+
+
+def test_bench_kernel_pairwise_distances(benchmark):
+    torus = Torus2D(10000)
+    rng = np.random.default_rng(0)
+    origins = rng.integers(0, torus.n, size=1000)
+    replicas = rng.integers(0, torus.n, size=500)
+    benchmark(lambda: torus.pairwise_distances(origins, replicas))
+
+
+def test_bench_kernel_ball_enumeration(benchmark):
+    torus = Torus2D(10000)
+    benchmark(lambda: torus.ball(4321, 15))
+
+
+def test_bench_kernel_proportional_placement(benchmark):
+    torus = Torus2D(2025)
+    library = FileLibrary(2000)
+    placement = ProportionalPlacement(100)
+    benchmark(lambda: placement.place(torus, library, seed=3))
+
+
+def test_bench_kernel_nearest_replica_assign(benchmark, medium_system):
+    torus, _, cache, requests = medium_system
+    strategy = NearestReplicaStrategy()
+    benchmark(lambda: strategy.assign(torus, cache, requests, seed=2))
+
+
+def test_bench_kernel_two_choice_assign_unconstrained(benchmark, medium_system):
+    torus, _, cache, requests = medium_system
+    strategy = ProximityTwoChoiceStrategy(radius=np.inf)
+    benchmark(lambda: strategy.assign(torus, cache, requests, seed=2))
+
+
+def test_bench_kernel_two_choice_assign_radius(benchmark, medium_system):
+    torus, _, cache, requests = medium_system
+    strategy = ProximityTwoChoiceStrategy(radius=8)
+    benchmark(lambda: strategy.assign(torus, cache, requests, seed=2))
+
+
+def test_bench_kernel_full_trial(benchmark):
+    config = SimulationConfig(
+        num_nodes=1024,
+        num_files=500,
+        cache_size=10,
+        strategy="proximity_two_choice",
+        strategy_params={"radius": 8},
+    )
+    benchmark(lambda: run_single_trial(config, seed=4))

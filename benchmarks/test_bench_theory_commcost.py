@@ -1,0 +1,55 @@
+"""TAB-T3 — Theorem 3 check: Strategy I communication cost across Zipf regimes.
+
+The table sweeps the cache size and the Zipf exponent and compares the
+measured average hop count against the Theorem 3 regime formulas (Uniform
+``sqrt(K/M)`` plus the five Zipf regimes).  The reproduction target is the
+*shape*: the measured/predicted ratio should stay within a small band inside
+each regime, the cost should fall with both M and gamma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import theorem3_table
+
+
+def test_bench_theorem3_commcost(benchmark, artifact_dir):
+    gammas = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5) if paper_scale() else (0.0, 0.5, 1.0, 2.0, 2.5)
+    cache_sizes = (1, 4, 16, 64) if paper_scale() else (1, 4, 16)
+    trials = bench_trials(2)
+
+    rows = benchmark.pedantic(
+        lambda: theorem3_table(
+            num_files=1000,
+            cache_sizes=cache_sizes,
+            gammas=gammas,
+            num_nodes=1024,
+            trials=trials,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = render_comparison_table(
+        rows, title="TAB-T3: Strategy I communication cost vs Theorem 3"
+    )
+    print("\n" + report)
+    (artifact_dir / "table_theorem3.txt").write_text(report)
+
+    # (a) cost decreases with the cache size at fixed popularity.
+    uniform_rows = sorted((r for r in rows if r["gamma"] == 0.0), key=lambda r: r["M"])
+    costs = [r["measured_comm_cost"] for r in uniform_rows]
+    assert all(a > b for a, b in zip(costs, costs[1:]))
+    # (b) cost decreases as the popularity gets more skewed at fixed M = 1.
+    m1_rows = sorted((r for r in rows if r["M"] == 1), key=lambda r: r["gamma"])
+    m1_costs = [r["measured_comm_cost"] for r in m1_rows]
+    assert m1_costs[-1] < m1_costs[0]
+    # (c) the measured/predicted ratio stays within one order of magnitude for
+    #     every regime (the formulas carry no constants).
+    ratios = np.array([r["ratio"] for r in rows])
+    assert np.all(ratios > 0.1) and np.all(ratios < 10.0)

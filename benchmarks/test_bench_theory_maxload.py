@@ -1,0 +1,40 @@
+"""TAB-T1 — Theorem 1/2 check: Strategy I maximum load grows like log n.
+
+The table reports the measured maximum load of the nearest-replica strategy
+for increasing network sizes alongside the ``log n`` reference; the ratio
+``L / log n`` should stay roughly constant across sizes (Theorems 1 and 2 give
+matching O(log n) upper bounds and Omega(log n / log log n) lower bounds).
+"""
+
+from __future__ import annotations
+
+import math
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import theorem1_table
+
+
+def test_bench_theorem1_maxload(benchmark, artifact_dir):
+    sizes = (100, 400, 900, 1600, 2500, 4900) if paper_scale() else (100, 400, 900, 1600)
+    trials = bench_trials(8)
+
+    rows = benchmark.pedantic(
+        lambda: theorem1_table(sizes=sizes, num_files=100, cache_size=2, trials=trials, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = render_comparison_table(rows, title="TAB-T1: Strategy I max load vs log n")
+    print("\n" + report)
+    (artifact_dir / "table_theorem1.txt").write_text(report)
+
+    ratios = [row["ratio_L_over_log_n"] for row in rows]
+    # The L / log n ratio stays within a narrow band across a 16x size range.
+    assert max(ratios) / min(ratios) < 2.0
+    # And the absolute load grows from the smallest to the largest network.
+    assert rows[-1]["measured_max_load"] > rows[0]["measured_max_load"]
+    # Growth is clearly sublinear: n grows 16x, the load by far less than 4x.
+    growth = rows[-1]["measured_max_load"] / rows[0]["measured_max_load"]
+    assert growth < math.sqrt(sizes[-1] / sizes[0])

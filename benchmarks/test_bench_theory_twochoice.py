@@ -1,0 +1,57 @@
+"""TAB-T4 — Theorem 4/6 check: Strategy II inside vs outside the good regime.
+
+The table sweeps the cache size and the proximity radius with ``K = n`` (the
+Theorem 4 setting) and reports the measured maximum load, whether the
+``alpha + 2 beta >= 1 + 2 log log n / log n`` condition holds, the
+``log log n`` reference and the fallback rate.  Expected shape: rows whose
+condition holds stay close to the ``log log n`` scale with a negligible
+fallback rate; rows far outside the regime show both a higher load and many
+fallbacks (their proximity ball often contains no replica at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import bench_trials, paper_scale
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import theorem4_table
+
+
+def test_bench_theorem4_twochoice(benchmark, artifact_dir):
+    num_nodes = 4096 if paper_scale() else 1024
+    radii = (2, 4, 8, 16, np.inf) if paper_scale() else (2, 8, np.inf)
+    trials = bench_trials(4)
+
+    rows = benchmark.pedantic(
+        lambda: theorem4_table(
+            num_nodes=num_nodes,
+            cache_sizes=(2, 8, 32),
+            radii=radii,
+            trials=trials,
+            seed=17,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = render_comparison_table(rows, title="TAB-T4: Strategy II regimes (K = n)")
+    print("\n" + report)
+    (artifact_dir / "table_theorem4.txt").write_text(report)
+
+    # (a) every in-regime row keeps a low fallback rate.
+    in_regime = [r for r in rows if r["condition_holds"]]
+    for row in in_regime:
+        assert row["fallback_rate"] < 0.05
+    # (b) at fixed memory, widening the radius never increases the fallback rate.
+    for M in (2, 8, 32):
+        by_radius = [r for r in rows if r["M"] == M]
+        rates = [r["fallback_rate"] for r in by_radius]
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+    # (c) the best-balanced configuration is markedly better than the worst.
+    loads = [r["measured_max_load"] for r in rows]
+    assert min(loads) < max(loads)
+    # (d) large memory with no radius constraint reaches the two-choice scale.
+    best = next(r for r in rows if r["M"] == 32 and r["radius"] == "inf")
+    assert best["measured_max_load"] <= best["loglog_n"] + 3.0

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CDN flash-crowd scenario: a localized surge of requests for popular content.
+
+This is the kind of workload the paper's introduction motivates: a content
+delivery network of edge caches arranged geographically (the torus), a Zipf
+popularity profile (a few files dominate the demand) and a *flash crowd* — a
+large fraction of the requests suddenly originates inside a small geographic
+hotspot (a stadium, a city district during an event).
+
+The script compares three request-routing policies on identical workloads:
+
+* nearest replica (Strategy I),
+* proximity-aware two choices with a moderate radius (Strategy II),
+* the omniscient least-loaded-in-ball policy (an upper bound on what any
+  load-aware scheme with the same radius could achieve).
+
+It reports the maximum load, tail load (99th percentile), Jain fairness and
+average hop count, showing how the two-choice scheme absorbs the hotspot.
+
+Run with ``python examples/cdn_flash_crowd.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FileLibrary,
+    ProportionalPlacement,
+    Torus2D,
+    ZipfPopularity,
+    create_strategy,
+)
+from repro.experiments import render_comparison_table
+from repro.rng import spawn_generators
+from repro.simulation.metrics import jain_fairness, load_percentile
+from repro.workload import HotspotOriginWorkload
+
+
+def main() -> None:
+    num_nodes = 1600  # 40 x 40 edge sites
+    num_files = 1000
+    cache_size = 30
+    radius = 8
+    hotspot_fraction = 0.6
+    trials = 5
+
+    torus = Torus2D(num_nodes)
+    library = FileLibrary(num_files, ZipfPopularity(num_files, gamma=0.9))
+    placement = ProportionalPlacement(cache_size)
+    workload = HotspotOriginWorkload(
+        num_requests=3 * num_nodes,
+        hotspot_fraction=hotspot_fraction,
+        hotspot_radius=4,
+    )
+
+    policies = {
+        "nearest replica": create_strategy("nearest_replica"),
+        f"two choices (r={radius})": create_strategy(
+            "proximity_two_choice", radius=radius, num_choices=2
+        ),
+        f"least loaded in ball (r={radius})": create_strategy(
+            "least_loaded_in_ball", radius=radius
+        ),
+    }
+
+    accumulators = {label: [] for label in policies}
+    for trial in range(trials):
+        rng_placement, rng_workload, rng_assign = spawn_generators(1000 + trial, 3)
+        cache = placement.place(torus, library, rng_placement)
+        requests = workload.generate(torus, library, rng_workload)
+        # Requests for files that happen to be uncached are redirected to the
+        # most popular cached file — the CDN would fetch them from origin.
+        cached = np.flatnonzero(cache.replication_counts() > 0)
+        files = np.where(np.isin(requests.files, cached), requests.files, cached[0])
+        requests = type(requests)(
+            origins=requests.origins,
+            files=files,
+            num_nodes=num_nodes,
+            num_files=num_files,
+        )
+        for label, strategy in policies.items():
+            result = strategy.assign(torus, cache, requests, rng_assign)
+            loads = result.loads()
+            accumulators[label].append(
+                (
+                    result.max_load(),
+                    load_percentile(loads, 99),
+                    jain_fairness(loads),
+                    result.communication_cost(),
+                )
+            )
+
+    rows = []
+    for label, samples in accumulators.items():
+        samples = np.array(samples)
+        rows.append(
+            {
+                "policy": label,
+                "max load": samples[:, 0].mean(),
+                "p99 load": samples[:, 1].mean(),
+                "jain fairness": samples[:, 2].mean(),
+                "avg hops": samples[:, 3].mean(),
+            }
+        )
+
+    print(
+        render_comparison_table(
+            rows,
+            title=(
+                f"Flash crowd on a {int(np.sqrt(num_nodes))}x{int(np.sqrt(num_nodes))} CDN: "
+                f"{hotspot_fraction:.0%} of {3 * num_nodes} requests from one neighbourhood"
+            ),
+        )
+    )
+    print(
+        "\nThe nearest-replica policy concentrates the surge on the few replicas "
+        "inside the hotspot; sampling just two candidates within the same radius "
+        "spreads it almost as well as the omniscient policy, at the same hop cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Operating-point study: choosing the proximity radius r (the Figure 5 trade-off).
+
+For a fixed cache network this script sweeps the proximity radius of
+Strategy II, measures the (communication cost, maximum load) pair for every
+radius and several cache sizes, and marks the radius recommended by Theorem 4
+(``r = n^{(1-alpha)/2} log n``).  The output is the paper's Figure 5 read as a
+provisioning chart: pick the smallest radius whose curve has already flattened
+at the two-choice load level.
+
+Run with ``python examples/radius_tradeoff_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_trials
+from repro.analysis import recommended_radius, theorem4_condition_holds
+from repro.experiments import ascii_plot, render_comparison_table
+
+
+def main() -> None:
+    num_nodes = 1024
+    num_files = 400
+    radii = [1, 2, 3, 4, 6, 8, 12, 16]
+    cache_sizes = [2, 10, 50]
+    trials = 5
+
+    rows = []
+    curves: dict[str, tuple[list[float], list[float]]] = {}
+    for cache_size in cache_sizes:
+        xs, ys = [], []
+        for radius in radii:
+            config = SimulationConfig(
+                num_nodes=num_nodes,
+                num_files=num_files,
+                cache_size=cache_size,
+                strategy="proximity_two_choice",
+                strategy_params={"radius": radius, "num_choices": 2},
+            )
+            result = run_trials(config, trials, seed=31)
+            rows.append(
+                {
+                    "M": cache_size,
+                    "radius": radius,
+                    "in Theorem 4 regime": theorem4_condition_holds(
+                        num_nodes, cache_size, radius
+                    ),
+                    "avg hops": result.mean_communication_cost,
+                    "max load": result.mean_max_load,
+                    "fallback rate": result.mean_fallback_rate,
+                }
+            )
+            xs.append(result.mean_communication_cost)
+            ys.append(result.mean_max_load)
+        curves[f"M = {cache_size}"] = (xs, ys)
+
+    print(
+        render_comparison_table(
+            rows,
+            title=f"Radius sweep on n={num_nodes}, K={num_files} (Strategy II)",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            curves,
+            x_label="average cost (# of hops)",
+            y_label="maximum load",
+            title="Figure 5-style trade-off: load vs communication cost",
+        )
+    )
+    for cache_size in cache_sizes:
+        print(
+            f"Theorem 4 recommended radius for M={cache_size}: "
+            f"r ~ {recommended_radius(num_nodes, cache_size):.1f} hops"
+        )
+    print(
+        "\nReading the chart: with plentiful memory the curve flattens after only "
+        "a few hops of radius — spending more communication buys nothing. With "
+        "M=2 the curve never flattens at these sizes: the fallback rate column "
+        "shows the proximity ball frequently contains no replica, the regime the "
+        "paper's Theorem 4 condition excludes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Continuous-time extension: the proximity-aware supermarket model.
+
+The paper analyses a static block of requests and conjectures (Section VI)
+that the same load-balancing behaviour carries over to the dynamic setting in
+which requests arrive as a Poisson process and each server works through a
+queue.  This example runs that dynamic system with the discrete-event
+simulator in :mod:`repro.simulation.queueing` and compares
+
+* one random in-ball replica (d = 1), versus
+* the proximity-aware two-choice dispatcher (d = 2),
+
+at increasing arrival rates.  The headline quantity is the maximum queue
+length ever observed (the dynamic analogue of the paper's maximum load) and
+the mean sojourn time.
+
+Run with ``python examples/supermarket_queueing.py``.
+"""
+
+from __future__ import annotations
+
+from repro import FileLibrary, ProportionalPlacement, Torus2D
+from repro.experiments import render_comparison_table
+from repro.simulation import QueueingSimulation
+from repro.workload import PoissonArrivalProcess
+
+
+def main() -> None:
+    num_nodes = 400
+    num_files = 200
+    cache_size = 20
+    radius = 6
+    horizon = 60.0
+    service_rate = 1.0
+    arrival_rates = [0.5, 0.7, 0.9]
+
+    torus = Torus2D(num_nodes)
+    library = FileLibrary(num_files)
+    placement = ProportionalPlacement(cache_size)
+
+    rows = []
+    for rate in arrival_rates:
+        for num_choices in (1, 2):
+            simulation = QueueingSimulation(
+                topology=torus,
+                library=library,
+                placement=placement,
+                arrivals=PoissonArrivalProcess(rate_per_node=rate),
+                service_rate=service_rate,
+                radius=radius,
+                num_choices=num_choices,
+            )
+            result = simulation.run(horizon=horizon, seed=99)
+            rows.append(
+                {
+                    "arrival rate / server": rate,
+                    "choices d": num_choices,
+                    "max queue length": result.max_queue_length,
+                    "mean queue length": result.mean_queue_length / num_nodes,
+                    "mean sojourn time": result.mean_sojourn_time,
+                    "avg hops": result.communication_cost,
+                }
+            )
+
+    print(
+        render_comparison_table(
+            rows,
+            title=(
+                f"Supermarket model on n={num_nodes}, K={num_files}, M={cache_size}, "
+                f"r={radius}, mu={service_rate}, horizon={horizon}"
+            ),
+        )
+    )
+    print(
+        "\nAs the arrival rate approaches the service rate, the single-choice "
+        "dispatcher develops long queues at unlucky servers while the two-choice "
+        "dispatcher keeps the longest queue several times shorter — the dynamic "
+        "counterpart of the paper's static Theta(log log n) vs Theta(log n / "
+        "log log n) separation, at identical hop cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Zipf popularity study: how content skew changes the routing cost (Theorem 3).
+
+Sweeps the Zipf exponent gamma and the cache size M for the nearest-replica
+strategy and compares the measured average hop count against the five-regime
+formula of Theorem 3.  The study answers a practical CDN provisioning
+question: *how much cache do I need to hit a target hop count, given how
+skewed my catalog's popularity is?*
+
+Run with ``python examples/zipf_popularity_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_trials
+from repro.experiments import ascii_plot, render_comparison_table
+from repro.theory import strategy1_comm_cost_uniform, strategy1_comm_cost_zipf, zipf_cost_regime
+
+
+def main() -> None:
+    num_nodes = 1024
+    num_files = 1000
+    trials = 3
+    gammas = [0.0, 0.5, 0.8, 1.0, 1.3, 1.6, 2.0, 2.5]
+    cache_sizes = [1, 8, 32]
+
+    rows = []
+    curves: dict[str, tuple[list[float], list[float]]] = {}
+    for cache_size in cache_sizes:
+        xs, ys = [], []
+        for gamma in gammas:
+            if gamma == 0.0:
+                config = SimulationConfig(
+                    num_nodes=num_nodes,
+                    num_files=num_files,
+                    cache_size=cache_size,
+                    popularity="uniform",
+                    strategy="nearest_replica",
+                )
+                predicted = strategy1_comm_cost_uniform(num_files, cache_size)
+                regime = "uniform"
+            else:
+                config = SimulationConfig(
+                    num_nodes=num_nodes,
+                    num_files=num_files,
+                    cache_size=cache_size,
+                    popularity="zipf",
+                    popularity_params={"gamma": gamma},
+                    strategy="nearest_replica",
+                )
+                predicted = strategy1_comm_cost_zipf(num_files, cache_size, gamma)
+                regime = zipf_cost_regime(gamma)
+            result = run_trials(config, trials, seed=7)
+            rows.append(
+                {
+                    "M": cache_size,
+                    "gamma": gamma,
+                    "regime": regime,
+                    "measured hops": result.mean_communication_cost,
+                    "Theorem 3 order": predicted,
+                    "measured / predicted": result.mean_communication_cost / predicted,
+                }
+            )
+            xs.append(gamma)
+            ys.append(result.mean_communication_cost)
+        curves[f"M = {cache_size}"] = (xs, ys)
+
+    print(
+        render_comparison_table(
+            rows,
+            title=f"Nearest-replica cost vs popularity skew (n={num_nodes}, K={num_files})",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            curves,
+            x_label="Zipf exponent gamma",
+            y_label="average hops",
+            title="Communication cost vs popularity skew",
+        )
+    )
+    print(
+        "\nTakeaways: below gamma = 1 the cost barely moves (the Theorem 3 "
+        "'uniform-like' regime); past gamma = 1 it collapses because almost all "
+        "requests hit the head of the catalog, which every nearby cache holds. "
+        "Raising M from 1 to 32 buys roughly the sqrt(32) ~ 5.7x predicted by "
+        "the sqrt(K/M) law in the flat regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

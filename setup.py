@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs (which require ``bdist_wheel``) fail.  Keeping this
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(and plain ``python setup.py develop``) work; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

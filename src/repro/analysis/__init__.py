@@ -1,0 +1,55 @@
+"""Structural analysis of placements and strategies.
+
+* :mod:`~repro.analysis.configuration_graph` — builds the configuration graph
+  ``H`` of Definition 4 (servers connected iff they share a cached file and
+  are within distance ``2r``) and reports the degree statistics that Lemma 3
+  relies on.
+* :mod:`~repro.analysis.voronoi` — the per-file Voronoi tessellation induced
+  by Strategy I and its cell-size statistics (Lemma 1).
+* :mod:`~repro.analysis.regimes` — classification of parameter points into the
+  paper's regimes (Examples 1–4, Theorem 4's condition, Theorem 6).
+* :mod:`~repro.analysis.load_distribution` — empirical load-distribution
+  diagnostics beyond the maximum load.
+"""
+
+from repro.analysis.configuration_graph import (
+    ConfigurationGraph,
+    build_configuration_graph,
+    ConfigurationGraphStats,
+)
+from repro.analysis.voronoi import (
+    VoronoiTessellation,
+    build_voronoi,
+    voronoi_cell_sizes,
+    voronoi_statistics,
+)
+from repro.analysis.regimes import (
+    RegimeReport,
+    classify_regime,
+    theorem4_condition_holds,
+    minimum_radius_exponent,
+    recommended_radius,
+)
+from repro.analysis.load_distribution import (
+    empirical_load_distribution,
+    load_tail_probability,
+    compare_load_distributions,
+)
+
+__all__ = [
+    "ConfigurationGraph",
+    "build_configuration_graph",
+    "ConfigurationGraphStats",
+    "VoronoiTessellation",
+    "build_voronoi",
+    "voronoi_cell_sizes",
+    "voronoi_statistics",
+    "RegimeReport",
+    "classify_regime",
+    "theorem4_condition_holds",
+    "minimum_radius_exponent",
+    "recommended_radius",
+    "empirical_load_distribution",
+    "load_tail_probability",
+    "compare_load_distributions",
+]

@@ -1,0 +1,191 @@
+"""The configuration graph ``H`` (Definition 4) and its statistics (Lemma 3).
+
+Given a cache placement and a proximity radius ``r``, the configuration graph
+``H`` has the servers as vertices and an edge ``{u, v}`` whenever ``u`` and
+``v`` cache at least one common file *and* ``d_G(u, v) ≤ 2r`` on the torus.
+
+Lemma 3 of the paper shows that, conditioned on the (δ, µ)-goodness of the
+placement and inside the regime ``α + 2β ≥ 1 + 2 log log n / log n``:
+
+* ``H`` is almost Δ-regular with ``Δ = Θ(M² r² / K)``, and
+* every request of Strategy II samples an edge of ``H`` with probability
+  ``O(1 / e(H))``,
+
+which lets Theorem 5 (balanced allocation on graphs) conclude the
+``Θ(log log n)`` maximum load.  This module materialises ``H`` for moderate
+instance sizes so the benchmarks can verify the near-regularity claim
+empirically and feed ``H`` to the graph-allocation substrate as an independent
+cross-check of the full Strategy II simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.cache import CacheState
+from repro.topology.base import Topology
+from repro.types import IntArray
+
+__all__ = ["ConfigurationGraph", "ConfigurationGraphStats", "build_configuration_graph"]
+
+
+@dataclass(frozen=True)
+class ConfigurationGraphStats:
+    """Degree and edge statistics of a configuration graph.
+
+    ``predicted_degree`` is Lemma 3's leading-order value ``M² r² / K``
+    (``r²`` replaced by the exact ball size when the radius is finite).
+    """
+
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    degree_std: float
+    predicted_degree: float
+    isolated_nodes: int
+
+    def regularity_ratio(self) -> float:
+        """``max degree / min degree`` — near 1 for an almost-regular graph.
+
+        Returns ``inf`` when isolated vertices exist.
+        """
+        if self.min_degree == 0:
+            return float("inf")
+        return self.max_degree / self.min_degree
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "degree_std": self.degree_std,
+            "predicted_degree": self.predicted_degree,
+            "isolated_nodes": self.isolated_nodes,
+            "regularity_ratio": self.regularity_ratio(),
+        }
+
+
+class ConfigurationGraph:
+    """Materialised configuration graph ``H`` for a placement and radius."""
+
+    def __init__(self, num_nodes: int, edges: IntArray, radius: float) -> None:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self._num_nodes = int(num_nodes)
+        self._edges = edges
+        self._radius = float(radius)
+        degrees = np.zeros(self._num_nodes, dtype=np.int64)
+        if edges.size:
+            np.add.at(degrees, edges[:, 0], 1)
+            np.add.at(degrees, edges[:, 1], 1)
+        self._degrees = degrees
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices (servers)."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``e(H)``."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edges(self) -> IntArray:
+        """Edge list of shape ``(e(H), 2)``."""
+        return self._edges.copy()
+
+    @property
+    def radius(self) -> float:
+        """The proximity radius ``r`` the graph was built for."""
+        return self._radius
+
+    def degrees(self) -> IntArray:
+        """Vertex degree vector."""
+        return self._degrees.copy()
+
+    def statistics(self, cache: CacheState | None = None) -> ConfigurationGraphStats:
+        """Degree statistics, with Lemma 3's predicted degree when possible."""
+        degrees = self._degrees
+        predicted = float("nan")
+        if cache is not None:
+            M = cache.cache_size
+            K = cache.num_files
+            if np.isinf(self._radius):
+                ball = self._num_nodes
+            else:
+                # Ball of radius 2r on the torus: 2(2r)(2r+1)+1 nodes.
+                r2 = int(2 * self._radius)
+                ball = min(self._num_nodes, 2 * r2 * (r2 + 1) + 1)
+            predicted = (M * M * ball) / K
+        return ConfigurationGraphStats(
+            num_nodes=self._num_nodes,
+            num_edges=self.num_edges,
+            min_degree=int(degrees.min()) if degrees.size else 0,
+            max_degree=int(degrees.max()) if degrees.size else 0,
+            mean_degree=float(degrees.mean()) if degrees.size else 0.0,
+            degree_std=float(degrees.std()) if degrees.size else 0.0,
+            predicted_degree=predicted,
+            isolated_nodes=int(np.count_nonzero(degrees == 0)),
+        )
+
+    def to_networkx(self):
+        """Return the graph as a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._num_nodes))
+        graph.add_edges_from(map(tuple, self._edges))
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigurationGraph(n={self._num_nodes}, e={self.num_edges}, "
+            f"radius={self._radius})"
+        )
+
+
+def build_configuration_graph(
+    topology: Topology, cache: CacheState, radius: float
+) -> ConfigurationGraph:
+    """Build the configuration graph ``H`` of Definition 4.
+
+    The construction iterates over files: the replica set of each file forms a
+    clique in the "share a file" relation, restricted to pairs within distance
+    ``2r``.  Complexity is ``O(Σ_j |S_j|²)`` pair checks, appropriate for the
+    analysis-scale instances (up to a few thousand servers) used in the
+    benchmarks; the simulation engine itself never builds ``H``.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    n = topology.n
+    edge_set: set[tuple[int, int]] = set()
+    unconstrained = np.isinf(radius) or 2 * radius >= topology.diameter
+    for file_id in range(cache.num_files):
+        replicas = cache.file_nodes(file_id)
+        if replicas.size < 2:
+            continue
+        if unconstrained:
+            for i in range(replicas.size):
+                u = int(replicas[i])
+                for j in range(i + 1, replicas.size):
+                    v = int(replicas[j])
+                    edge_set.add((u, v) if u < v else (v, u))
+            continue
+        dmat = topology.pairwise_distances(replicas, replicas)
+        close = np.argwhere(np.triu(dmat <= 2 * radius, k=1))
+        for i, j in close:
+            u, v = int(replicas[i]), int(replicas[j])
+            edge_set.add((u, v) if u < v else (v, u))
+    if edge_set:
+        edges = np.array(sorted(edge_set), dtype=np.int64)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return ConfigurationGraph(n, edges, radius)

@@ -1,0 +1,68 @@
+"""Empirical load-distribution diagnostics.
+
+The paper reports only the maximum load, but the *shape* of the load
+distribution explains the mechanisms: Strategy I produces a heavy upper tail
+driven by large Voronoi cells, whereas Strategy II in its good regime
+concentrates all loads within a few units of the mean.  The helpers here give
+the experiment harness and the example applications a common vocabulary for
+that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "empirical_load_distribution",
+    "load_tail_probability",
+    "compare_load_distributions",
+]
+
+
+def empirical_load_distribution(loads: IntArray | np.ndarray) -> FloatArray:
+    """Fraction of servers with load exactly ``k`` for ``k = 0 .. max load``."""
+    arr = np.asarray(loads)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    counts = np.bincount(arr.astype(np.int64))
+    return counts.astype(np.float64) / arr.size
+
+
+def load_tail_probability(loads: IntArray | np.ndarray, threshold: int) -> float:
+    """Fraction of servers with load at least ``threshold``."""
+    arr = np.asarray(loads)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    return float(np.count_nonzero(arr >= threshold) / arr.size)
+
+
+def compare_load_distributions(
+    loads_a: IntArray | np.ndarray, loads_b: IntArray | np.ndarray
+) -> dict[str, float]:
+    """Headline comparison of two load vectors (e.g. Strategy I vs Strategy II).
+
+    Returns the difference in maximum load, the ratio of the 99th percentiles
+    and the total-variation distance between the two empirical distributions.
+    """
+    a = np.asarray(loads_a, dtype=np.float64)
+    b = np.asarray(loads_b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("load vectors must be non-empty")
+    dist_a = empirical_load_distribution(a.astype(np.int64))
+    dist_b = empirical_load_distribution(b.astype(np.int64))
+    width = max(dist_a.size, dist_b.size)
+    pa = np.zeros(width)
+    pb = np.zeros(width)
+    pa[: dist_a.size] = dist_a
+    pb[: dist_b.size] = dist_b
+    tv_distance = 0.5 * float(np.abs(pa - pb).sum())
+    p99_b = np.percentile(b, 99)
+    return {
+        "max_load_difference": float(a.max() - b.max()),
+        "p99_ratio": float(np.percentile(a, 99) / p99_b) if p99_b > 0 else float("inf"),
+        "total_variation_distance": tv_distance,
+    }

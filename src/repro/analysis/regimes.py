@@ -1,0 +1,228 @@
+"""Parameter-regime classification (Examples 1–4, Theorem 4, Theorem 6).
+
+The paper's central message is that the power of two choices survives memory
+limitation and proximity constraints only in certain parameter regimes.  This
+module turns those statements into executable predicates:
+
+* :func:`theorem4_condition_holds` — the sufficient condition
+  ``α + 2β ≥ 1 + 2 log log n / log n`` for ``K = n``, ``M = n^α``, ``r = n^β``;
+* :func:`classify_regime` — maps a simulation configuration onto the closest
+  analytical regime and the predicted maximum-load order;
+* :func:`recommended_radius` — the smallest radius exponent β (and hop radius)
+  that satisfies Theorem 4 for a given memory exponent α, i.e. the operating
+  point the paper recommends (communication cost only a ``log n`` factor above
+  the nearest-replica cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RegimeReport",
+    "theorem4_condition_holds",
+    "classify_regime",
+    "minimum_radius_exponent",
+    "recommended_radius",
+]
+
+
+@dataclass(frozen=True)
+class RegimeReport:
+    """Outcome of classifying a parameter point against the paper's regimes.
+
+    Attributes
+    ----------
+    regime:
+        Machine-readable regime label (see :func:`classify_regime`).
+    power_of_two_choices:
+        Whether the analysis predicts ``Θ(log log n)`` maximum load for
+        Strategy II at this point.
+    predicted_max_load_order:
+        Human-readable growth order of the Strategy II maximum load.
+    alpha, beta:
+        The memory and radius exponents implied by the point (``log_n M`` and
+        ``log_n r``), when meaningful.
+    detail:
+        Explanation of the classification.
+    """
+
+    regime: str
+    power_of_two_choices: bool
+    predicted_max_load_order: str
+    alpha: float
+    beta: float
+    detail: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the report as a plain dictionary."""
+        return {
+            "regime": self.regime,
+            "power_of_two_choices": self.power_of_two_choices,
+            "predicted_max_load_order": self.predicted_max_load_order,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "detail": self.detail,
+        }
+
+
+def _exponent(value: float, n: int) -> float:
+    """``log_n value`` with the conventions 0 → -inf and value >= n clipped naturally."""
+    if value <= 0:
+        return float("-inf")
+    if n <= 1:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return math.log(value) / math.log(n)
+
+
+def theorem4_condition_holds(n: int, cache_size: float, radius: float) -> bool:
+    """Check Theorem 4's sufficient condition ``α + 2β ≥ 1 + 2 log log n / log n``.
+
+    ``α = log_n M`` and ``β = log_n r``; an infinite radius trivially satisfies
+    the condition (it corresponds to ``β = 1/2``, the network diameter scale,
+    together with any ``α > 0``).
+    """
+    if n < 3:
+        raise ValueError(f"n must be at least 3, got {n}")
+    if cache_size <= 0:
+        raise ValueError(f"cache_size must be positive, got {cache_size}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    alpha = _exponent(float(cache_size), n)
+    beta = 0.5 if np.isinf(radius) else _exponent(float(radius), n)
+    slack = 2.0 * math.log(math.log(n)) / math.log(n)
+    return alpha + 2.0 * beta >= 1.0 + slack - 1e-12
+
+
+def minimum_radius_exponent(n: int, alpha: float) -> float:
+    """Smallest β satisfying Theorem 4 for memory exponent ``α`` (clipped to [0, 1/2])."""
+    if n < 3:
+        raise ValueError(f"n must be at least 3, got {n}")
+    slack = 2.0 * math.log(math.log(n)) / math.log(n)
+    beta = (1.0 + slack - alpha) / 2.0
+    return float(min(max(beta, 0.0), 0.5 + slack))
+
+
+def recommended_radius(n: int, cache_size: int) -> float:
+    """The paper's recommended operating radius ``r = n^{(1-α)/2} · log n``.
+
+    This is the radius at which Theorem 4 guarantees ``Θ(log log n)`` maximum
+    load while keeping the communication cost within a ``log n`` factor of the
+    nearest-replica cost ``Θ(√(K/M))``.
+    """
+    if n < 3:
+        raise ValueError(f"n must be at least 3, got {n}")
+    if cache_size <= 0:
+        raise ValueError(f"cache_size must be positive, got {cache_size}")
+    alpha = _exponent(float(cache_size), n)
+    alpha = min(max(alpha, 0.0), 1.0)
+    return float(n ** ((1.0 - alpha) / 2.0) * math.log(n))
+
+
+def classify_regime(
+    n: int,
+    num_files: int,
+    cache_size: int,
+    radius: float,
+) -> RegimeReport:
+    """Classify ``(n, K, M, r)`` against the paper's analytical regimes.
+
+    The returned label is one of:
+
+    * ``"example1_full_memory_no_proximity"`` — ``M = K`` and ``r`` at least
+      the diameter scale: the classical two-choice process, ``Θ(log log n)``.
+    * ``"theorem6_full_memory"`` — ``M = K`` with a finite radius
+      ``r = n^β``, ``β = Ω(log log n / log n)``: still ``Θ(log log n)``.
+    * ``"example4_full_memory_tiny_radius"`` — ``M = K`` but ``r = O(1)``:
+      proximity correlation kills the second choice, ``Θ(log n / log log n)``.
+    * ``"example2_scarce_replication"`` — ``K = Θ(n)`` with ``M = O(1)``:
+      memory correlation kills the second choice, ``Ω(log n / (M log log n))``.
+    * ``"example3_small_library"`` — ``K = n^{1-ε}``, ``M ≥ 1``, no radius
+      constraint: disjoint sub-problems, ``O(log log n)``.
+    * ``"theorem4_good"`` / ``"theorem4_violated"`` — the general
+      ``K = Θ(n)``, ``M = n^α``, ``r = n^β`` case, split on the sufficient
+      condition ``α + 2β ≥ 1 + 2 log log n / log n``.
+    """
+    if n < 3:
+        raise ValueError(f"n must be at least 3, got {n}")
+    if num_files <= 0 or cache_size <= 0:
+        raise ValueError("num_files and cache_size must be positive")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+
+    alpha = _exponent(float(cache_size), n)
+    beta = 0.5 if np.isinf(radius) else _exponent(float(radius), n)
+    loglog_over_log = math.log(math.log(n)) / math.log(n)
+    diameter_scale = math.sqrt(n)
+
+    full_memory = cache_size >= num_files
+    unconstrained = np.isinf(radius) or radius >= diameter_scale
+
+    if full_memory and unconstrained:
+        return RegimeReport(
+            regime="example1_full_memory_no_proximity",
+            power_of_two_choices=True,
+            predicted_max_load_order="log log n",
+            alpha=alpha,
+            beta=beta,
+            detail="M = K and r >= sqrt(n): classical two-choice process (Example 1).",
+        )
+    if full_memory and radius <= 2:
+        return RegimeReport(
+            regime="example4_full_memory_tiny_radius",
+            power_of_two_choices=False,
+            predicted_max_load_order="log n / log log n",
+            alpha=alpha,
+            beta=beta,
+            detail="M = K but r = O(1): choices restricted to a constant-size "
+            "neighbourhood (Example 4).",
+        )
+    if full_memory:
+        good = beta >= loglog_over_log - 1e-12
+        return RegimeReport(
+            regime="theorem6_full_memory",
+            power_of_two_choices=good,
+            predicted_max_load_order="log log n" if good else "unknown",
+            alpha=alpha,
+            beta=beta,
+            detail="M = K with r = n^beta; Theorem 6 needs beta = Omega(log log n / log n).",
+        )
+
+    small_library = num_files <= n ** (1.0 - 0.05)
+    if small_library and unconstrained:
+        return RegimeReport(
+            regime="example3_small_library",
+            power_of_two_choices=True,
+            predicted_max_load_order="log log n",
+            alpha=alpha,
+            beta=beta,
+            detail="K = n^{1-eps} and no proximity constraint: disjoint balls-and-bins "
+            "sub-problems (Example 3).",
+        )
+    if cache_size <= 4 and num_files >= n / 4 and unconstrained:
+        return RegimeReport(
+            regime="example2_scarce_replication",
+            power_of_two_choices=False,
+            predicted_max_load_order="log n / (M log log n)",
+            alpha=alpha,
+            beta=beta,
+            detail="K = Theta(n) with constant M: some file has only M replicas yet "
+            "Theta(log n / log log n) requests (Example 2).",
+        )
+
+    good = theorem4_condition_holds(n, cache_size, radius)
+    return RegimeReport(
+        regime="theorem4_good" if good else "theorem4_violated",
+        power_of_two_choices=good,
+        predicted_max_load_order="log log n" if good else "unknown (possibly log n scale)",
+        alpha=alpha,
+        beta=beta,
+        detail=(
+            "alpha + 2 beta >= 1 + 2 log log n / log n holds"
+            if good
+            else "alpha + 2 beta < 1 + 2 log log n / log n: Theorem 4 gives no guarantee"
+        ),
+    )

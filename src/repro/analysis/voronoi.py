@@ -1,0 +1,136 @@
+"""Per-file Voronoi tessellations induced by the nearest-replica strategy.
+
+Strategy I assigns every request for file ``W_j`` to the nearest replica of
+``W_j``, which partitions the torus into Voronoi cells centred at the replica
+locations (the tessellation ``V_j`` of Section III).  Lemma 1 bounds the
+maximum cell size by ``O(K log n / M)`` under uniform popularity and exhibits
+a cell of size ``Θ(K log n / M)`` in the small-memory regime — the origin of
+Strategy I's ``Θ(log n)`` maximum load.
+
+This module computes the tessellations explicitly so the benchmarks can check
+the cell-size scaling empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, as_generator
+from repro.topology.base import Topology
+from repro.types import IntArray
+
+__all__ = ["VoronoiTessellation", "build_voronoi", "voronoi_cell_sizes", "voronoi_statistics"]
+
+
+@dataclass(frozen=True)
+class VoronoiTessellation:
+    """Voronoi tessellation of the network for a single file.
+
+    Attributes
+    ----------
+    file_id:
+        The file whose replica set induces the tessellation.
+    assignment:
+        For every server, the replica (cell centre) closest to it, shape
+        ``(n,)``.  Ties are broken uniformly at random.
+    centers:
+        The replica nodes (cell centres).
+    """
+
+    file_id: int
+    assignment: IntArray
+    centers: IntArray
+
+    @property
+    def num_cells(self) -> int:
+        """Number of Voronoi cells (replicas of the file)."""
+        return int(self.centers.size)
+
+    def cell_sizes(self) -> IntArray:
+        """Number of servers in each cell, aligned with :attr:`centers`."""
+        sizes = np.zeros(self.centers.size, dtype=np.int64)
+        center_index = {int(c): i for i, c in enumerate(self.centers)}
+        counts = np.bincount(self.assignment, minlength=int(self.assignment.max()) + 1)
+        for center, idx in center_index.items():
+            sizes[idx] = counts[center] if center < counts.size else 0
+        return sizes
+
+    def max_cell_size(self) -> int:
+        """Size of the largest Voronoi cell."""
+        return int(self.cell_sizes().max()) if self.num_cells else 0
+
+
+def build_voronoi(
+    topology: Topology, cache: CacheState, file_id: int, seed: SeedLike = None
+) -> VoronoiTessellation:
+    """Compute the Voronoi tessellation ``V_j`` for one file.
+
+    Every server is assigned to its nearest replica of ``file_id`` (random
+    tie-breaking).  Raises ``ValueError`` when the file has no replica.
+    """
+    centers = cache.file_nodes(file_id)
+    if centers.size == 0:
+        raise ValueError(f"file {file_id} has no replica; Voronoi tessellation undefined")
+    rng = as_generator(seed)
+    all_nodes = np.arange(topology.n, dtype=np.int64)
+    dmat = topology.pairwise_distances(all_nodes, centers).astype(np.float64)
+    dmat += rng.random(dmat.shape) * 0.5  # sub-integer noise = uniform tie-breaking
+    nearest = np.argmin(dmat, axis=1)
+    assignment = centers[nearest]
+    return VoronoiTessellation(file_id=int(file_id), assignment=assignment, centers=centers)
+
+
+def voronoi_cell_sizes(
+    topology: Topology,
+    cache: CacheState,
+    files: IntArray | None = None,
+    seed: SeedLike = None,
+) -> list[IntArray]:
+    """Cell-size vectors of the tessellations of ``files`` (all files by default).
+
+    Files without any replica are skipped (they contribute no cells).
+    """
+    if files is None:
+        files = np.arange(cache.num_files, dtype=np.int64)
+    else:
+        files = np.asarray(files, dtype=np.int64)
+    rng = as_generator(seed)
+    sizes: list[IntArray] = []
+    for file_id in files:
+        if cache.replication_of(int(file_id)) == 0:
+            continue
+        tess = build_voronoi(topology, cache, int(file_id), rng)
+        sizes.append(tess.cell_sizes())
+    return sizes
+
+
+def voronoi_statistics(
+    topology: Topology,
+    cache: CacheState,
+    files: IntArray | None = None,
+    seed: SeedLike = None,
+) -> dict[str, float]:
+    """Summary statistics of cell sizes across the requested tessellations.
+
+    Returns the empirical max / mean / std of cell sizes together with
+    Lemma 1's predicted maximum-cell-size scale ``K log n / M`` so the two can
+    be compared directly in reports.
+    """
+    all_sizes = voronoi_cell_sizes(topology, cache, files, seed)
+    if not all_sizes:
+        raise ValueError("no file with at least one replica; statistics undefined")
+    flat = np.concatenate(all_sizes)
+    n = topology.n
+    predicted_max = (
+        cache.num_files * np.log(n) / cache.cache_size if cache.cache_size > 0 else float("nan")
+    )
+    return {
+        "num_cells": float(flat.size),
+        "max_cell_size": float(flat.max()),
+        "mean_cell_size": float(flat.mean()),
+        "std_cell_size": float(flat.std()),
+        "predicted_max_scale": float(predicted_max),
+    }

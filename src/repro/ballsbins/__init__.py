@@ -1,0 +1,49 @@
+"""Classical balls-into-bins processes.
+
+The paper's analysis reduces the cache-network allocation problem to balanced
+allocation results:
+
+* the standard ``d``-choice process of Azar et al. (Example 1, ``M = K`` and
+  ``r = ∞``),
+* the one-choice process whose ``Θ(log n / log log n)`` maximum load shows up
+  as the lower bound of Strategy I and of the degenerate regimes in Examples 2
+  and 4,
+* balanced allocation on graph edges (Kenthapadi & Panigrahi), quoted as
+  Theorem 5 and applied to the configuration graph ``H`` to prove Theorem 4.
+
+This subpackage implements all three processes directly (they double as
+reference baselines in the benchmarks) plus the corresponding asymptotic
+formulas in :mod:`repro.ballsbins.theory`.
+"""
+
+from repro.ballsbins.standard import (
+    one_choice_allocation,
+    d_choice_allocation,
+    BallsBinsResult,
+)
+from repro.ballsbins.graph_allocation import (
+    graph_edge_allocation,
+    random_regular_graph_edges,
+    grid_graph_edges,
+)
+from repro.ballsbins.theory import (
+    one_choice_max_load_prediction,
+    two_choice_max_load_prediction,
+    d_choice_max_load_prediction,
+    heavily_loaded_gap_prediction,
+    graph_allocation_max_load_prediction,
+)
+
+__all__ = [
+    "BallsBinsResult",
+    "one_choice_allocation",
+    "d_choice_allocation",
+    "graph_edge_allocation",
+    "random_regular_graph_edges",
+    "grid_graph_edges",
+    "one_choice_max_load_prediction",
+    "two_choice_max_load_prediction",
+    "d_choice_max_load_prediction",
+    "heavily_loaded_gap_prediction",
+    "graph_allocation_max_load_prediction",
+]

@@ -1,0 +1,136 @@
+"""Balanced allocation on graphs (Kenthapadi & Panigrahi, SODA 2006).
+
+``n`` bins are the vertices of a graph ``G``; each ball picks an edge of
+``G`` (uniformly in the original model, with probability ``O(1/e(G))`` per
+edge in the slight generalisation used as Theorem 5 of the cache-network
+paper) and is placed in the less loaded endpoint.  Kenthapadi and Panigrahi
+prove a maximum load of
+
+``Θ(log log n) + O(log n / log(Δ / log⁴ n)) + O(1)``
+
+for almost-Δ-regular graphs, which is ``Θ(log log n)`` as soon as the degree
+is ``n^{Ω(log log n / log n)}``.
+
+The cache-network paper applies this process to the *configuration graph*
+``H`` built from the cache placement and the proximity radius; the analysis
+module (:mod:`repro.analysis.configuration_graph`) extracts that graph and can
+feed its edge list directly to :func:`graph_edge_allocation`, giving an
+independent cross-check of the full Strategy II simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ballsbins.standard import BallsBinsResult
+from repro.rng import SeedLike, as_generator
+from repro.types import IntArray
+
+__all__ = ["graph_edge_allocation", "random_regular_graph_edges", "grid_graph_edges"]
+
+
+def graph_edge_allocation(
+    num_bins: int,
+    edges: IntArray,
+    num_balls: int,
+    seed: SeedLike = None,
+    *,
+    edge_probabilities: np.ndarray | None = None,
+) -> BallsBinsResult:
+    """Allocate ``num_balls`` balls over the endpoints of randomly chosen edges.
+
+    Parameters
+    ----------
+    num_bins:
+        Number of vertices (bins) of the graph.
+    edges:
+        Integer array of shape ``(e, 2)`` listing the graph's edges.
+    num_balls:
+        Number of balls to allocate.
+    seed:
+        Randomness source.
+    edge_probabilities:
+        Optional per-edge selection probabilities (must sum to one).  Uniform
+        edge selection when omitted — the original Kenthapadi–Panigrahi model.
+    """
+    if num_bins <= 0:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2 or edges.shape[0] == 0:
+        raise ValueError(f"edges must be a non-empty (e, 2) array, got shape {edges.shape}")
+    if edges.min() < 0 or edges.max() >= num_bins:
+        raise ValueError("edge endpoints must be valid bin indices")
+    if num_balls < 0:
+        raise ValueError(f"num_balls must be non-negative, got {num_balls}")
+    if edge_probabilities is not None:
+        edge_probabilities = np.asarray(edge_probabilities, dtype=np.float64)
+        if edge_probabilities.shape != (edges.shape[0],):
+            raise ValueError("edge_probabilities must have one entry per edge")
+        if np.any(edge_probabilities < 0) or not np.isclose(edge_probabilities.sum(), 1.0):
+            raise ValueError("edge_probabilities must be non-negative and sum to one")
+
+    rng = as_generator(seed)
+    loads = np.zeros(num_bins, dtype=np.int64)
+    picked_edges = rng.choice(edges.shape[0], size=num_balls, p=edge_probabilities)
+    tie_breaks = rng.random(num_balls) < 0.5
+    for i in range(num_balls):
+        u, v = edges[picked_edges[i]]
+        if loads[u] < loads[v]:
+            winner = u
+        elif loads[v] < loads[u]:
+            winner = v
+        else:
+            winner = u if tie_breaks[i] else v
+        loads[winner] += 1
+    return BallsBinsResult(loads=loads, num_balls=num_balls, num_choices=2)
+
+
+def random_regular_graph_edges(
+    num_vertices: int, degree: int, seed: SeedLike = None
+) -> IntArray:
+    """Edge list of a random (near-)``degree``-regular simple graph.
+
+    Uses :func:`networkx.random_regular_graph` when ``num_vertices * degree``
+    is even (a necessary condition for regularity); otherwise the degree is
+    bumped by one.  Intended for experiments on how the degree of the
+    allocation graph drives the maximum load (Theorem 5's dependence on Δ).
+    """
+    import networkx as nx
+
+    if num_vertices <= 0:
+        raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+    if degree <= 0 or degree >= num_vertices:
+        raise ValueError(f"degree must be in [1, num_vertices), got {degree}")
+    if (num_vertices * degree) % 2 == 1:
+        degree += 1
+    rng = as_generator(seed)
+    graph = nx.random_regular_graph(degree, num_vertices, seed=int(rng.integers(0, 2**31 - 1)))
+    edges = np.array(list(graph.edges()), dtype=np.int64)
+    return edges
+
+
+def grid_graph_edges(side: int, periodic: bool = True) -> IntArray:
+    """Edge list of the ``side x side`` grid (torus when ``periodic``).
+
+    Matches the node numbering of :class:`repro.topology.torus.Torus2D` /
+    :class:`repro.topology.grid.Grid2D` (node ``i`` at ``(i % side, i // side)``),
+    so allocations run on these edges are directly comparable to Example 4 of
+    the paper (two choices restricted to immediate neighbours).
+    """
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    edges: list[tuple[int, int]] = []
+    for y in range(side):
+        for x in range(side):
+            node = y * side + x
+            # Right neighbour.
+            if x + 1 < side:
+                edges.append((node, y * side + x + 1))
+            elif periodic and side > 2:
+                edges.append((node, y * side))
+            # Up neighbour.
+            if y + 1 < side:
+                edges.append((node, (y + 1) * side + x))
+            elif periodic and side > 2:
+                edges.append((node, x))
+    return np.array(sorted(set(tuple(sorted(e)) for e in edges)), dtype=np.int64)

@@ -1,0 +1,90 @@
+"""Asymptotic maximum-load predictions from the balanced-allocation literature.
+
+These closed forms are *leading-order* predictions used by the benchmark
+harness to annotate simulation results; they deliberately drop additive and
+multiplicative constants (the paper's statements are all Θ(·) results), so
+they should be compared to simulations through their growth shape — ratios
+across network sizes — rather than absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "one_choice_max_load_prediction",
+    "two_choice_max_load_prediction",
+    "d_choice_max_load_prediction",
+    "heavily_loaded_gap_prediction",
+    "graph_allocation_max_load_prediction",
+]
+
+
+def _check_n(n: int) -> int:
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return int(n)
+
+
+def one_choice_max_load_prediction(n: int, m: int | None = None) -> float:
+    """Maximum load of the one-choice process.
+
+    For ``m = n`` balls the classical result is ``log n / log log n`` to
+    leading order; for the heavily loaded case ``m >> n log n`` the load
+    concentrates around ``m/n + sqrt(2 (m/n) log n)``.
+    """
+    n = _check_n(n)
+    m = n if m is None else int(m)
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if m <= n * math.log(n):
+        return math.log(n) / math.log(math.log(n)) if n > 3 else float(m)
+    average = m / n
+    return average + math.sqrt(2.0 * average * math.log(n))
+
+
+def two_choice_max_load_prediction(n: int, m: int | None = None) -> float:
+    """Maximum load of the two-choice process: ``m/n + log log n / log 2``."""
+    return d_choice_max_load_prediction(n, 2, m)
+
+
+def d_choice_max_load_prediction(n: int, d: int, m: int | None = None) -> float:
+    """Azar et al.: ``log log n / log d + m/n`` to leading order (``d >= 2``)."""
+    n = _check_n(n)
+    if d < 2:
+        raise ValueError(f"d must be at least 2, got {d}")
+    m = n if m is None else int(m)
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    loglog = math.log(max(math.log(n), 1.0 + 1e-9))
+    return m / n + loglog / math.log(d)
+
+
+def heavily_loaded_gap_prediction(n: int) -> float:
+    """Berenbrink et al.: the two-choice gap ``max load − m/n`` is ``Θ(log log n)``.
+
+    Independent of ``m`` — the property quoted in the paper's introduction.
+    """
+    n = _check_n(n)
+    return math.log(max(math.log(n), 1.0 + 1e-9))
+
+
+def graph_allocation_max_load_prediction(n: int, degree: float) -> float:
+    """Kenthapadi–Panigrahi (Theorem 5): ``log log n + log n / log(Δ / log⁴ n)``.
+
+    Returns the sum of the two leading terms, capped by the one-choice-like
+    ``log n / log log n`` envelope (the bound the theorem improves upon); when
+    the degree is too small for the theorem to apply (``Δ <= log⁴ n``) the
+    envelope itself is returned.  The prediction is therefore non-increasing
+    in the degree, matching the qualitative message of the theorem.
+    """
+    n = _check_n(n)
+    if degree <= 0:
+        raise ValueError(f"degree must be positive, got {degree}")
+    log_n = math.log(n)
+    loglog_n = math.log(max(log_n, 1.0 + 1e-9))
+    envelope = log_n / loglog_n
+    threshold = log_n**4
+    if degree <= threshold:
+        return envelope
+    return min(envelope, loglog_n + log_n / math.log(degree / threshold))

@@ -1,0 +1,39 @@
+"""File library and popularity-distribution models.
+
+The cache network serves a library of ``K`` files whose request probabilities
+follow a popularity profile ``P``.  The paper analyses the Uniform profile and
+the Zipf profile with parameter ``gamma``; this subpackage provides both, an
+arbitrary empirical profile, and the generalized-harmonic-number asymptotics
+(equation (17) in the paper) that drive the Theorem 3 communication-cost
+regimes.
+"""
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import (
+    PopularityDistribution,
+    UniformPopularity,
+    ZipfPopularity,
+    CustomPopularity,
+    GeometricPopularity,
+    create_popularity,
+)
+from repro.catalog.zipf import (
+    generalized_harmonic,
+    generalized_harmonic_asymptotic,
+    zipf_pmf,
+    zipf_head_mass,
+)
+
+__all__ = [
+    "FileLibrary",
+    "PopularityDistribution",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "CustomPopularity",
+    "GeometricPopularity",
+    "create_popularity",
+    "generalized_harmonic",
+    "generalized_harmonic_asymptotic",
+    "zipf_pmf",
+    "zipf_head_mass",
+]

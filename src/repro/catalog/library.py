@@ -1,0 +1,134 @@
+"""The file library ``W = {W_1, ..., W_K}`` served by the cache network.
+
+In the paper every file has unit size and only its popularity matters, so the
+library is conceptually just the integer ``K`` plus the popularity profile.
+The :class:`FileLibrary` class still models the library explicitly (ids,
+optional human-readable names and sizes) because the example applications use
+heterogeneous catalogs, and because it provides the natural home for the
+popularity profile used both in placement and in request generation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.catalog.popularity import PopularityDistribution, UniformPopularity
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike
+from repro.types import FloatArray, IntArray
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FileLibrary"]
+
+
+class FileLibrary:
+    """A catalog of ``K`` files together with their popularity profile.
+
+    Parameters
+    ----------
+    num_files:
+        Library size ``K``.
+    popularity:
+        Popularity profile; defaults to the uniform profile over ``num_files``.
+    sizes:
+        Optional per-file sizes (arbitrary units).  The paper assumes unit
+        sizes; sizes only influence the byte-weighted communication cost
+        reported by the example applications, never the allocation itself.
+    names:
+        Optional human-readable file names (purely cosmetic).
+    """
+
+    def __init__(
+        self,
+        num_files: int,
+        popularity: PopularityDistribution | None = None,
+        sizes: Sequence[float] | np.ndarray | None = None,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        self._num_files = check_positive_int(num_files, "num_files")
+        if popularity is None:
+            popularity = UniformPopularity(self._num_files)
+        if popularity.num_files != self._num_files:
+            raise ConfigurationError(
+                f"popularity is over {popularity.num_files} files but the library has "
+                f"{self._num_files}"
+            )
+        self._popularity = popularity
+        if sizes is None:
+            self._sizes = np.ones(self._num_files, dtype=np.float64)
+        else:
+            arr = np.asarray(sizes, dtype=np.float64)
+            if arr.shape != (self._num_files,):
+                raise ConfigurationError(
+                    f"sizes must have shape ({self._num_files},), got {arr.shape}"
+                )
+            if np.any(arr <= 0) or np.any(~np.isfinite(arr)):
+                raise ConfigurationError("file sizes must be positive and finite")
+            self._sizes = arr.copy()
+        if names is not None:
+            names = list(names)
+            if len(names) != self._num_files:
+                raise ConfigurationError(
+                    f"names must have length {self._num_files}, got {len(names)}"
+                )
+            self._names: list[str] | None = [str(x) for x in names]
+        else:
+            self._names = None
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def num_files(self) -> int:
+        """Library size ``K``."""
+        return self._num_files
+
+    @property
+    def popularity(self) -> PopularityDistribution:
+        """Popularity profile ``P`` over the library."""
+        return self._popularity
+
+    @property
+    def sizes(self) -> FloatArray:
+        """Per-file sizes (unit sizes unless specified)."""
+        return self._sizes.copy()
+
+    def name_of(self, file_id: int) -> str:
+        """Human-readable name of a file (``"file-<id>"`` if none was given)."""
+        if not 0 <= int(file_id) < self._num_files:
+            raise ConfigurationError(f"file_id must be in [0, {self._num_files}), got {file_id}")
+        if self._names is None:
+            return f"file-{int(file_id)}"
+        return self._names[int(file_id)]
+
+    # --------------------------------------------------------------- sampling
+    def sample_files(self, size: int | tuple[int, ...], seed: SeedLike = None) -> IntArray:
+        """Draw file ids according to the popularity profile."""
+        return self._popularity.sample(size, seed)
+
+    def popularity_vector(self) -> FloatArray:
+        """Shortcut for ``popularity.pmf()``."""
+        return self._popularity.pmf()
+
+    def total_size(self) -> float:
+        """Sum of all file sizes."""
+        return float(self._sizes.sum())
+
+    def expected_request_size(self) -> float:
+        """Expected size of a requested file under the popularity profile."""
+        return float(np.dot(self._sizes, self._popularity.pmf()))
+
+    # --------------------------------------------------------------- plumbing
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable description of the library."""
+        return {
+            "num_files": self._num_files,
+            "popularity": self._popularity.as_dict(),
+            "unit_sizes": bool(np.all(self._sizes == 1.0)),
+        }
+
+    def __len__(self) -> int:
+        return self._num_files
+
+    def __repr__(self) -> str:
+        return f"FileLibrary(K={self._num_files}, popularity={self._popularity.name})"

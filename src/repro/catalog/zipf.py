@@ -1,0 +1,82 @@
+"""Zipf-law utilities: generalized harmonic numbers and their asymptotics.
+
+The paper's Theorem 3 expresses the nearest-replica communication cost under a
+Zipf popularity profile in terms of the generalized harmonic number
+``Λ(γ) = Σ_{j=1..K} j^{-γ}`` and its growth regimes (equation (17)):
+
+* ``Λ(γ) = Θ(K^{1-γ})``   for ``0 < γ < 1``,
+* ``Λ(γ) = Θ(log K)``     for ``γ = 1``,
+* ``Λ(γ) = Θ(1)``         for ``γ > 1``.
+
+These helpers give both the exact finite-``K`` values (used to build the Zipf
+probability vector) and the leading-order asymptotic approximations (used by
+the theory module to predict the five communication-cost regimes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+__all__ = [
+    "generalized_harmonic",
+    "generalized_harmonic_asymptotic",
+    "zipf_pmf",
+    "zipf_head_mass",
+]
+
+
+def generalized_harmonic(K: int, gamma: float) -> float:
+    """Exact generalized harmonic number ``Λ(γ) = Σ_{j=1..K} j^{-γ}``."""
+    if K <= 0:
+        raise ValueError(f"K must be positive, got {K}")
+    ranks = np.arange(1, K + 1, dtype=np.float64)
+    return float(np.sum(ranks**-float(gamma)))
+
+
+def generalized_harmonic_asymptotic(K: int, gamma: float) -> float:
+    """Leading-order approximation of ``Λ(γ)`` for large ``K``.
+
+    Matches equation (17) of the paper: ``Θ(K^{1-γ})`` for ``γ < 1``,
+    ``Θ(log K)`` at ``γ = 1`` and ``Θ(1)`` (the Riemann zeta value) for
+    ``γ > 1``.  The constant factors chosen here are the standard
+    integral-approximation constants, so the ratio to the exact value tends to
+    one as ``K`` grows.
+    """
+    if K <= 0:
+        raise ValueError(f"K must be positive, got {K}")
+    gamma = float(gamma)
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    if abs(gamma - 1.0) < 1e-12:
+        return float(np.log(K) + np.euler_gamma)
+    if gamma < 1.0:
+        return float(K ** (1.0 - gamma) / (1.0 - gamma))
+    # gamma > 1: converges to zeta(gamma).
+    from scipy.special import zeta
+
+    return float(zeta(gamma))
+
+
+def zipf_pmf(K: int, gamma: float) -> FloatArray:
+    """Probability vector ``p_i = i^{-γ} / Λ(γ)`` for ranks ``i = 1..K``."""
+    if K <= 0:
+        raise ValueError(f"K must be positive, got {K}")
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    ranks = np.arange(1, K + 1, dtype=np.float64)
+    weights = ranks**-float(gamma)
+    return weights / weights.sum()
+
+
+def zipf_head_mass(K: int, gamma: float, head: int) -> float:
+    """Total probability mass carried by the ``head`` most popular files.
+
+    A convenient skewness diagnostic: under Uniform popularity the head mass
+    is ``head / K``, while for ``γ > 1`` it approaches one for small heads.
+    """
+    if head <= 0:
+        raise ValueError(f"head must be positive, got {head}")
+    pmf = zipf_pmf(K, gamma)
+    return float(pmf[: min(head, K)].sum())

@@ -1,0 +1,220 @@
+"""Command-line interface for the reproduction package.
+
+Three subcommands cover the common workflows without writing Python:
+
+``repro simulate``
+    Run one simulation point (given ``n``, ``K``, ``M``, strategy, radius, …)
+    for a number of trials and print the measured metrics next to the paper's
+    predictions.
+
+``repro figures``
+    Regenerate one or more of the paper's figures (scaled-down sweeps by
+    default) and write JSON/CSV/text artifacts.
+
+``repro tables``
+    Produce the theorem-check tables (TAB-T1, TAB-T3, TAB-T4, TAB-H, TAB-BB of
+    DESIGN.md).
+
+The CLI is also installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.figures import all_figure_specs
+from repro.experiments.io import result_to_csv, save_experiment_result
+from repro.experiments.report import render_comparison_table, render_experiment
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import (
+    ballsbins_table,
+    goodness_table,
+    theorem1_table,
+    theorem3_table,
+    theorem4_table,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.multirun import run_trials
+from repro.simulation.parallel import run_trials_parallel
+from repro.theory.predictions import predict
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Proximity-Aware Balanced Allocations in Cache Networks'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run one simulation point")
+    simulate.add_argument("--nodes", type=int, required=True, help="number of servers n")
+    simulate.add_argument("--files", type=int, required=True, help="library size K")
+    simulate.add_argument("--cache", type=int, required=True, help="cache slots per server M")
+    simulate.add_argument(
+        "--strategy",
+        default="proximity_two_choice",
+        help="assignment strategy name or alias (default: proximity_two_choice)",
+    )
+    simulate.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="proximity radius r for Strategy II (default: unconstrained)",
+    )
+    simulate.add_argument("--choices", type=int, default=2, help="number of choices d")
+    simulate.add_argument("--topology", default="torus", help="topology name (default: torus)")
+    simulate.add_argument(
+        "--popularity", default="uniform", help="popularity family (uniform or zipf)"
+    )
+    simulate.add_argument("--gamma", type=float, default=None, help="Zipf exponent")
+    simulate.add_argument("--trials", type=int, default=10, help="number of trials")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.add_argument("--parallel", action="store_true", help="run trials in parallel")
+
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "--figures",
+        nargs="+",
+        type=int,
+        default=[1, 2, 3, 4, 5],
+        choices=[1, 2, 3, 4, 5],
+        help="which figures to regenerate (default: all)",
+    )
+    figures.add_argument("--trials", type=int, default=None, help="trials per sweep point")
+    figures.add_argument("--seed", type=int, default=2017, help="random seed")
+    figures.add_argument("--parallel", action="store_true", help="run trials in parallel")
+    figures.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("reproduction_results"),
+        help="directory for JSON/CSV/text artifacts",
+    )
+    figures.add_argument("--no-plot", action="store_true", help="omit the ASCII plots")
+
+    tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
+    tables.add_argument(
+        "--tables",
+        nargs="+",
+        default=["t1", "t3", "t4", "h", "bb"],
+        choices=["t1", "t3", "t4", "h", "bb"],
+        help="which tables to produce (default: all)",
+    )
+    tables.add_argument("--trials", type=int, default=3, help="trials per table entry")
+    tables.add_argument("--seed", type=int, default=0, help="random seed")
+
+    return parser
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    strategy_params: dict[str, object] = {}
+    if args.strategy not in ("nearest_replica", "strategy_i", "nearest"):
+        strategy_params = {"radius": args.radius, "num_choices": args.choices}
+    popularity_params: dict[str, object] = {}
+    if args.popularity == "zipf":
+        if args.gamma is None:
+            print("error: --gamma is required with --popularity zipf", file=sys.stderr)
+            return 2
+        popularity_params = {"gamma": args.gamma}
+    config = SimulationConfig(
+        num_nodes=args.nodes,
+        num_files=args.files,
+        cache_size=args.cache,
+        topology=args.topology,
+        popularity=args.popularity,
+        popularity_params=popularity_params,
+        strategy=args.strategy,
+        strategy_params=strategy_params,
+    )
+    runner = run_trials_parallel if args.parallel else run_trials
+    result = runner(config, args.trials, seed=args.seed)
+    prediction = predict(config)
+    rows = [
+        {
+            "metric": "maximum load L",
+            "measured (mean over trials)": result.mean_max_load,
+            "paper prediction (leading order)": prediction.max_load_order,
+        },
+        {
+            "metric": "communication cost C (hops)",
+            "measured (mean over trials)": result.mean_communication_cost,
+            "paper prediction (leading order)": prediction.comm_cost_order,
+        },
+        {
+            "metric": "fallback rate",
+            "measured (mean over trials)": result.mean_fallback_rate,
+            "paper prediction (leading order)": 0.0,
+        },
+    ]
+    print(render_comparison_table(rows, title=config.describe()))
+    print(f"\n{prediction.notes}")
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    specs = all_figure_specs(trials=args.trials)
+    wanted = {f"FIG{number}" for number in args.figures}
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    for key, spec in specs.items():
+        if key not in wanted:
+            continue
+        result = run_experiment(spec, seed=args.seed, parallel=args.parallel)
+        report = render_experiment(result, plot=not args.no_plot)
+        print(report)
+        print()
+        save_experiment_result(result, args.output_dir / f"{key.lower()}.json")
+        result_to_csv(result, args.output_dir / f"{key.lower()}.csv")
+        (args.output_dir / f"{key.lower()}.txt").write_text(report)
+    print(f"artifacts written to {args.output_dir.resolve()}")
+    return 0
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    producers = {
+        "t1": ("TAB-T1: Strategy I max load vs log n", lambda: theorem1_table(trials=args.trials, seed=args.seed)),
+        "t3": (
+            "TAB-T3: Strategy I communication cost vs Theorem 3",
+            lambda: theorem3_table(trials=args.trials, seed=args.seed),
+        ),
+        "t4": (
+            "TAB-T4: Strategy II regimes (K = n)",
+            lambda: theorem4_table(trials=args.trials, seed=args.seed),
+        ),
+        "h": (
+            "TAB-H: goodness and configuration graph H",
+            lambda: goodness_table(seed=args.seed),
+        ),
+        "bb": (
+            "TAB-BB: balls-into-bins reference processes",
+            lambda: ballsbins_table(trials=args.trials, seed=args.seed),
+        ),
+    }
+    for key in args.tables:
+        title, producer = producers[key]
+        rows = producer()
+        print(render_comparison_table(rows, title=title))
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "figures":
+        return _command_figures(args)
+    if args.command == "tables":
+        return _command_tables(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Minimal ASCII line/scatter plots for terminal reports.
+
+The offline environment has no plotting backend, so experiment reports render
+each figure as a character grid: one marker per series, linear axes, with the
+axis ranges annotated.  The goal is a quick qualitative look (monotonicity,
+crossings, saturation), not publication graphics — the JSON/CSV exports exist
+for proper plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 70,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to a pair of equal-length x and y sequences.
+    width, height:
+        Plot area size in characters (axes and legend are added around it).
+    x_label, y_label, title:
+        Annotations.
+
+    Returns
+    -------
+    str
+        A multi-line string ready to print.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 10 or height < 5:
+        raise ValueError("width must be >= 10 and height >= 5")
+
+    all_x: list[float] = []
+    all_y: list[float] = []
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(f"series {label!r} must provide equal-length 1-D x and y")
+        if x.size == 0:
+            continue
+        cleaned[label] = (x, y)
+        all_x.extend(x.tolist())
+        all_y.extend(y.tolist())
+    if not cleaned:
+        raise ValueError("all series are empty")
+
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, (x, y)) in enumerate(cleaned.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        cols = np.clip(((x - x_min) / x_span * (width - 1)).round().astype(int), 0, width - 1)
+        rows = np.clip(((y - y_min) / y_span * (height - 1)).round().astype(int), 0, height - 1)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_max:.3g}, bottom={y_min:.3g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(cleaned)
+    )
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)

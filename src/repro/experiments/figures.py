@@ -1,0 +1,289 @@
+"""Specifications of the paper's five evaluation figures.
+
+Each ``figureN_spec`` factory returns an
+:class:`~repro.experiments.spec.ExperimentSpec` describing the corresponding
+figure.  Called without arguments it produces a *scaled-down* sweep (smaller
+networks and far fewer Monte-Carlo trials) that runs in seconds to minutes on
+a laptop while preserving the qualitative shape of the paper's curves; the
+paper-scale parameters are recorded in the spec description and can be
+requested explicitly through the keyword arguments.
+
+Paper setups (Section V):
+
+* **Figure 1** — Strategy I maximum load vs number of servers.  Torus,
+  ``K = 100`` files, Uniform popularity, cache sizes ``{1, 2, 10, 100}``,
+  ``n ≈ 100 … 3000``, 10 000 runs per point.
+* **Figure 2** — Strategy I communication cost vs cache size.  Torus of 2025
+  servers, library sizes ``{100, 1000, 2000}``, 10 000 runs per point.
+* **Figure 3** — Strategy II maximum load vs number of servers, ``r = ∞``.
+  ``K = 2000``, cache sizes ``{1, 2, 10, 100}``, ``n`` up to ``1.2·10⁵``,
+  800 runs per point.
+* **Figure 4** — Strategy II communication cost vs number of servers,
+  ``r = ∞`` (same sweep as Figure 3).
+* **Figure 5** — Strategy II maximum load vs communication cost trade-off,
+  obtained by varying the proximity radius ``r``.  Torus of 2025 servers,
+  ``K = 500``, cache sizes ``{1, 2, 5, 10, 20, 50, 200}``, 5 000 runs per
+  point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.spec import ExperimentSpec, SeriesSpec, SweepPoint
+from repro.simulation.config import SimulationConfig
+
+__all__ = [
+    "figure1_spec",
+    "figure2_spec",
+    "figure3_spec",
+    "figure4_spec",
+    "figure5_spec",
+    "all_figure_specs",
+    "PAPER_FIGURE1_SIZES",
+    "PAPER_FIGURE3_SIZES",
+]
+
+#: Perfect-square server counts close to the paper's Figure 1 sweep.
+PAPER_FIGURE1_SIZES: tuple[int, ...] = (100, 225, 400, 625, 900, 1225, 1600, 2025, 2500, 3025)
+
+#: Perfect-square server counts close to the paper's Figure 3/4 sweep.
+PAPER_FIGURE3_SIZES: tuple[int, ...] = (
+    2500,
+    10000,
+    22500,
+    40000,
+    62500,
+    90000,
+    122500,
+)
+
+_DEFAULT_FIGURE1_SIZES: tuple[int, ...] = (100, 225, 400, 625, 900, 1600, 2025)
+_DEFAULT_FIGURE3_SIZES: tuple[int, ...] = (400, 900, 2500, 4900, 10000, 16900)
+_DEFAULT_FIGURE5_RADII: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 22)
+
+
+def figure1_spec(
+    sizes: Sequence[int] = _DEFAULT_FIGURE1_SIZES,
+    cache_sizes: Sequence[int] = (1, 2, 10, 100),
+    num_files: int = 100,
+    trials: int = 10,
+) -> ExperimentSpec:
+    """Figure 1: Strategy I maximum load vs number of servers."""
+    series = []
+    for m in cache_sizes:
+        points = [
+            SweepPoint(
+                x=float(n),
+                config=SimulationConfig(
+                    num_nodes=int(n),
+                    num_files=int(num_files),
+                    cache_size=int(m),
+                    topology="torus",
+                    popularity="uniform",
+                    placement="proportional",
+                    strategy="nearest_replica",
+                ),
+            )
+            for n in sizes
+        ]
+        series.append(SeriesSpec(label=f"Cache size = {m}", points=tuple(points)))
+    return ExperimentSpec(
+        experiment_id="FIG1",
+        title="Maximum load vs number of servers (Strategy I)",
+        x_label="# of servers",
+        y_label="maximum load",
+        y_metric="max_load",
+        series=tuple(series),
+        trials=trials,
+        paper_trials=10000,
+        description=(
+            "Paper setup: torus, K=100 files, Uniform popularity, cache sizes 1/2/10/100, "
+            f"n from 100 to ~3000, 10000 runs per point. This spec sweeps n over {tuple(sizes)} "
+            f"with {trials} trials per point."
+        ),
+    )
+
+
+def figure2_spec(
+    cache_sizes: Sequence[int] = (1, 2, 5, 10, 20, 40, 70, 100),
+    library_sizes: Sequence[int] = (100, 1000, 2000),
+    num_nodes: int = 2025,
+    trials: int = 5,
+) -> ExperimentSpec:
+    """Figure 2: Strategy I communication cost vs cache size."""
+    series = []
+    for K in library_sizes:
+        points = [
+            SweepPoint(
+                x=float(m),
+                config=SimulationConfig(
+                    num_nodes=int(num_nodes),
+                    num_files=int(K),
+                    cache_size=int(m),
+                    topology="torus",
+                    popularity="uniform",
+                    placement="proportional",
+                    strategy="nearest_replica",
+                ),
+            )
+            for m in cache_sizes
+        ]
+        series.append(SeriesSpec(label=f"Library size = {K}", points=tuple(points)))
+    return ExperimentSpec(
+        experiment_id="FIG2",
+        title="Communication cost vs cache size (Strategy I)",
+        x_label="Cache size (# of files)",
+        y_label="average cost (# of hops)",
+        y_metric="communication_cost",
+        series=tuple(series),
+        trials=trials,
+        paper_trials=10000,
+        description=(
+            f"Paper setup: torus of 2025 servers, library sizes 100/1000/2000, cache size 1..100, "
+            f"10000 runs per point. This spec uses n={num_nodes}, cache sizes {tuple(cache_sizes)} "
+            f"and {trials} trials per point."
+        ),
+    )
+
+
+def _strategy2_sweep(
+    sizes: Sequence[int],
+    cache_sizes: Sequence[int],
+    num_files: int,
+) -> list[SeriesSpec]:
+    series = []
+    for m in cache_sizes:
+        points = [
+            SweepPoint(
+                x=float(n),
+                config=SimulationConfig(
+                    num_nodes=int(n),
+                    num_files=int(num_files),
+                    cache_size=int(m),
+                    topology="torus",
+                    popularity="uniform",
+                    placement="proportional",
+                    strategy="proximity_two_choice",
+                    strategy_params={"radius": None, "num_choices": 2},
+                ),
+            )
+            for n in sizes
+        ]
+        series.append(SeriesSpec(label=f"Cache size = {m}", points=tuple(points)))
+    return series
+
+
+def figure3_spec(
+    sizes: Sequence[int] = _DEFAULT_FIGURE3_SIZES,
+    cache_sizes: Sequence[int] = (1, 2, 10, 100),
+    num_files: int = 2000,
+    trials: int = 3,
+) -> ExperimentSpec:
+    """Figure 3: Strategy II maximum load vs number of servers (``r = ∞``)."""
+    return ExperimentSpec(
+        experiment_id="FIG3",
+        title="Maximum load vs number of servers (Strategy II, r = inf)",
+        x_label="# of servers",
+        y_label="maximum load",
+        y_metric="max_load",
+        series=tuple(_strategy2_sweep(sizes, cache_sizes, num_files)),
+        trials=trials,
+        paper_trials=800,
+        description=(
+            "Paper setup: torus, K=2000 files, Uniform popularity, cache sizes 1/2/10/100, "
+            "n up to 120000, r=inf, 800 runs per point. This spec sweeps n over "
+            f"{tuple(sizes)} with {trials} trials per point; the paper-scale sweep is "
+            "available as PAPER_FIGURE3_SIZES."
+        ),
+    )
+
+
+def figure4_spec(
+    sizes: Sequence[int] = _DEFAULT_FIGURE3_SIZES,
+    cache_sizes: Sequence[int] = (1, 2, 10, 100),
+    num_files: int = 2000,
+    trials: int = 3,
+) -> ExperimentSpec:
+    """Figure 4: Strategy II communication cost vs number of servers (``r = ∞``)."""
+    return ExperimentSpec(
+        experiment_id="FIG4",
+        title="Communication cost vs number of servers (Strategy II, r = inf)",
+        x_label="# of servers",
+        y_label="average cost (# of hops)",
+        y_metric="communication_cost",
+        series=tuple(_strategy2_sweep(sizes, cache_sizes, num_files)),
+        trials=trials,
+        paper_trials=800,
+        description=(
+            "Same sweep as Figure 3; with no proximity constraint the cost grows as "
+            "Theta(sqrt(n))."
+        ),
+    )
+
+
+def figure5_spec(
+    radii: Sequence[int] = _DEFAULT_FIGURE5_RADII,
+    cache_sizes: Sequence[int] = (1, 2, 5, 10, 20, 50, 200),
+    num_nodes: int = 2025,
+    num_files: int = 500,
+    trials: int = 5,
+) -> ExperimentSpec:
+    """Figure 5: Strategy II maximum load vs communication cost (varying ``r``).
+
+    The sweep variable is the proximity radius ``r``; the figure itself plots
+    the measured communication cost on the x axis against the measured
+    maximum load on the y axis (a parametric curve in ``r``), which the report
+    module reconstructs from the per-point results.
+    """
+    series = []
+    for m in cache_sizes:
+        points = [
+            SweepPoint(
+                x=float(r),
+                config=SimulationConfig(
+                    num_nodes=int(num_nodes),
+                    num_files=int(num_files),
+                    cache_size=int(m),
+                    topology="torus",
+                    popularity="uniform",
+                    placement="proportional",
+                    strategy="proximity_two_choice",
+                    strategy_params={"radius": int(r), "num_choices": 2},
+                ),
+            )
+            for r in radii
+        ]
+        series.append(SeriesSpec(label=f"Cache size = {m}", points=tuple(points)))
+    return ExperimentSpec(
+        experiment_id="FIG5",
+        title="Maximum load vs communication cost trade-off (Strategy II)",
+        x_label="average cost (# of hops)",
+        y_label="maximum load",
+        y_metric="max_load",
+        series=tuple(series),
+        trials=trials,
+        paper_trials=5000,
+        description=(
+            "Paper setup: torus of 2025 servers, K=500 files, Uniform popularity, cache sizes "
+            "1/2/5/10/20/50/200, radius swept to trace the trade-off, 5000 runs per point. "
+            f"This spec sweeps r over {tuple(radii)} with {trials} trials per point. "
+            "The sweep x-value is the radius; plot measured communication cost against "
+            "measured maximum load to recover the paper's parametric curves."
+        ),
+        extra={"parametric": True},
+    )
+
+
+def all_figure_specs(trials: int | None = None) -> dict[str, ExperimentSpec]:
+    """All five figure specs keyed by experiment id (optionally rescaled)."""
+    specs = {
+        "FIG1": figure1_spec(),
+        "FIG2": figure2_spec(),
+        "FIG3": figure3_spec(),
+        "FIG4": figure4_spec(),
+        "FIG5": figure5_spec(),
+    }
+    if trials is not None:
+        specs = {key: spec.scaled(trials) for key, spec in specs.items()}
+    return specs

@@ -1,0 +1,69 @@
+"""Persistence of experiment results (JSON round-trip, CSV export)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["save_experiment_result", "load_experiment_result", "result_to_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_experiment_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment result to a JSON file; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"format_version": _FORMAT_VERSION, "result": result.as_dict()}
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_experiment_result(path: str | Path) -> ExperimentResult:
+    """Load an experiment result previously written with :func:`save_experiment_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"result file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"result file {path} is not valid JSON: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported result format version {payload.get('format_version')!r}"
+        )
+    return ExperimentResult.from_dict(payload["result"])
+
+
+def result_to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Export an experiment result to a flat CSV file (one row per sweep point)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = [
+        "experiment_id",
+        "series",
+        "x",
+        "max_load_mean",
+        "max_load_ci_low",
+        "max_load_ci_high",
+        "comm_cost_mean",
+        "comm_cost_ci_low",
+        "comm_cost_ci_high",
+        "fallback_rate",
+        "predicted_max_load",
+        "predicted_comm_cost",
+        "num_trials",
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for series in result.series:
+            for point in series.points:
+                row = {"experiment_id": result.experiment_id, "series": series.label}
+                row.update(point.as_dict())
+                writer.writerow(row)
+    return path

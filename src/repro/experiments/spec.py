@@ -1,0 +1,172 @@
+"""Experiment specifications: declarative sweeps over simulation configurations.
+
+A figure in the paper is a family of curves ("series"), each curve a sweep of
+one x-axis parameter with everything else fixed.  An
+:class:`ExperimentSpec` captures exactly that: a list of
+:class:`SeriesSpec` objects, each holding a label and a list of
+:class:`SweepPoint` objects (x-value plus the full simulation configuration),
+together with the number of Monte-Carlo trials per point.
+
+Specs carry *two* trial counts: ``trials`` (the scaled-down default used by
+the benchmark suite) and ``paper_trials`` (the count reported in the paper),
+so the same spec documents both the quick reproduction and the full-fidelity
+rerun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ExperimentError
+from repro.simulation.config import SimulationConfig
+
+__all__ = ["SweepPoint", "SeriesSpec", "ExperimentSpec"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a series: an x-value and the configuration to run."""
+
+    x: float
+    config: SimulationConfig
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"x": self.x, "config": self.config.as_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPoint":
+        """Inverse of :meth:`as_dict`."""
+        return cls(x=float(data["x"]), config=SimulationConfig.from_dict(data["config"]))
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One curve of a figure: a label plus its sweep points."""
+
+    label: str
+    points: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ExperimentError("series label must be non-empty")
+        if not self.points:
+            raise ExperimentError(f"series {self.label!r} has no sweep points")
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"label": self.label, "points": [p.as_dict() for p in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SeriesSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            label=str(data["label"]),
+            points=tuple(SweepPoint.from_dict(p) for p in data["points"]),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full experiment: all series of one figure (or table) of the paper.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier used in DESIGN.md / EXPERIMENTS.md, e.g. ``"FIG1"``.
+    title:
+        Human-readable title.
+    x_label, y_label:
+        Axis labels (``y_metric`` selects which measured quantity is the y).
+    y_metric:
+        ``"max_load"`` or ``"communication_cost"`` — the metric plotted on the
+        y axis; the runner always records both.
+    series:
+        The curves of the figure.
+    trials:
+        Monte-Carlo trials per point used by default (scaled-down).
+    paper_trials:
+        Trials per point used by the paper (documentation only).
+    description:
+        Free-text description of the paper setup and any scaling applied.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    y_metric: str
+    series: tuple[SeriesSpec, ...]
+    trials: int = 10
+    paper_trials: int = 10000
+    description: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ExperimentError("experiment_id must be non-empty")
+        if self.y_metric not in ("max_load", "communication_cost"):
+            raise ExperimentError(
+                f"y_metric must be 'max_load' or 'communication_cost', got {self.y_metric!r}"
+            )
+        if not self.series:
+            raise ExperimentError(f"experiment {self.experiment_id!r} has no series")
+        if self.trials <= 0:
+            raise ExperimentError(f"trials must be positive, got {self.trials}")
+        object.__setattr__(self, "series", tuple(self.series))
+        object.__setattr__(self, "extra", dict(self.extra))
+
+    @property
+    def num_points(self) -> int:
+        """Total number of simulation points across all series."""
+        return sum(len(s.points) for s in self.series)
+
+    def scaled(self, trials: int) -> "ExperimentSpec":
+        """Return a copy of the spec with a different per-point trial count."""
+        if trials <= 0:
+            raise ExperimentError(f"trials must be positive, got {trials}")
+        return ExperimentSpec(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            y_metric=self.y_metric,
+            series=self.series,
+            trials=trials,
+            paper_trials=self.paper_trials,
+            description=self.description,
+            extra=dict(self.extra),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "y_metric": self.y_metric,
+            "series": [s.as_dict() for s in self.series],
+            "trials": self.trials,
+            "paper_trials": self.paper_trials,
+            "description": self.description,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            x_label=str(data["x_label"]),
+            y_label=str(data["y_label"]),
+            y_metric=str(data["y_metric"]),
+            series=tuple(SeriesSpec.from_dict(s) for s in data["series"]),
+            trials=int(data.get("trials", 10)),
+            paper_trials=int(data.get("paper_trials", 10000)),
+            description=str(data.get("description", "")),
+            extra=dict(data.get("extra", {})),
+        )

@@ -1,0 +1,121 @@
+"""Generic parameter-sweep builders.
+
+The figure factories in :mod:`repro.experiments.figures` hard-code the paper's
+sweeps; this module provides the generic machinery for building *custom*
+experiments from a base configuration: one parameter varied along the x axis,
+optionally another defining the series (one curve per value), everything else
+inherited from the base configuration.
+
+Dotted parameter names address nested configuration dictionaries, e.g.
+``"strategy_params.radius"`` or ``"popularity_params.gamma"``; plain names
+address the top-level fields of :class:`~repro.simulation.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import ExperimentSpec, SeriesSpec, SweepPoint
+from repro.simulation.config import SimulationConfig
+
+__all__ = ["set_parameter", "build_sweep", "build_grid_experiment"]
+
+
+def set_parameter(config: SimulationConfig, name: str, value: Any) -> SimulationConfig:
+    """Return a copy of ``config`` with parameter ``name`` set to ``value``.
+
+    ``name`` is either a top-level field of :class:`SimulationConfig` (e.g.
+    ``"num_nodes"``) or a dotted path into one of its parameter dictionaries
+    (e.g. ``"strategy_params.radius"``).
+    """
+    if "." in name:
+        container_name, key = name.split(".", 1)
+        if "." in key:
+            raise ExperimentError(f"parameter path {name!r} has more than two components")
+        current = getattr(config, container_name, None)
+        if not isinstance(current, dict):
+            raise ExperimentError(
+                f"{container_name!r} is not a parameter dictionary of SimulationConfig"
+            )
+        updated = dict(current)
+        updated[key] = value
+        return config.replace(**{container_name: updated})
+    if not hasattr(config, name):
+        raise ExperimentError(f"unknown SimulationConfig field {name!r}")
+    return config.replace(**{name: value})
+
+
+def build_sweep(
+    base: SimulationConfig,
+    x_parameter: str,
+    x_values: Sequence[Any],
+    *,
+    label: str = "sweep",
+) -> SeriesSpec:
+    """Build one series by sweeping ``x_parameter`` over ``x_values``."""
+    if not x_values:
+        raise ExperimentError("x_values must be non-empty")
+    points = []
+    for value in x_values:
+        config = set_parameter(base, x_parameter, value)
+        points.append(SweepPoint(x=float(value), config=config))
+    return SeriesSpec(label=label, points=tuple(points))
+
+
+def build_grid_experiment(
+    base: SimulationConfig,
+    *,
+    experiment_id: str,
+    title: str,
+    x_parameter: str,
+    x_values: Sequence[Any],
+    series_parameter: str | None = None,
+    series_values: Sequence[Any] | None = None,
+    y_metric: str = "max_load",
+    trials: int = 5,
+    x_label: str | None = None,
+    y_label: str | None = None,
+    description: str = "",
+) -> ExperimentSpec:
+    """Build a full experiment: an x-axis sweep repeated for each series value.
+
+    Parameters
+    ----------
+    base:
+        The configuration every sweep point starts from.
+    x_parameter, x_values:
+        The swept parameter (x axis) and its values.
+    series_parameter, series_values:
+        Optional second parameter defining one curve per value; when omitted a
+        single unlabelled series is produced.
+    y_metric:
+        ``"max_load"`` or ``"communication_cost"``.
+    trials:
+        Monte-Carlo trials per sweep point.
+    """
+    if (series_parameter is None) != (series_values is None):
+        raise ExperimentError("series_parameter and series_values must be given together")
+    series_specs: list[SeriesSpec] = []
+    if series_parameter is None:
+        series_specs.append(build_sweep(base, x_parameter, x_values, label=x_parameter))
+    else:
+        if not series_values:
+            raise ExperimentError("series_values must be non-empty")
+        for value in series_values:
+            config = set_parameter(base, series_parameter, value)
+            series_specs.append(
+                build_sweep(
+                    config, x_parameter, x_values, label=f"{series_parameter} = {value}"
+                )
+            )
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label or x_parameter,
+        y_label=y_label or y_metric,
+        y_metric=y_metric,
+        series=tuple(series_specs),
+        trials=trials,
+        description=description,
+    )

@@ -1,0 +1,270 @@
+"""Theory-versus-simulation comparison tables (the theorem checks of DESIGN.md).
+
+The paper's evaluation section contains figures only; its analytical section
+contains the theorems.  The functions here produce tables that check each
+theorem's *scaling claim* against simulation:
+
+* :func:`theorem1_table` — Strategy I maximum load grows like ``log n``
+  (Theorems 1 and 2): the table reports the measured load, the ``log n``
+  reference and their ratio, which should stay roughly constant across ``n``.
+* :func:`theorem3_table` — Strategy I communication cost across cache sizes
+  and Zipf exponents versus the Theorem 3 regime formulas.
+* :func:`theorem4_table` — Strategy II maximum load inside versus outside the
+  ``α + 2β`` regime, and against the ``log log n`` reference.
+* :func:`goodness_table` — Lemma 2 / Lemma 3 checks: placement goodness and
+  configuration-graph near-regularity across cache sizes and radii.
+* :func:`ballsbins_table` — the classical one-choice versus two-choice gap
+  and the graph-allocation process (Theorem 5) on regular graphs of varying
+  degree.
+
+Every function returns a list of row dictionaries; use
+:func:`repro.experiments.report.render_comparison_table` to print them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.configuration_graph import build_configuration_graph
+from repro.analysis.regimes import classify_regime, theorem4_condition_holds
+from repro.ballsbins.graph_allocation import graph_edge_allocation, random_regular_graph_edges
+from repro.ballsbins.standard import d_choice_allocation, one_choice_allocation
+from repro.ballsbins.theory import (
+    d_choice_max_load_prediction,
+    graph_allocation_max_load_prediction,
+    one_choice_max_load_prediction,
+)
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import UniformPopularity
+from repro.placement.goodness import check_goodness
+from repro.placement.proportional import ProportionalPlacement
+from repro.rng import SeedLike, spawn_generators, spawn_seeds
+from repro.simulation.config import SimulationConfig
+from repro.simulation.multirun import run_trials
+from repro.theory.comm_cost import (
+    strategy1_comm_cost_uniform,
+    strategy1_comm_cost_zipf,
+    zipf_cost_regime,
+)
+from repro.topology.torus import Torus2D
+
+__all__ = [
+    "theorem1_table",
+    "theorem3_table",
+    "theorem4_table",
+    "goodness_table",
+    "ballsbins_table",
+]
+
+
+def theorem1_table(
+    sizes: Sequence[int] = (100, 400, 900, 1600, 2500),
+    num_files: int = 100,
+    cache_size: int = 2,
+    trials: int = 10,
+    seed: SeedLike = 0,
+) -> list[dict[str, object]]:
+    """Strategy I maximum load versus the ``log n`` growth of Theorems 1 and 2."""
+    rows: list[dict[str, object]] = []
+    seeds = spawn_seeds(seed, len(sizes))
+    for n, child in zip(sizes, seeds):
+        config = SimulationConfig(
+            num_nodes=int(n),
+            num_files=int(num_files),
+            cache_size=int(cache_size),
+            strategy="nearest_replica",
+        )
+        result = run_trials(config, trials, child)
+        log_n = math.log(n)
+        rows.append(
+            {
+                "n": int(n),
+                "K": int(num_files),
+                "M": int(cache_size),
+                "measured_max_load": result.mean_max_load,
+                "log_n": log_n,
+                "ratio_L_over_log_n": result.mean_max_load / log_n,
+            }
+        )
+    return rows
+
+
+def theorem3_table(
+    num_files: int = 1000,
+    cache_sizes: Sequence[int] = (1, 4, 16, 64),
+    gammas: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5),
+    num_nodes: int = 1024,
+    trials: int = 3,
+    seed: SeedLike = 0,
+) -> list[dict[str, object]]:
+    """Strategy I communication cost versus Theorem 3's Uniform/Zipf formulas.
+
+    ``gamma = 0`` rows use the Uniform prediction ``√(K/M)``; positive gammas
+    use the corresponding Zipf regime formula.  The interesting column is
+    ``ratio`` (measured / predicted), which should vary slowly within a regime.
+    """
+    rows: list[dict[str, object]] = []
+    combos = [(m, g) for m in cache_sizes for g in gammas]
+    seeds = spawn_seeds(seed, len(combos))
+    for (m, gamma), child in zip(combos, seeds):
+        if gamma == 0.0:
+            config = SimulationConfig(
+                num_nodes=num_nodes,
+                num_files=num_files,
+                cache_size=int(m),
+                popularity="uniform",
+                strategy="nearest_replica",
+            )
+            predicted = strategy1_comm_cost_uniform(num_files, int(m))
+            regime = "uniform"
+        else:
+            config = SimulationConfig(
+                num_nodes=num_nodes,
+                num_files=num_files,
+                cache_size=int(m),
+                popularity="zipf",
+                popularity_params={"gamma": float(gamma)},
+                strategy="nearest_replica",
+            )
+            predicted = strategy1_comm_cost_zipf(num_files, int(m), float(gamma))
+            regime = zipf_cost_regime(float(gamma))
+        result = run_trials(config, trials, child)
+        rows.append(
+            {
+                "K": int(num_files),
+                "M": int(m),
+                "gamma": float(gamma),
+                "regime": regime,
+                "measured_comm_cost": result.mean_communication_cost,
+                "predicted_order": predicted,
+                "ratio": result.mean_communication_cost / predicted if predicted else float("nan"),
+            }
+        )
+    return rows
+
+
+def theorem4_table(
+    num_nodes: int = 1024,
+    cache_sizes: Sequence[int] = (2, 8, 32),
+    radii: Sequence[float] = (2, 4, 8, 16, np.inf),
+    trials: int = 5,
+    seed: SeedLike = 0,
+) -> list[dict[str, object]]:
+    """Strategy II maximum load inside versus outside the Theorem 4 regime.
+
+    Uses ``K = n`` (the theorem's setting).  Rows report whether the
+    ``α + 2β ≥ 1 + 2 log log n / log n`` condition holds, the measured maximum
+    load, the ``log log n`` reference and the fallback rate (which is
+    essentially zero inside the regime and grows outside it).
+    """
+    rows: list[dict[str, object]] = []
+    combos = [(m, r) for m in cache_sizes for r in radii]
+    seeds = spawn_seeds(seed, len(combos))
+    loglog = math.log(math.log(num_nodes))
+    for (m, radius), child in zip(combos, seeds):
+        config = SimulationConfig(
+            num_nodes=num_nodes,
+            num_files=num_nodes,
+            cache_size=int(m),
+            strategy="proximity_two_choice",
+            strategy_params={
+                "radius": None if np.isinf(radius) else float(radius),
+                "num_choices": 2,
+            },
+        )
+        result = run_trials(config, trials, child)
+        regime = classify_regime(num_nodes, num_nodes, int(m), float(radius))
+        rows.append(
+            {
+                "n": num_nodes,
+                "M": int(m),
+                "radius": "inf" if np.isinf(radius) else float(radius),
+                "condition_holds": theorem4_condition_holds(num_nodes, int(m), float(radius)),
+                "regime": regime.regime,
+                "measured_max_load": result.mean_max_load,
+                "loglog_n": loglog,
+                "measured_comm_cost": result.mean_communication_cost,
+                "fallback_rate": result.mean_fallback_rate,
+            }
+        )
+    return rows
+
+
+def goodness_table(
+    num_nodes: int = 400,
+    num_files: int = 400,
+    cache_sizes: Sequence[int] = (2, 5, 10, 20),
+    radii: Sequence[float] = (4, 8, np.inf),
+    seed: SeedLike = 0,
+) -> list[dict[str, object]]:
+    """Lemma 2 / Lemma 3 checks: placement goodness and ``H`` near-regularity."""
+    rows: list[dict[str, object]] = []
+    topology = Torus2D(num_nodes)
+    library = FileLibrary(num_files, UniformPopularity(num_files))
+    combos = [(m, r) for m in cache_sizes for r in radii]
+    generators = spawn_generators(seed, len(combos))
+    for (m, radius), rng in zip(combos, generators):
+        placement = ProportionalPlacement(int(m))
+        cache = placement.place(topology, library, rng)
+        alpha = math.log(m) / math.log(num_nodes) if m > 1 else 0.0
+        delta = max((1.0 - alpha) / 3.0, 0.0)
+        mu = max(5.0 / max(1.0 - 2.0 * alpha, 1e-6), 5.0)
+        goodness = check_goodness(
+            cache, delta, mu, topology=topology, radius=None, max_pairs=500, seed=rng
+        )
+        graph = build_configuration_graph(topology, cache, radius)
+        stats = graph.statistics(cache)
+        rows.append(
+            {
+                "n": num_nodes,
+                "K": num_files,
+                "M": int(m),
+                "radius": "inf" if np.isinf(radius) else float(radius),
+                "delta": delta,
+                "mu": mu,
+                "is_good": goodness.is_good,
+                "min_t(u)": goodness.min_distinct,
+                "max_t(u,v)": goodness.max_common,
+                "H_edges": stats.num_edges,
+                "H_mean_degree": stats.mean_degree,
+                "H_predicted_degree": stats.predicted_degree,
+                "H_isolated": stats.isolated_nodes,
+            }
+        )
+    return rows
+
+
+def ballsbins_table(
+    sizes: Sequence[int] = (1000, 10000, 100000),
+    degrees: Sequence[int] = (4, 32),
+    trials: int = 3,
+    seed: SeedLike = 0,
+) -> list[dict[str, object]]:
+    """One-choice vs two-choice vs graph-allocation maximum loads (``m = n``)."""
+    rows: list[dict[str, object]] = []
+    seeds = spawn_generators(seed, len(sizes))
+    for n, rng in zip(sizes, seeds):
+        one = np.mean([one_choice_allocation(n, n, rng).max_load() for _ in range(trials)])
+        two = np.mean([d_choice_allocation(n, n, 2, rng).max_load() for _ in range(trials)])
+        row: dict[str, object] = {
+            "n": int(n),
+            "one_choice_measured": float(one),
+            "one_choice_predicted": one_choice_max_load_prediction(n),
+            "two_choice_measured": float(two),
+            "two_choice_predicted": d_choice_max_load_prediction(n, 2),
+        }
+        for degree in degrees:
+            if degree >= n:
+                continue
+            edges = random_regular_graph_edges(min(n, 2000), degree, rng)
+            bins = min(n, 2000)
+            graph_load = np.mean(
+                [graph_edge_allocation(bins, edges, bins, rng).max_load() for _ in range(trials)]
+            )
+            row[f"graph_d{degree}_measured"] = float(graph_load)
+            row[f"graph_d{degree}_predicted"] = graph_allocation_max_load_prediction(bins, degree)
+        rows.append(row)
+    return rows

@@ -1,0 +1,39 @@
+"""Cache content placement: which server stores which files.
+
+The paper's placement model stores, at every server independently, ``M`` files
+drawn i.i.d. *with replacement* from the popularity profile (so a server may
+dedicate several of its ``M`` slots to the same file and the number of
+distinct files ``t(u)`` can be smaller than ``M``).  That model is implemented
+by :class:`~repro.placement.proportional.ProportionalPlacement`; alternative
+placements (uniform without replacement, deterministic partition, full
+replication) are provided for ablation studies and for the ``M = K`` regime of
+Theorem 6.
+
+The result of any placement is a :class:`~repro.placement.cache.CacheState`,
+a bidirectional node↔file index optimised for the two queries the assignment
+strategies need: "which files does server ``u`` hold?" and "which servers hold
+file ``j``?".
+"""
+
+from repro.placement.base import PlacementStrategy
+from repro.placement.cache import CacheState
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.placement.partition import PartitionPlacement
+from repro.placement.full_replication import FullReplicationPlacement
+from repro.placement.goodness import GoodnessReport, check_goodness, common_file_count
+from repro.placement.factory import create_placement, available_placements
+
+__all__ = [
+    "PlacementStrategy",
+    "CacheState",
+    "ProportionalPlacement",
+    "UniformDistinctPlacement",
+    "PartitionPlacement",
+    "FullReplicationPlacement",
+    "GoodnessReport",
+    "check_goodness",
+    "common_file_count",
+    "create_placement",
+    "available_placements",
+]

@@ -1,0 +1,62 @@
+"""Abstract interface of cache placement strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import PlacementError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike
+from repro.topology.base import Topology
+
+__all__ = ["PlacementStrategy"]
+
+
+class PlacementStrategy(ABC):
+    """A rule producing a :class:`~repro.placement.cache.CacheState`.
+
+    Parameters
+    ----------
+    cache_size:
+        Number of cache slots ``M`` per server.
+    """
+
+    #: Short machine-readable name (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, cache_size: int) -> None:
+        if cache_size <= 0:
+            raise PlacementError(f"cache_size must be positive, got {cache_size}")
+        self._cache_size = int(cache_size)
+
+    @property
+    def cache_size(self) -> int:
+        """Cache slots per server ``M``."""
+        return self._cache_size
+
+    @abstractmethod
+    def place(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> CacheState:
+        """Fill every server's cache and return the resulting state.
+
+        Implementations must be pure functions of ``(topology, library, seed)``
+        so repeated calls with the same seed reproduce the same placement.
+        """
+
+    def validate(self, library: FileLibrary) -> None:
+        """Check compatibility between the cache size and the library.
+
+        The base implementation only requires a positive cache size; subclasses
+        that need ``M <= K`` (placements without replacement) override this.
+        """
+        if library.num_files <= 0:  # pragma: no cover - FileLibrary already guarantees this
+            raise PlacementError("library must contain at least one file")
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable description (used by the experiment harness)."""
+        return {"name": self.name, "cache_size": self._cache_size}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(M={self._cache_size})"

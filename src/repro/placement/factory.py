@@ -1,0 +1,53 @@
+"""Factory for constructing placement strategies by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import PlacementError
+from repro.placement.base import PlacementStrategy
+from repro.placement.full_replication import FullReplicationPlacement
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+
+__all__ = ["create_placement", "available_placements", "register_placement"]
+
+_REGISTRY: dict[str, Callable[..., PlacementStrategy]] = {
+    "proportional": ProportionalPlacement,
+    "uniform_distinct": UniformDistinctPlacement,
+    "partition": PartitionPlacement,
+    "full_replication": FullReplicationPlacement,
+}
+
+
+def available_placements() -> tuple[str, ...]:
+    """Names accepted by :func:`create_placement`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_placement(name: str, constructor: Callable[..., PlacementStrategy]) -> None:
+    """Register a custom placement constructor under ``name``."""
+    if not name or not isinstance(name, str):
+        raise PlacementError(f"placement name must be a non-empty string, got {name!r}")
+    _REGISTRY[name.lower()] = constructor
+
+
+def create_placement(name: str, cache_size: int | None = None) -> PlacementStrategy:
+    """Create a placement strategy from its registered ``name``.
+
+    ``cache_size`` is required by every placement except full replication,
+    which infers it from the library at placement time.
+    """
+    key = str(name).lower()
+    try:
+        constructor = _REGISTRY[key]
+    except KeyError as exc:
+        raise PlacementError(
+            f"unknown placement {name!r}; available: {', '.join(available_placements())}"
+        ) from exc
+    if key == "full_replication":
+        return constructor(cache_size)
+    if cache_size is None:
+        raise PlacementError(f"placement {name!r} requires a cache_size")
+    return constructor(cache_size)

@@ -1,0 +1,206 @@
+"""The (δ, µ)-goodness property of a cache placement (Definition 5, Lemma 2).
+
+A placement is *(δ, µ)-good* when
+
+* every server caches at least ``δ M`` distinct files (``t(u) ≥ δ M``), and
+* every pair of servers shares fewer than ``µ`` distinct files
+  (``t(u, v) < µ``).
+
+Lemma 2 of the paper shows that the proportional-with-replacement placement is
+(δ, µ)-good w.h.p. for ``δ = (1 - α) / 3`` and any constant
+``µ ≥ 5 / (1 - 2α)`` when ``K = n`` and ``M = n^α`` with ``0 < α < 1/2``.
+The goodness property is the combinatorial backbone of Theorem 4: it keeps the
+configuration graph ``H`` almost regular and the edge-sampling probability of
+Strategy II near-uniform.
+
+Checking ``t(u, v)`` over all ``n²`` pairs is infeasible for large networks,
+so :func:`check_goodness` samples pairs (optionally restricted to pairs within
+distance ``2r``, which are the only pairs relevant for ``H``) unless an
+exhaustive check is explicitly requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, as_generator
+from repro.topology.base import Topology
+from repro.types import IntArray
+
+__all__ = ["GoodnessReport", "check_goodness", "common_file_count", "pairwise_common_counts"]
+
+
+def common_file_count(cache: CacheState, u: int, v: int) -> int:
+    """``t(u, v)``: number of distinct files cached at both ``u`` and ``v``."""
+    return cache.common_count(u, v)
+
+
+def pairwise_common_counts(cache: CacheState, pairs: IntArray) -> IntArray:
+    """Vector of ``t(u, v)`` for an ``(m, 2)`` array of node pairs."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ConfigurationError(f"pairs must have shape (m, 2), got {pairs.shape}")
+    out = np.empty(pairs.shape[0], dtype=np.int64)
+    for i, (u, v) in enumerate(pairs):
+        out[i] = cache.common_count(int(u), int(v))
+    return out
+
+
+@dataclass(frozen=True)
+class GoodnessReport:
+    """Outcome of a (δ, µ)-goodness check on a placement.
+
+    Attributes
+    ----------
+    delta, mu:
+        The parameters the placement was checked against.
+    is_good:
+        Whether both conditions held on the (sampled or exhaustive) check.
+    min_distinct:
+        Smallest observed ``t(u)`` over all servers.
+    max_common:
+        Largest observed ``t(u, v)`` over the checked pairs.
+    mean_distinct:
+        Average ``t(u)`` (diagnostic, not part of the definition).
+    mean_common:
+        Average ``t(u, v)`` over the checked pairs.
+    pairs_checked:
+        Number of node pairs inspected.
+    exhaustive:
+        Whether every pair was inspected (otherwise a random sample).
+    """
+
+    delta: float
+    mu: float
+    is_good: bool
+    min_distinct: int
+    max_common: int
+    mean_distinct: float
+    mean_common: float
+    pairs_checked: int
+    exhaustive: bool
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the report as a plain dictionary."""
+        return {
+            "delta": self.delta,
+            "mu": self.mu,
+            "is_good": self.is_good,
+            "min_distinct": self.min_distinct,
+            "max_common": self.max_common,
+            "mean_distinct": self.mean_distinct,
+            "mean_common": self.mean_common,
+            "pairs_checked": self.pairs_checked,
+            "exhaustive": self.exhaustive,
+        }
+
+
+def _sample_pairs(
+    n: int,
+    max_pairs: int,
+    rng: np.random.Generator,
+    topology: Topology | None,
+    radius: float | None,
+) -> IntArray:
+    """Draw up to ``max_pairs`` distinct node pairs, optionally within ``2r``."""
+    pairs = np.empty((max_pairs, 2), dtype=np.int64)
+    count = 0
+    attempts = 0
+    max_attempts = max_pairs * 20
+    while count < max_pairs and attempts < max_attempts:
+        block = max_pairs - count
+        u = rng.integers(0, n, size=block)
+        v = rng.integers(0, n, size=block)
+        mask = u != v
+        if topology is not None and radius is not None and np.isfinite(radius):
+            keep = np.zeros(block, dtype=bool)
+            for i in range(block):
+                if mask[i]:
+                    keep[i] = topology.distance(int(u[i]), int(v[i])) <= 2 * radius
+            mask &= keep
+        selected = np.count_nonzero(mask)
+        pairs[count : count + selected, 0] = u[mask]
+        pairs[count : count + selected, 1] = v[mask]
+        count += selected
+        attempts += block
+    return pairs[:count]
+
+
+def check_goodness(
+    cache: CacheState,
+    delta: float,
+    mu: float,
+    *,
+    max_pairs: int = 2000,
+    exhaustive: bool = False,
+    topology: Topology | None = None,
+    radius: float | None = None,
+    seed: SeedLike = None,
+) -> GoodnessReport:
+    """Check the (δ, µ)-goodness of a placement (Definition 5).
+
+    Parameters
+    ----------
+    cache:
+        The placement to check.
+    delta, mu:
+        Goodness parameters: require ``t(u) >= delta * M`` for all servers and
+        ``t(u, v) < mu`` for all (checked) pairs.
+    max_pairs:
+        Number of random pairs to sample when not exhaustive.
+    exhaustive:
+        Check all ``n (n - 1) / 2`` pairs (only sensible for small ``n``).
+    topology, radius:
+        When given, sampled pairs are restricted to servers within distance
+        ``2 * radius`` of each other — exactly the pairs that can become edges
+        of the configuration graph ``H``.
+    seed:
+        Randomness for the pair sample.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise ConfigurationError(f"delta must be in [0, 1], got {delta}")
+    if mu <= 0:
+        raise ConfigurationError(f"mu must be positive, got {mu}")
+    n = cache.num_nodes
+    distinct = cache.distinct_counts()
+    min_distinct = int(distinct.min())
+    mean_distinct = float(distinct.mean())
+    distinct_ok = min_distinct >= delta * cache.cache_size
+
+    rng = as_generator(seed)
+    if exhaustive:
+        iu, iv = np.triu_indices(n, k=1)
+        pairs = np.stack([iu, iv], axis=1).astype(np.int64)
+        if topology is not None and radius is not None and np.isfinite(radius):
+            keep = np.zeros(pairs.shape[0], dtype=bool)
+            for i, (u, v) in enumerate(pairs):
+                keep[i] = topology.distance(int(u), int(v)) <= 2 * radius
+            pairs = pairs[keep]
+    else:
+        pairs = _sample_pairs(n, max_pairs, rng, topology, radius)
+
+    if pairs.shape[0] == 0:
+        max_common = 0
+        mean_common = 0.0
+        common_ok = True
+    else:
+        commons = pairwise_common_counts(cache, pairs)
+        max_common = int(commons.max())
+        mean_common = float(commons.mean())
+        common_ok = max_common < mu
+
+    return GoodnessReport(
+        delta=float(delta),
+        mu=float(mu),
+        is_good=bool(distinct_ok and common_ok),
+        min_distinct=min_distinct,
+        max_common=max_common,
+        mean_distinct=mean_distinct,
+        mean_common=mean_common,
+        pairs_checked=int(pairs.shape[0]),
+        exhaustive=bool(exhaustive),
+    )

@@ -1,0 +1,49 @@
+"""Deterministic partition placement.
+
+Files are assigned to servers round-robin so that replica counts per file are
+as equal as possible and every server stores exactly ``M`` distinct files
+(requires ``n * M >= K`` for full coverage, which the constructor checks lazily
+at placement time).  A deterministic placement is useful in tests (no
+randomness to average over) and as an idealised "perfectly spread" baseline
+against which the randomised placements' replica-count fluctuations can be
+measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import PlacementError
+from repro.placement.base import PlacementStrategy
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike
+from repro.topology.base import Topology
+
+__all__ = ["PartitionPlacement"]
+
+
+class PartitionPlacement(PlacementStrategy):
+    """Round-robin assignment of files to cache slots.
+
+    Slot ``s`` of server ``u`` stores file ``(u * M + s) mod K``.  With
+    ``n * M >= K`` every file is cached somewhere; replica counts differ by at
+    most one, and consecutive servers hold disjoint file sets whenever
+    ``M <= K``.
+    """
+
+    name = "partition"
+
+    def place(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> CacheState:
+        self.validate(library)
+        n = topology.n
+        K = library.num_files
+        if self._cache_size > K:
+            raise PlacementError(
+                f"partition placement requires M <= K, got M={self._cache_size}, K={K}"
+            )
+        flat = (np.arange(n * self._cache_size, dtype=np.int64)) % K
+        slots = flat.reshape(n, self._cache_size)
+        return CacheState(slots, K)

@@ -1,0 +1,103 @@
+"""Random-number-generation helpers.
+
+Every stochastic component in the library accepts either a seed-like object or
+an existing :class:`numpy.random.Generator`.  Centralising the coercion logic
+here keeps simulations reproducible: a single integer seed given to the
+top-level runner deterministically derives independent child generators for
+placement, workload generation and each Monte-Carlo trial via
+:class:`numpy.random.SeedSequence` spawning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "derive_generator",
+]
+
+#: Anything accepted as a seed by the helpers in this module.
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer, a sequence of integers, a
+        :class:`~numpy.random.SeedSequence`, or an existing generator (which
+        is returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A PCG64-backed generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent :class:`~numpy.random.SeedSequence` objects.
+
+    If ``seed`` is already a generator, its bit generator's seed sequence is
+    used as the parent so the spawned children remain reproducible given the
+    original seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        parent = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(parent, np.random.SeedSequence):  # pragma: no cover - defensive
+            parent = np.random.SeedSequence()
+    elif isinstance(seed, np.random.SeedSequence):
+        parent = seed
+    else:
+        parent = np.random.SeedSequence(seed)
+    return list(parent.spawn(count))
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
+
+
+def derive_generator(seed: SeedLike, *keys: Iterable[int] | int) -> np.random.Generator:
+    """Derive a generator keyed by integers, useful for named sub-streams.
+
+    Examples
+    --------
+    >>> rng_placement = derive_generator(1234, 0)
+    >>> rng_workload = derive_generator(1234, 1)
+
+    The two generators are independent and reproducible from the parent seed.
+    """
+    flat: list[int] = []
+    for key in keys:
+        if isinstance(key, (int, np.integer)):
+            flat.append(int(key))
+        else:
+            flat.extend(int(k) for k in key)
+    if isinstance(seed, np.random.Generator):
+        base = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        entropy = list(np.atleast_1d(base.entropy)) if base is not None else []
+    elif isinstance(seed, np.random.SeedSequence):
+        entropy = list(np.atleast_1d(seed.entropy))
+    elif seed is None:
+        entropy = []
+    elif isinstance(seed, (int, np.integer)):
+        entropy = [int(seed)]
+    else:
+        entropy = [int(s) for s in seed]
+    return np.random.default_rng(np.random.SeedSequence(entropy + flat if entropy else flat))

@@ -1,0 +1,204 @@
+"""Declarative simulation configuration.
+
+A :class:`SimulationConfig` captures one simulation point of the paper's
+evaluation as plain data: it is hashable, JSON-serialisable and picklable, so
+it can be shipped to worker processes, stored alongside results, and swept by
+the experiment harness.  The :meth:`SimulationConfig.build` method converts it
+into live components (topology, library, placement, workload, strategy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import create_popularity
+from repro.exceptions import ConfigurationError
+from repro.placement.factory import create_placement
+from repro.strategies.factory import create_strategy
+from repro.topology.factory import create_topology
+from repro.workload.generators import (
+    PoissonDemandWorkload,
+    UniformOriginWorkload,
+    WorkloadGenerator,
+)
+
+__all__ = ["SimulationConfig"]
+
+
+def _freeze(mapping: Mapping[str, Any] | None) -> dict[str, Any]:
+    return dict(mapping) if mapping else {}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One fully-specified cache-network simulation point.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of servers ``n`` (must be a perfect square for torus/grid).
+    num_files:
+        Library size ``K``.
+    cache_size:
+        Cache slots per server ``M``.
+    topology:
+        Topology name (see :func:`repro.topology.create_topology`).
+    popularity:
+        Popularity family name (``"uniform"``, ``"zipf"``, ``"geometric"``).
+    popularity_params:
+        Extra parameters of the popularity family (e.g. ``{"gamma": 0.8}``).
+    placement:
+        Placement name (see :func:`repro.placement.create_placement`).
+    strategy:
+        Strategy name or alias (see :func:`repro.strategies.create_strategy`).
+    strategy_params:
+        Extra strategy parameters, e.g. ``{"radius": 10, "num_choices": 2}``.
+    num_requests:
+        Number of requests ``m``; ``None`` means ``m = n`` (the paper's block).
+    workload:
+        ``"uniform_origin"`` (default, the paper's workload) or
+        ``"poisson_demand"``.
+    workload_params:
+        Extra workload parameters (e.g. ``{"rate": 1.0}``).
+    uncached_policy:
+        What to do with requests for files that no server cached (possible
+        when ``n * M`` is small relative to ``K``): ``"resample"`` (default)
+        redraws such requests over the cached files with renormalised
+        popularity — i.e. the workload only asks for content the network can
+        serve, matching the paper's implicit assumption — while ``"error"``
+        raises :class:`~repro.exceptions.NoReplicaError`.
+    """
+
+    num_nodes: int
+    num_files: int
+    cache_size: int
+    topology: str = "torus"
+    popularity: str = "uniform"
+    popularity_params: dict[str, Any] = field(default_factory=dict)
+    placement: str = "proportional"
+    strategy: str = "proximity_two_choice"
+    strategy_params: dict[str, Any] = field(default_factory=dict)
+    num_requests: int | None = None
+    workload: str = "uniform_origin"
+    workload_params: dict[str, Any] = field(default_factory=dict)
+    uncached_policy: str = "resample"
+
+    # ------------------------------------------------------------- validation
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.num_files <= 0:
+            raise ConfigurationError(f"num_files must be positive, got {self.num_files}")
+        if self.cache_size <= 0:
+            raise ConfigurationError(f"cache_size must be positive, got {self.cache_size}")
+        if self.num_requests is not None and self.num_requests <= 0:
+            raise ConfigurationError(
+                f"num_requests must be positive or None, got {self.num_requests}"
+            )
+        if self.uncached_policy not in ("resample", "error"):
+            raise ConfigurationError(
+                f"uncached_policy must be 'resample' or 'error', got {self.uncached_policy!r}"
+            )
+        if self.topology in ("torus", "grid"):
+            side = math.isqrt(self.num_nodes)
+            if side * side != self.num_nodes:
+                raise ConfigurationError(
+                    f"num_nodes must be a perfect square for topology {self.topology!r}, "
+                    f"got {self.num_nodes}"
+                )
+        object.__setattr__(self, "popularity_params", _freeze(self.popularity_params))
+        object.__setattr__(self, "strategy_params", _freeze(self.strategy_params))
+        object.__setattr__(self, "workload_params", _freeze(self.workload_params))
+
+    # ----------------------------------------------------------------- builder
+    def build(self) -> dict[str, Any]:
+        """Instantiate the live components described by this configuration.
+
+        Returns a dictionary with keys ``topology``, ``library``, ``placement``,
+        ``strategy`` and ``workload``.
+        """
+        topology = create_topology(self.topology, self.num_nodes)
+        popularity = create_popularity(self.popularity, self.num_files, **self.popularity_params)
+        library = FileLibrary(self.num_files, popularity)
+        placement = create_placement(self.placement, self.cache_size)
+        strategy = create_strategy(self.strategy, **self.strategy_params)
+        workload = self._build_workload()
+        return {
+            "topology": topology,
+            "library": library,
+            "placement": placement,
+            "strategy": strategy,
+            "workload": workload,
+            "uncached_policy": self.uncached_policy,
+        }
+
+    def _build_workload(self) -> WorkloadGenerator:
+        name = self.workload.lower()
+        if name == "uniform_origin":
+            return UniformOriginWorkload(self.num_requests, **self.workload_params)
+        if name == "poisson_demand":
+            return PoissonDemandWorkload(**self.workload_params)
+        if name == "hotspot_origin":
+            from repro.workload.generators import HotspotOriginWorkload
+
+            return HotspotOriginWorkload(self.num_requests, **self.workload_params)
+        raise ConfigurationError(
+            f"unknown workload {self.workload!r}; expected 'uniform_origin', "
+            "'poisson_demand' or 'hotspot_origin'"
+        )
+
+    # ------------------------------------------------------------ serialisation
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict representation (JSON-serialisable)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`as_dict`."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown SimulationConfig fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy of the configuration with some fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    # --------------------------------------------------------------- plumbing
+    def describe(self) -> str:
+        """Compact one-line description used in logs and reports."""
+        strategy = self.strategy
+        radius = self.strategy_params.get("radius")
+        if radius is not None:
+            strategy += f"(r={radius})"
+        return (
+            f"n={self.num_nodes} K={self.num_files} M={self.cache_size} "
+            f"{self.topology}/{self.popularity} {self.placement} {strategy}"
+        )
+
+    def __hash__(self) -> int:
+        def freeze(d: Mapping[str, Any]) -> tuple:
+            return tuple(sorted((k, v) for k, v in d.items()))
+
+        return hash(
+            (
+                self.num_nodes,
+                self.num_files,
+                self.cache_size,
+                self.topology,
+                self.popularity,
+                freeze(self.popularity_params),
+                self.placement,
+                self.strategy,
+                freeze(self.strategy_params),
+                self.num_requests,
+                self.workload,
+                freeze(self.workload_params),
+                self.uncached_policy,
+            )
+        )

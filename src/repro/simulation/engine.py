@@ -1,0 +1,215 @@
+"""The single-trial simulation engine.
+
+A trial runs the paper's two-phase protocol:
+
+1. **Cache content placement** — the placement strategy fills every server's
+   ``M`` cache slots.
+2. **Content delivery** — the workload generator produces the ordered request
+   batch and the assignment strategy maps every request to a caching server.
+
+The engine accepts either live components or a declarative
+:class:`~repro.simulation.config.SimulationConfig` (via :meth:`from_config`),
+and derives all per-phase randomness from a single seed so a trial is exactly
+reproducible from ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.placement.base import PlacementStrategy
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, spawn_generators
+from repro.simulation.config import SimulationConfig
+from repro.simulation.results import SimulationResult
+from repro.strategies.base import AssignmentStrategy
+from repro.topology.base import Topology
+from repro.utils.timer import Timer
+from repro.workload.generators import WorkloadGenerator
+from repro.workload.request import RequestBatch
+
+__all__ = ["CacheNetworkSimulation", "run_single_trial"]
+
+
+def _placement_stats(cache: CacheState) -> dict[str, float]:
+    """Replication diagnostics recorded with every trial result."""
+    replication = cache.replication_counts()
+    distinct = cache.distinct_counts()
+    return {
+        "replication_min": float(replication.min()),
+        "replication_mean": float(replication.mean()),
+        "replication_max": float(replication.max()),
+        "uncached_files": float(np.count_nonzero(replication == 0)),
+        "distinct_per_node_mean": float(distinct.mean()),
+        "distinct_per_node_min": float(distinct.min()),
+    }
+
+
+class CacheNetworkSimulation:
+    """Runs placement + delivery trials for a fixed set of components.
+
+    Parameters
+    ----------
+    topology, library, placement, strategy, workload:
+        The five live components of the simulated system.
+    description:
+        Optional human-readable description attached to every result.
+    uncached_policy:
+        ``"resample"`` (default) redraws requests for files that the placement
+        left uncached over the cached files with renormalised popularity;
+        ``"error"`` leaves them untouched so the strategy raises
+        :class:`~repro.exceptions.NoReplicaError`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        placement: PlacementStrategy,
+        strategy: AssignmentStrategy,
+        workload: WorkloadGenerator,
+        description: str = "",
+        uncached_policy: str = "resample",
+    ) -> None:
+        if uncached_policy not in ("resample", "error"):
+            raise ValueError(
+                f"uncached_policy must be 'resample' or 'error', got {uncached_policy!r}"
+            )
+        self._topology = topology
+        self._library = library
+        self._placement = placement
+        self._strategy = strategy
+        self._workload = workload
+        self._description = description
+        self._uncached_policy = uncached_policy
+
+    # --------------------------------------------------------------- builders
+    @classmethod
+    def from_config(cls, config: SimulationConfig) -> "CacheNetworkSimulation":
+        """Build a simulation from a declarative configuration."""
+        components = config.build()
+        return cls(
+            topology=components["topology"],
+            library=components["library"],
+            placement=components["placement"],
+            strategy=components["strategy"],
+            workload=components["workload"],
+            description=config.describe(),
+            uncached_policy=components["uncached_policy"],
+        )
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def topology(self) -> Topology:
+        """The server network."""
+        return self._topology
+
+    @property
+    def library(self) -> FileLibrary:
+        """The file library and popularity profile."""
+        return self._library
+
+    @property
+    def strategy(self) -> AssignmentStrategy:
+        """The request assignment strategy under test."""
+        return self._strategy
+
+    @property
+    def description(self) -> str:
+        """Human-readable description attached to results."""
+        return self._description
+
+    # ---------------------------------------------------------------- helpers
+    def _resolve_uncached(
+        self, cache: CacheState, requests: RequestBatch, rng: np.random.Generator
+    ) -> tuple[RequestBatch, int]:
+        """Apply the uncached-file policy; return the batch and remap count."""
+        if self._uncached_policy == "error":
+            return requests, 0
+        uncached = cache.uncached_files()
+        if uncached.size == 0:
+            return requests, 0
+        uncached_set = np.isin(requests.files, uncached)
+        remapped = int(np.count_nonzero(uncached_set))
+        if remapped == 0:
+            return requests, 0
+        pmf = self._library.popularity_vector()
+        pmf[uncached] = 0.0
+        total = pmf.sum()
+        if total <= 0:
+            # Nothing is cached at all; leave the batch alone so the strategy
+            # raises a descriptive NoReplicaError.
+            return requests, 0
+        pmf /= total
+        files = requests.files.copy()
+        files[uncached_set] = rng.choice(self._library.num_files, size=remapped, p=pmf)
+        return (
+            RequestBatch(
+                origins=requests.origins,
+                files=files,
+                num_nodes=requests.num_nodes,
+                num_files=requests.num_files,
+            ),
+            remapped,
+        )
+
+    def _run_phases(
+        self, seed: SeedLike
+    ) -> tuple[SimulationResult, CacheState, RequestBatch]:
+        rng_placement, rng_workload, rng_strategy = spawn_generators(seed, 3)
+        with Timer() as timer:
+            cache = self._placement.place(self._topology, self._library, rng_placement)
+            requests = self._workload.generate(self._topology, self._library, rng_workload)
+            requests, remapped = self._resolve_uncached(cache, requests, rng_workload)
+            assignment = self._strategy.assign(self._topology, cache, requests, rng_strategy)
+        stats = _placement_stats(cache)
+        stats["remapped_requests"] = float(remapped)
+        entropy: tuple[int, ...] = ()
+        if isinstance(seed, (int, np.integer)):
+            entropy = (int(seed),)
+        result = SimulationResult(
+            assignment=assignment,
+            config_description=self._description,
+            placement_stats=stats,
+            elapsed_seconds=timer.elapsed,
+            seed_entropy=entropy,
+        )
+        return result, cache, requests
+
+    # ------------------------------------------------------------------- run
+    def run(self, seed: SeedLike = None) -> SimulationResult:
+        """Run one placement + delivery trial and return its result."""
+        result, _, _ = self._run_phases(seed)
+        return result
+
+    def run_with_components(
+        self, seed: SeedLike = None
+    ) -> tuple[SimulationResult, CacheState, RequestBatch]:
+        """Like :meth:`run` but also return the cache state and request batch.
+
+        Useful for analysis code (configuration graph, Voronoi statistics)
+        that wants to inspect the same placement the strategy was run on.
+        """
+        return self._run_phases(seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheNetworkSimulation(n={self._topology.n}, K={self._library.num_files}, "
+            f"strategy={self._strategy.name})"
+        )
+
+
+def run_single_trial(config: SimulationConfig | dict[str, Any], seed: SeedLike = None) -> SimulationResult:
+    """Convenience function: build a simulation from ``config`` and run one trial.
+
+    ``config`` may be a :class:`SimulationConfig` or a plain dictionary (as
+    produced by :meth:`SimulationConfig.as_dict`), which makes this function
+    directly usable as a process-pool worker.
+    """
+    if isinstance(config, dict):
+        config = SimulationConfig.from_dict(config)
+    simulation = CacheNetworkSimulation.from_config(config)
+    return simulation.run(seed)

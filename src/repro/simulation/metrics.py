@@ -1,0 +1,124 @@
+"""Load-balancing and communication metrics.
+
+The paper's two headline metrics are the maximum load ``L`` and the average
+communication cost ``C`` (Definition 1).  In addition to those, this module
+provides standard load-balance diagnostics (Jain fairness, Gini coefficient,
+load percentiles) used by the example applications and the ablation
+benchmarks to characterise the whole load distribution rather than only its
+maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "max_load",
+    "communication_cost",
+    "normalized_max_load",
+    "jain_fairness",
+    "gini_coefficient",
+    "load_percentile",
+    "load_summary",
+]
+
+
+def max_load(loads: IntArray | np.ndarray) -> int:
+    """Maximum load ``L = max_i T_i`` of a per-server load vector."""
+    arr = np.asarray(loads)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    return int(arr.max())
+
+
+def communication_cost(distances: IntArray | np.ndarray) -> float:
+    """Average number of hops per request."""
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0):
+        raise ValueError("distances must be non-negative")
+    return float(arr.mean())
+
+
+def normalized_max_load(loads: IntArray | np.ndarray) -> float:
+    """Maximum load divided by the average load (1.0 means perfectly balanced).
+
+    Returns ``inf`` when the average load is zero but the maximum is positive
+    (cannot happen for non-degenerate workloads) and 1.0 for the all-zero
+    vector.
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    mean = arr.mean()
+    if mean == 0.0:
+        return 1.0 if arr.max() == 0.0 else float("inf")
+    return float(arr.max() / mean)
+
+
+def jain_fairness(loads: IntArray | np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)`` in ``(0, 1]``.
+
+    Equals 1 when all servers carry identical load and approaches ``1/n`` when
+    a single server carries everything.  The all-zero vector is defined as
+    perfectly fair (index 1).
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    total_sq = float(arr.sum()) ** 2
+    denom = arr.size * float(np.sum(arr**2))
+    if denom == 0.0:
+        return 1.0
+    return total_sq / denom
+
+
+def gini_coefficient(loads: IntArray | np.ndarray) -> float:
+    """Gini coefficient of the load distribution in ``[0, 1)``.
+
+    Zero means perfect equality.  The all-zero vector is defined as perfectly
+    equal (coefficient 0).
+    """
+    arr = np.sort(np.asarray(loads, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    total = arr.sum()
+    if total == 0.0:
+        return 0.0
+    n = arr.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * np.sum(ranks * arr)) / (n * total) - (n + 1.0) / n)
+
+
+def load_percentile(loads: IntArray | np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (0–100) of the per-server load distribution."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def load_summary(loads: IntArray | np.ndarray) -> dict[str, float]:
+    """Dictionary of the standard load-balance diagnostics."""
+    arr = np.asarray(loads, dtype=np.float64)
+    return {
+        "max_load": float(max_load(arr)),
+        "mean_load": float(arr.mean()),
+        "normalized_max_load": normalized_max_load(arr),
+        "jain_fairness": jain_fairness(arr),
+        "gini": gini_coefficient(arr),
+        "p50": load_percentile(arr, 50),
+        "p95": load_percentile(arr, 95),
+        "p99": load_percentile(arr, 99),
+    }

@@ -1,0 +1,72 @@
+"""Multi-trial simulation: repeat a configuration with independent seeds.
+
+The paper averages every simulation point over hundreds to thousands of runs;
+:func:`run_trials` is the sequential implementation of that loop (the parallel
+variant lives in :mod:`repro.simulation.parallel`).  Seeds for individual
+trials are spawned from a single parent seed, so the whole aggregate is
+reproducible from ``(config, seed, num_trials)`` regardless of execution
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike, spawn_seeds
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import CacheNetworkSimulation
+from repro.simulation.results import MultiRunResult, SimulationResult
+
+__all__ = ["run_trials", "aggregate_results"]
+
+
+def aggregate_results(
+    results: list[SimulationResult], description: str = ""
+) -> MultiRunResult:
+    """Collect per-trial headline metrics into a :class:`MultiRunResult`."""
+    if not results:
+        raise ConfigurationError("cannot aggregate an empty list of results")
+    return MultiRunResult(
+        max_loads=np.array([r.max_load for r in results], dtype=np.float64),
+        communication_costs=np.array([r.communication_cost for r in results], dtype=np.float64),
+        fallback_rates=np.array([r.fallback_rate for r in results], dtype=np.float64),
+        config_description=description or results[0].config_description,
+        num_trials=len(results),
+    )
+
+
+def run_trials(
+    config: SimulationConfig,
+    num_trials: int,
+    seed: SeedLike = None,
+    *,
+    progress_callback: Callable[[int, SimulationResult], None] | None = None,
+) -> MultiRunResult:
+    """Run ``num_trials`` independent trials of ``config`` sequentially.
+
+    Parameters
+    ----------
+    config:
+        The simulation point to repeat.
+    num_trials:
+        Number of independent trials.
+    seed:
+        Parent seed; each trial receives an independently spawned child seed.
+    progress_callback:
+        Optional callable invoked as ``callback(trial_index, result)`` after
+        each trial, e.g. for logging long sweeps.
+    """
+    if num_trials <= 0:
+        raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
+    simulation = CacheNetworkSimulation.from_config(config)
+    child_seeds = spawn_seeds(seed, num_trials)
+    results: list[SimulationResult] = []
+    for index, child in enumerate(child_seeds):
+        result = simulation.run(child)
+        results.append(result)
+        if progress_callback is not None:
+            progress_callback(index, result)
+    return aggregate_results(results, config.describe())

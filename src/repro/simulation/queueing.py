@@ -1,0 +1,230 @@
+"""Continuous-time queueing extension (the paper's supermarket-model conjecture).
+
+The paper analyses the *static* setting (a block of ``n`` requests assigned
+once), and conjectures in its discussion section that the proximity-aware two
+choices scheme behaves analogously in the continuous-time supermarket model,
+where requests arrive as a Poisson process and each server works through its
+queue with exponential service times.
+
+This module implements that dynamic setting as a discrete-event simulation:
+
+* arrivals come from an :class:`~repro.workload.arrivals.ArrivalProcess`;
+* on arrival at origin ``u`` for file ``W_j``, the dispatcher samples ``d``
+  replicas of ``W_j`` inside ``B_r(u)`` (same candidate logic as Strategy II)
+  and enqueues the request at the sampled server with the shortest queue;
+* each server is an M/M/1-style FIFO queue with service rate ``mu``.
+
+Reported metrics: the maximum queue length ever observed (the dynamic
+analogue of the paper's maximum load), the time-averaged mean queue length,
+mean waiting and sojourn times, and the mean hop distance (communication
+cost).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import ConfigurationError, NoReplicaError
+from repro.placement.base import PlacementStrategy
+from repro.rng import SeedLike, spawn_generators
+from repro.topology.base import Topology
+from repro.workload.arrivals import ArrivalProcess
+
+__all__ = ["QueueingResult", "QueueingSimulation"]
+
+
+@dataclass(frozen=True)
+class QueueingResult:
+    """Summary statistics of a continuous-time queueing run."""
+
+    num_arrivals: int
+    num_completed: int
+    max_queue_length: int
+    mean_queue_length: float
+    mean_waiting_time: float
+    mean_sojourn_time: float
+    communication_cost: float
+    horizon: float
+
+    def summary(self) -> dict[str, float]:
+        """Return the result as a plain dictionary."""
+        return {
+            "num_arrivals": float(self.num_arrivals),
+            "num_completed": float(self.num_completed),
+            "max_queue_length": float(self.max_queue_length),
+            "mean_queue_length": self.mean_queue_length,
+            "mean_waiting_time": self.mean_waiting_time,
+            "mean_sojourn_time": self.mean_sojourn_time,
+            "communication_cost": self.communication_cost,
+            "horizon": self.horizon,
+        }
+
+
+class QueueingSimulation:
+    """Discrete-event simulation of the proximity-aware supermarket model.
+
+    Parameters
+    ----------
+    topology, library, placement:
+        The cache network components (placement is run once at time zero).
+    arrivals:
+        Continuous-time arrival process.
+    service_rate:
+        Per-server exponential service rate ``mu``; stability requires the
+        per-server arrival rate to stay below ``mu``.
+    radius:
+        Proximity constraint ``r`` for candidate replicas (``inf`` = none).
+    num_choices:
+        Number of candidate replicas compared per arrival (``d``).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        placement: PlacementStrategy,
+        arrivals: ArrivalProcess,
+        service_rate: float = 1.0,
+        radius: float = np.inf,
+        num_choices: int = 2,
+    ) -> None:
+        if service_rate <= 0:
+            raise ConfigurationError(f"service_rate must be positive, got {service_rate}")
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        if num_choices < 1:
+            raise ConfigurationError(f"num_choices must be at least 1, got {num_choices}")
+        self._topology = topology
+        self._library = library
+        self._placement = placement
+        self._arrivals = arrivals
+        self._service_rate = float(service_rate)
+        self._radius = float(radius)
+        self._num_choices = int(num_choices)
+
+    # --------------------------------------------------------------------- run
+    def run(self, horizon: float, seed: SeedLike = None) -> QueueingResult:
+        """Simulate the system over ``[0, horizon)`` and return its statistics."""
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        rng_placement, rng_arrivals, rng_dispatch = spawn_generators(seed, 3)
+        cache = self._placement.place(self._topology, self._library, rng_placement)
+        requests = self._arrivals.generate(self._topology, self._library, horizon, rng_arrivals)
+
+        n = self._topology.n
+        queue_lengths = np.zeros(n, dtype=np.int64)
+        busy_until = np.zeros(n, dtype=np.float64)
+        unconstrained = np.isinf(self._radius) or self._radius >= self._topology.diameter
+
+        replica_cache: dict[int, np.ndarray] = {}
+
+        # Event queue holds departure events; arrivals are consumed in order.
+        events: list[tuple[float, int, int]] = []  # (time, tiebreak, server)
+        counter = itertools.count()
+
+        max_queue = 0
+        area_queue = 0.0  # integral of total queue length over time
+        last_time = 0.0
+        waiting_times: list[float] = []
+        sojourn_times: list[float] = []
+        hops: list[int] = []
+        completed = 0
+
+        def advance_time(now: float) -> None:
+            nonlocal area_queue, last_time
+            area_queue += float(queue_lengths.sum()) * (now - last_time)
+            last_time = now
+
+        def pop_departures(until: float) -> None:
+            nonlocal completed
+            while events and events[0][0] <= until:
+                time, _, server = heapq.heappop(events)
+                advance_time(time)
+                queue_lengths[server] -= 1
+                completed += 1
+
+        for request in requests:
+            now = request.time
+            pop_departures(now)
+            advance_time(now)
+
+            file_id = request.file_id
+            replicas = replica_cache.get(file_id)
+            if replicas is None:
+                replicas = cache.file_nodes(file_id)
+                replica_cache[file_id] = replicas
+            if replicas.size == 0:
+                raise NoReplicaError(file_id)
+
+            if unconstrained:
+                candidates = replicas
+                dists = None
+            else:
+                dists = self._topology.distances_from(request.origin, replicas)
+                in_ball = dists <= self._radius
+                if np.any(in_ball):
+                    candidates = replicas[in_ball]
+                    dists = dists[in_ball]
+                else:
+                    nearest = int(np.argmin(dists))
+                    candidates = replicas[nearest : nearest + 1]
+                    dists = dists[nearest : nearest + 1]
+
+            if candidates.size > self._num_choices:
+                picked_idx = rng_dispatch.choice(
+                    candidates.size, size=self._num_choices, replace=False
+                )
+            else:
+                picked_idx = np.arange(candidates.size)
+            picked = candidates[picked_idx]
+            picked_queues = queue_lengths[picked]
+            best = np.flatnonzero(picked_queues == picked_queues.min())
+            winner_pos = int(best[rng_dispatch.integers(0, best.size)]) if best.size > 1 else int(
+                best[0]
+            )
+            server = int(picked[winner_pos])
+            if dists is not None:
+                hop = int(dists[picked_idx[winner_pos]])
+            else:
+                hop = int(self._topology.distances_from(request.origin, np.asarray([server]))[0])
+            hops.append(hop)
+
+            # Enqueue: the request starts service when the server frees up.
+            service = float(rng_dispatch.exponential(1.0 / self._service_rate))
+            start = max(now, busy_until[server])
+            finish = start + service
+            busy_until[server] = finish
+            waiting_times.append(start - now)
+            sojourn_times.append(finish - now)
+            queue_lengths[server] += 1
+            max_queue = max(max_queue, int(queue_lengths[server]))
+            heapq.heappush(events, (finish, next(counter), server))
+
+        # Drain remaining departures up to the horizon.
+        pop_departures(horizon)
+        advance_time(horizon)
+
+        num_arrivals = len(requests)
+        mean_queue = area_queue / horizon if horizon > 0 else 0.0
+        return QueueingResult(
+            num_arrivals=num_arrivals,
+            num_completed=completed,
+            max_queue_length=max_queue,
+            mean_queue_length=float(mean_queue),
+            mean_waiting_time=float(np.mean(waiting_times)) if waiting_times else 0.0,
+            mean_sojourn_time=float(np.mean(sojourn_times)) if sojourn_times else 0.0,
+            communication_cost=float(np.mean(hops)) if hops else 0.0,
+            horizon=float(horizon),
+        )
+
+    def __repr__(self) -> str:
+        radius = "inf" if np.isinf(self._radius) else f"{self._radius:g}"
+        return (
+            f"QueueingSimulation(n={self._topology.n}, mu={self._service_rate}, "
+            f"r={radius}, d={self._num_choices})"
+        )

@@ -1,0 +1,162 @@
+"""Result containers for single trials and multi-trial aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.metrics import load_summary
+from repro.strategies.base import AssignmentResult
+from repro.utils.stats import SampleSummary, summarize_samples
+
+__all__ = ["SimulationResult", "MultiRunResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a single simulation trial.
+
+    Attributes
+    ----------
+    assignment:
+        The full per-request assignment produced by the strategy.
+    config_description:
+        Human-readable one-line description of the simulated point.
+    placement_stats:
+        Replication diagnostics of the cache placement used in the trial
+        (min/mean/max replicas per file, number of uncached files, mean number
+        of distinct files per server).
+    elapsed_seconds:
+        Wall-clock duration of the trial.
+    seed_entropy:
+        Entropy of the seed sequence used, for exact reproduction.
+    """
+
+    assignment: AssignmentResult
+    config_description: str = ""
+    placement_stats: dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    seed_entropy: tuple[int, ...] = ()
+
+    # --------------------------------------------------------------- shortcuts
+    @property
+    def max_load(self) -> int:
+        """Maximum load ``L`` of the trial."""
+        return self.assignment.max_load()
+
+    @property
+    def communication_cost(self) -> float:
+        """Average hop count ``C`` of the trial."""
+        return self.assignment.communication_cost()
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of requests that needed the strategy's fallback policy."""
+        return self.assignment.fallback_rate()
+
+    def load_metrics(self) -> dict[str, float]:
+        """Full load-balance diagnostics of the trial."""
+        return load_summary(self.assignment.loads())
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary used by reports and JSON export."""
+        data: dict[str, Any] = {
+            "max_load": self.max_load,
+            "communication_cost": self.communication_cost,
+            "fallback_rate": self.fallback_rate,
+            "num_requests": self.assignment.num_requests,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        data.update({f"placement_{k}": v for k, v in self.placement_stats.items()})
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(L={self.max_load}, C={self.communication_cost:.3f}, "
+            f"m={self.assignment.num_requests})"
+        )
+
+
+@dataclass(frozen=True)
+class MultiRunResult:
+    """Aggregate of several independent trials of the same configuration.
+
+    Attributes
+    ----------
+    max_loads:
+        Per-trial maximum loads.
+    communication_costs:
+        Per-trial average hop counts.
+    fallback_rates:
+        Per-trial fallback rates.
+    config_description:
+        Description of the simulated point.
+    num_trials:
+        Number of trials aggregated.
+    """
+
+    max_loads: np.ndarray
+    communication_costs: np.ndarray
+    fallback_rates: np.ndarray
+    config_description: str = ""
+    num_trials: int = 0
+
+    def __post_init__(self) -> None:
+        max_loads = np.asarray(self.max_loads, dtype=np.float64)
+        costs = np.asarray(self.communication_costs, dtype=np.float64)
+        rates = np.asarray(self.fallback_rates, dtype=np.float64)
+        if not (max_loads.shape == costs.shape == rates.shape):
+            raise ValueError("per-trial arrays must have identical shapes")
+        object.__setattr__(self, "max_loads", max_loads)
+        object.__setattr__(self, "communication_costs", costs)
+        object.__setattr__(self, "fallback_rates", rates)
+        object.__setattr__(
+            self, "num_trials", int(max_loads.size) if self.num_trials == 0 else self.num_trials
+        )
+
+    # -------------------------------------------------------------- aggregates
+    def max_load_summary(self, confidence: float = 0.95) -> SampleSummary:
+        """Summary (mean, CI, extremes) of the per-trial maximum loads."""
+        return summarize_samples(self.max_loads, confidence)
+
+    def communication_cost_summary(self, confidence: float = 0.95) -> SampleSummary:
+        """Summary of the per-trial communication costs."""
+        return summarize_samples(self.communication_costs, confidence)
+
+    @property
+    def mean_max_load(self) -> float:
+        """Mean over trials of the maximum load (the quantity plotted in the paper)."""
+        return float(self.max_loads.mean())
+
+    @property
+    def mean_communication_cost(self) -> float:
+        """Mean over trials of the communication cost."""
+        return float(self.communication_costs.mean())
+
+    @property
+    def mean_fallback_rate(self) -> float:
+        """Mean over trials of the fallback rate."""
+        return float(self.fallback_rates.mean())
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary used by reports and JSON export."""
+        ml = self.max_load_summary()
+        cc = self.communication_cost_summary()
+        return {
+            "num_trials": self.num_trials,
+            "max_load_mean": ml.mean,
+            "max_load_ci_low": ml.ci_low,
+            "max_load_ci_high": ml.ci_high,
+            "comm_cost_mean": cc.mean,
+            "comm_cost_ci_low": cc.ci_low,
+            "comm_cost_ci_high": cc.ci_high,
+            "fallback_rate_mean": self.mean_fallback_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiRunResult(trials={self.num_trials}, "
+            f"L={self.mean_max_load:.3f}, C={self.mean_communication_cost:.3f})"
+        )

@@ -1,0 +1,40 @@
+"""Request-to-server assignment strategies — the paper's core contribution.
+
+* :class:`~repro.strategies.nearest_replica.NearestReplicaStrategy` —
+  **Strategy I** of the paper: each request goes to the closest server caching
+  the requested file (minimum communication cost, no load awareness).
+* :class:`~repro.strategies.proximity_two_choice.ProximityTwoChoiceStrategy` —
+  **Strategy II**: each request samples ``d`` (default two) replicas uniformly
+  from the radius-``r`` ball around its origin and is assigned to the least
+  loaded one.
+* :class:`~repro.strategies.random_replica.RandomReplicaStrategy` — a
+  one-choice baseline (random in-ball replica, no load comparison), isolating
+  the benefit of the *second* choice.
+* :class:`~repro.strategies.least_loaded_in_ball.LeastLoadedInBallStrategy` —
+  an omniscient baseline that always picks the least loaded replica in the
+  ball, bounding how much any limited-information scheme could gain.
+
+All strategies consume a topology, a cache state and an ordered request batch
+and return an :class:`~repro.strategies.base.AssignmentResult`.
+"""
+
+from repro.strategies.base import AssignmentStrategy, AssignmentResult, FallbackPolicy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.strategies.random_replica import RandomReplicaStrategy
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.hybrid import ThresholdHybridStrategy
+from repro.strategies.factory import create_strategy, available_strategies
+
+__all__ = [
+    "AssignmentStrategy",
+    "AssignmentResult",
+    "FallbackPolicy",
+    "NearestReplicaStrategy",
+    "ProximityTwoChoiceStrategy",
+    "RandomReplicaStrategy",
+    "LeastLoadedInBallStrategy",
+    "ThresholdHybridStrategy",
+    "create_strategy",
+    "available_strategies",
+]

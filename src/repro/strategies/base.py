@@ -1,0 +1,212 @@
+"""Common machinery shared by all assignment strategies.
+
+An assignment strategy maps every request of an ordered batch to a server that
+caches the requested file.  The outcome is an :class:`AssignmentResult`
+holding, per request, the chosen server and the hop distance travelled; the
+two paper metrics (maximum load ``L`` and communication cost ``C``) are
+derived properties of this result.
+
+The :class:`FallbackPolicy` enumeration covers the corner case the paper's
+asymptotic regime excludes: what to do when the proximity ball ``B_r(u)``
+contains no replica of the requested file (or the file is cached nowhere).
+All strategies record how often a fallback fired so that experiments outside
+the theorem's regime can report it.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike
+from repro.topology.base import Topology
+from repro.types import FloatArray, IntArray
+from repro.workload.request import RequestBatch
+
+__all__ = ["FallbackPolicy", "AssignmentResult", "AssignmentStrategy"]
+
+
+class FallbackPolicy(str, enum.Enum):
+    """What to do when ``B_r(u)`` contains no replica of the requested file.
+
+    Attributes
+    ----------
+    NEAREST:
+        Fall back to the globally nearest replica (Strategy I behaviour for
+        that single request).  The default.
+    EXPAND:
+        Repeatedly double the proximity radius until at least one replica is
+        inside the ball, then proceed normally.
+    ERROR:
+        Raise :class:`~repro.exceptions.StrategyError`.  Useful in tests and
+        when operating strictly inside the regime of Theorem 4.
+    """
+
+    NEAREST = "nearest"
+    EXPAND = "expand"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Outcome of assigning a request batch to servers.
+
+    Attributes
+    ----------
+    servers:
+        Server chosen for each request, shape ``(m,)`` in request order.
+    distances:
+        Hop distance between each request's origin and its server, shape
+        ``(m,)``.
+    num_nodes:
+        Number of servers ``n`` in the network.
+    strategy_name:
+        Name of the strategy that produced the assignment.
+    fallback_mask:
+        Boolean array marking the requests for which the fallback policy had
+        to be invoked (no in-ball replica).
+    """
+
+    servers: IntArray
+    distances: IntArray
+    num_nodes: int
+    strategy_name: str
+    fallback_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        servers = np.asarray(self.servers, dtype=np.int64)
+        distances = np.asarray(self.distances, dtype=np.int64)
+        if servers.ndim != 1 or distances.ndim != 1 or servers.shape != distances.shape:
+            raise StrategyError("servers and distances must be 1-D arrays of equal length")
+        if self.num_nodes <= 0:
+            raise StrategyError("num_nodes must be positive")
+        if servers.size and (servers.min() < 0 or servers.max() >= self.num_nodes):
+            raise StrategyError(
+                f"assigned servers must be in [0, {self.num_nodes}), got range "
+                f"[{servers.min()}, {servers.max()}]"
+            )
+        if np.any(distances < 0):
+            raise StrategyError("distances must be non-negative")
+        mask = self.fallback_mask
+        if mask is None:
+            mask = np.zeros(servers.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != servers.shape:
+                raise StrategyError("fallback_mask must have the same shape as servers")
+        object.__setattr__(self, "servers", servers)
+        object.__setattr__(self, "distances", distances)
+        object.__setattr__(self, "fallback_mask", mask)
+
+    # ----------------------------------------------------------------- metrics
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the batch."""
+        return int(self.servers.size)
+
+    def loads(self) -> IntArray:
+        """``T_i``: number of requests assigned to each server (length ``n``)."""
+        return np.bincount(self.servers, minlength=self.num_nodes).astype(np.int64)
+
+    def max_load(self) -> int:
+        """The paper's maximum load ``L = max_i T_i``."""
+        if self.num_requests == 0:
+            return 0
+        return int(self.loads().max())
+
+    def communication_cost(self) -> float:
+        """The paper's communication cost ``C``: mean hops per request."""
+        if self.num_requests == 0:
+            return 0.0
+        return float(self.distances.mean())
+
+    def total_hops(self) -> int:
+        """Sum of hop distances over all requests."""
+        return int(self.distances.sum())
+
+    def fallback_count(self) -> int:
+        """Number of requests that required the fallback policy."""
+        return int(np.count_nonzero(self.fallback_mask))
+
+    def fallback_rate(self) -> float:
+        """Fraction of requests that required the fallback policy."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.fallback_count() / self.num_requests
+
+    def load_distribution(self) -> FloatArray:
+        """Histogram of loads: entry ``k`` is the fraction of servers with load ``k``."""
+        loads = self.loads()
+        counts = np.bincount(loads)
+        return counts.astype(np.float64) / self.num_nodes
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of the headline metrics."""
+        return {
+            "num_requests": float(self.num_requests),
+            "max_load": float(self.max_load()),
+            "communication_cost": self.communication_cost(),
+            "fallback_rate": self.fallback_rate(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AssignmentResult(strategy={self.strategy_name!r}, m={self.num_requests}, "
+            f"L={self.max_load()}, C={self.communication_cost():.3f})"
+        )
+
+
+class AssignmentStrategy(ABC):
+    """Base class of request assignment strategies."""
+
+    #: Short machine-readable name (set by subclasses).
+    name: str = "abstract"
+
+    @abstractmethod
+    def assign(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        seed: SeedLike = None,
+    ) -> AssignmentResult:
+        """Assign every request of ``requests`` to a caching server."""
+
+    # ------------------------------------------------------------ shared utils
+    @staticmethod
+    def _check_compatibility(
+        topology: Topology, cache: CacheState, requests: RequestBatch
+    ) -> None:
+        """Validate that topology, cache and workload describe the same system."""
+        if cache.num_nodes != topology.n:
+            raise StrategyError(
+                f"cache has {cache.num_nodes} nodes but topology has {topology.n}"
+            )
+        if requests.num_nodes != topology.n:
+            raise StrategyError(
+                f"requests assume {requests.num_nodes} nodes but topology has {topology.n}"
+            )
+        if requests.num_files != cache.num_files:
+            raise StrategyError(
+                f"requests assume {requests.num_files} files but cache has {cache.num_files}"
+            )
+
+    @staticmethod
+    def _require_replicas(cache: CacheState, file_id: int) -> IntArray:
+        """Return the replica set of ``file_id``, raising if it is empty."""
+        replicas = cache.file_nodes(file_id)
+        if replicas.size == 0:
+            raise NoReplicaError(file_id)
+        return replicas
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable description (used by the experiment harness)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,66 @@
+"""Factory for constructing assignment strategies by name."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import StrategyError
+from repro.strategies.base import AssignmentStrategy
+from repro.strategies.hybrid import ThresholdHybridStrategy
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.strategies.random_replica import RandomReplicaStrategy
+
+__all__ = ["create_strategy", "available_strategies", "register_strategy"]
+
+_REGISTRY: dict[str, Callable[..., AssignmentStrategy]] = {
+    "nearest_replica": NearestReplicaStrategy,
+    "proximity_two_choice": ProximityTwoChoiceStrategy,
+    "random_replica": RandomReplicaStrategy,
+    "least_loaded_in_ball": LeastLoadedInBallStrategy,
+    "threshold_hybrid": ThresholdHybridStrategy,
+}
+
+_ALIASES = {
+    "strategy_i": "nearest_replica",
+    "strategy_ii": "proximity_two_choice",
+    "nearest": "nearest_replica",
+    "two_choice": "proximity_two_choice",
+    "one_choice": "random_replica",
+}
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Canonical names accepted by :func:`create_strategy`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_strategy(name: str, constructor: Callable[..., AssignmentStrategy]) -> None:
+    """Register a custom strategy constructor under ``name``."""
+    if not name or not isinstance(name, str):
+        raise StrategyError(f"strategy name must be a non-empty string, got {name!r}")
+    _REGISTRY[name.lower()] = constructor
+
+
+def create_strategy(name: str, **kwargs: Any) -> AssignmentStrategy:
+    """Create an assignment strategy from its registered name or alias.
+
+    Keyword arguments are forwarded to the constructor; ``radius=None`` is
+    translated to ``numpy.inf`` so JSON round-trips of strategy descriptions
+    work (JSON has no infinity literal).
+    """
+    key = str(name).lower()
+    key = _ALIASES.get(key, key)
+    try:
+        constructor = _REGISTRY[key]
+    except KeyError as exc:
+        raise StrategyError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from exc
+    if "radius" in kwargs and kwargs["radius"] is None:
+        kwargs = dict(kwargs)
+        kwargs["radius"] = np.inf
+    return constructor(**kwargs)

@@ -1,0 +1,198 @@
+"""Threshold hybrid strategy: distance-aware two choices.
+
+The paper's two strategies sit at opposite corners of the trade-off: Strategy I
+ignores load entirely, Strategy II ignores distance among its sampled
+candidates.  A natural refinement — mentioned in the paper's discussion of
+future directions and common in CDN request-routing practice — is to prefer
+the *closer* candidate unless it is significantly more loaded than the best
+alternative.
+
+:class:`ThresholdHybridStrategy` implements that rule: sample ``d`` replicas
+inside the radius-``r`` ball (exactly like Strategy II), then among the
+sampled candidates whose load is within ``imbalance_threshold`` of the minimum
+sampled load, pick the closest one (ties broken uniformly at random).
+
+* ``imbalance_threshold = 0`` reduces to Strategy II with
+  closest-among-least-loaded tie-breaking;
+* ``imbalance_threshold = ∞`` ignores load altogether and reduces to the
+  nearest of the ``d`` sampled replicas (a randomised approximation of
+  Strategy I).
+
+The ablation benchmarks use this strategy to show how much communication cost
+the threshold knob recovers while staying near the two-choice load level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, as_generator
+from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.topology.base import Topology
+from repro.workload.request import RequestBatch
+
+__all__ = ["ThresholdHybridStrategy"]
+
+
+class ThresholdHybridStrategy(AssignmentStrategy):
+    """Proximity-aware ``d``-choice assignment with a load-imbalance threshold.
+
+    Parameters
+    ----------
+    radius:
+        Proximity constraint ``r`` (``numpy.inf`` disables it).
+    num_choices:
+        Number of candidate replicas sampled per request.
+    imbalance_threshold:
+        A sampled candidate is *eligible* if its current load is at most
+        ``min sampled load + imbalance_threshold``; the closest eligible
+        candidate serves the request.
+    fallback:
+        Policy when ``B_r(u)`` holds no replica of the requested file.
+    """
+
+    name = "threshold_hybrid"
+
+    def __init__(
+        self,
+        radius: float = np.inf,
+        num_choices: int = 2,
+        imbalance_threshold: float = 1.0,
+        fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+    ) -> None:
+        if radius < 0:
+            raise StrategyError(f"radius must be non-negative, got {radius}")
+        if num_choices < 1:
+            raise StrategyError(f"num_choices must be at least 1, got {num_choices}")
+        if imbalance_threshold < 0:
+            raise StrategyError(
+                f"imbalance_threshold must be non-negative, got {imbalance_threshold}"
+            )
+        self._radius = float(radius)
+        self._num_choices = int(num_choices)
+        self._threshold = float(imbalance_threshold)
+        self._fallback = FallbackPolicy(fallback)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def radius(self) -> float:
+        """Proximity radius ``r``."""
+        return self._radius
+
+    @property
+    def num_choices(self) -> int:
+        """Number of sampled candidates ``d``."""
+        return self._num_choices
+
+    @property
+    def imbalance_threshold(self) -> float:
+        """Load slack within which the closer candidate is preferred."""
+        return self._threshold
+
+    @property
+    def fallback(self) -> FallbackPolicy:
+        """Fallback policy for requests with an empty candidate set."""
+        return self._fallback
+
+    # ------------------------------------------------------------------ assign
+    def assign(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        seed: SeedLike = None,
+    ) -> AssignmentResult:
+        self._check_compatibility(topology, cache, requests)
+        rng = as_generator(seed)
+        m = requests.num_requests
+        n = topology.n
+        servers = np.empty(m, dtype=np.int64)
+        distances = np.empty(m, dtype=np.int64)
+        fallback_mask = np.zeros(m, dtype=bool)
+        loads = np.zeros(n, dtype=np.int64)
+        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
+
+        replica_cache: dict[int, np.ndarray] = {}
+        for file_id in np.unique(requests.files):
+            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
+
+        for i in range(m):
+            origin = int(requests.origins[i])
+            file_id = int(requests.files[i])
+            replicas = replica_cache[file_id]
+            if replicas.size == 0:
+                raise NoReplicaError(file_id)
+
+            dists = topology.distances_from(origin, replicas)
+            if unconstrained:
+                candidates, candidate_dists = replicas, dists
+            else:
+                in_ball = dists <= self._radius
+                if np.any(in_ball):
+                    candidates, candidate_dists = replicas[in_ball], dists[in_ball]
+                elif self._fallback is FallbackPolicy.ERROR:
+                    raise StrategyError(
+                        f"no replica of file {file_id} within radius {self._radius} "
+                        f"of node {origin}"
+                    )
+                elif self._fallback is FallbackPolicy.NEAREST:
+                    nearest = int(np.argmin(dists))
+                    candidates = replicas[nearest : nearest + 1]
+                    candidate_dists = dists[nearest : nearest + 1]
+                    fallback_mask[i] = True
+                else:  # EXPAND
+                    radius = max(self._radius, 1.0)
+                    while True:
+                        radius *= 2.0
+                        in_ball = dists <= radius
+                        if np.any(in_ball):
+                            candidates = replicas[in_ball]
+                            candidate_dists = dists[in_ball]
+                            fallback_mask[i] = True
+                            break
+
+            if candidates.size > self._num_choices:
+                picked_idx = rng.choice(candidates.size, size=self._num_choices, replace=False)
+            else:
+                picked_idx = np.arange(candidates.size)
+            picked = candidates[picked_idx]
+            picked_dists = candidate_dists[picked_idx]
+            picked_loads = loads[picked]
+
+            eligible = picked_loads <= picked_loads.min() + self._threshold
+            eligible_idx = np.flatnonzero(eligible)
+            min_dist = picked_dists[eligible_idx].min()
+            closest = eligible_idx[picked_dists[eligible_idx] == min_dist]
+            pick = int(closest[rng.integers(0, closest.size)]) if closest.size > 1 else int(
+                closest[0]
+            )
+            chosen = int(picked[pick])
+            servers[i] = chosen
+            distances[i] = int(picked_dists[pick])
+            loads[chosen] += 1
+
+        return AssignmentResult(
+            servers=servers,
+            distances=distances,
+            num_nodes=n,
+            strategy_name=self.name,
+            fallback_mask=fallback_mask,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "radius": None if np.isinf(self._radius) else self._radius,
+            "num_choices": self._num_choices,
+            "imbalance_threshold": self._threshold,
+            "fallback": self._fallback.value,
+        }
+
+    def __repr__(self) -> str:
+        radius = "inf" if np.isinf(self._radius) else f"{self._radius:g}"
+        return (
+            f"ThresholdHybridStrategy(radius={radius}, d={self._num_choices}, "
+            f"threshold={self._threshold:g})"
+        )

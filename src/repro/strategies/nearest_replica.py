@@ -1,0 +1,124 @@
+"""Strategy I — the nearest replica strategy (Definition 2 of the paper).
+
+Each request is assigned to the closest server (graph shortest-path distance)
+that has cached the requested file; ties are broken uniformly at random.
+Equivalently, requests for file ``W_j`` are routed to the centre of the
+Voronoi cell of the tessellation ``V_j`` induced by the replica set of
+``W_j``.
+
+Because the assignment of one request never depends on previously assigned
+requests, the whole batch can be processed with vectorised NumPy: requests are
+grouped by file, and for every file a single origins-by-replicas distance
+matrix is reduced with ``argmin``.  Random tie-breaking is implemented by
+adding sub-integer uniform noise to the integer distance matrix before the
+``argmin`` — the noise can never flip a strict inequality, only break exact
+ties uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NoReplicaError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, as_generator
+from repro.strategies.base import AssignmentResult, AssignmentStrategy
+from repro.topology.base import Topology
+from repro.workload.request import RequestBatch
+
+__all__ = ["NearestReplicaStrategy"]
+
+
+class NearestReplicaStrategy(AssignmentStrategy):
+    """Assign every request to the nearest replica of the requested file.
+
+    Parameters
+    ----------
+    allow_origin_fallback:
+        When true, a request for a file cached nowhere is served by its origin
+        server with a distance equal to the network diameter (modelling a
+        fetch from outside the cache network).  When false (the default) such
+        a request raises :class:`~repro.exceptions.NoReplicaError`, matching
+        the paper's assumption that every file has at least one replica.
+    chunk_size:
+        Maximum number of rows of the per-file distance matrix materialised at
+        once; bounds peak memory to ``chunk_size x max_replication`` integers.
+    """
+
+    name = "nearest_replica"
+
+    def __init__(self, allow_origin_fallback: bool = False, chunk_size: int = 4096) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self._allow_origin_fallback = bool(allow_origin_fallback)
+        self._chunk_size = int(chunk_size)
+
+    @property
+    def allow_origin_fallback(self) -> bool:
+        """Whether uncached files are served by the origin instead of raising."""
+        return self._allow_origin_fallback
+
+    def assign(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        seed: SeedLike = None,
+    ) -> AssignmentResult:
+        self._check_compatibility(topology, cache, requests)
+        rng = as_generator(seed)
+        m = requests.num_requests
+        servers = np.empty(m, dtype=np.int64)
+        distances = np.empty(m, dtype=np.int64)
+        fallback = np.zeros(m, dtype=bool)
+
+        if m == 0:
+            return AssignmentResult(
+                servers=servers,
+                distances=distances,
+                num_nodes=topology.n,
+                strategy_name=self.name,
+                fallback_mask=fallback,
+            )
+
+        # Group request indices by requested file so that each file's replica
+        # set is fetched once and distances are computed in one matrix.
+        order = np.argsort(requests.files, kind="stable")
+        sorted_files = requests.files[order]
+        boundaries = np.flatnonzero(np.diff(sorted_files)) + 1
+        groups = np.split(order, boundaries)
+
+        for group in groups:
+            file_id = int(requests.files[group[0]])
+            replicas = cache.file_nodes(file_id)
+            if replicas.size == 0:
+                if not self._allow_origin_fallback:
+                    raise NoReplicaError(file_id)
+                servers[group] = requests.origins[group]
+                distances[group] = topology.diameter
+                fallback[group] = True
+                continue
+            origins = requests.origins[group]
+            for start in range(0, origins.size, self._chunk_size):
+                chunk = slice(start, start + self._chunk_size)
+                idx = group[chunk]
+                dmat = topology.pairwise_distances(origins[chunk], replicas).astype(np.float64)
+                # Sub-integer noise implements uniform random tie-breaking.
+                dmat += rng.random(dmat.shape) * 0.5
+                choice = np.argmin(dmat, axis=1)
+                servers[idx] = replicas[choice]
+                distances[idx] = np.floor(dmat[np.arange(choice.size), choice]).astype(np.int64)
+
+        return AssignmentResult(
+            servers=servers,
+            distances=distances,
+            num_nodes=topology.n,
+            strategy_name=self.name,
+            fallback_mask=fallback,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "allow_origin_fallback": self._allow_origin_fallback,
+        }

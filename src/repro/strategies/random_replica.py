@@ -1,0 +1,128 @@
+"""One-choice baseline: a uniformly random replica inside the proximity ball.
+
+This strategy isolates the contribution of the *second* choice in Strategy II:
+it samples a single replica uniformly from ``B_r(u)`` and assigns the request
+to it without looking at any load information.  Classical balls-into-bins
+theory predicts a maximum load of ``Θ(log n / log log n)`` for this process
+(versus ``Θ(log log n)`` with two choices), and the benchmark harness uses the
+pair to visualise that gap in the cache-network setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.rng import SeedLike, as_generator
+from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.topology.base import Topology
+from repro.workload.request import RequestBatch
+
+__all__ = ["RandomReplicaStrategy"]
+
+
+class RandomReplicaStrategy(AssignmentStrategy):
+    """Assign each request to one uniformly random replica within radius ``r``.
+
+    Parameters mirror :class:`~repro.strategies.proximity_two_choice.
+    ProximityTwoChoiceStrategy` minus the number of choices.
+    """
+
+    name = "random_replica"
+
+    def __init__(
+        self,
+        radius: float = np.inf,
+        fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+    ) -> None:
+        if radius < 0:
+            raise StrategyError(f"radius must be non-negative, got {radius}")
+        self._radius = float(radius)
+        self._fallback = FallbackPolicy(fallback)
+
+    @property
+    def radius(self) -> float:
+        """Proximity radius ``r``."""
+        return self._radius
+
+    @property
+    def fallback(self) -> FallbackPolicy:
+        """Fallback policy for requests with an empty candidate set."""
+        return self._fallback
+
+    def assign(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        seed: SeedLike = None,
+    ) -> AssignmentResult:
+        self._check_compatibility(topology, cache, requests)
+        rng = as_generator(seed)
+        m = requests.num_requests
+        servers = np.empty(m, dtype=np.int64)
+        distances = np.empty(m, dtype=np.int64)
+        fallback_mask = np.zeros(m, dtype=bool)
+        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
+
+        replica_cache: dict[int, np.ndarray] = {}
+        for file_id in np.unique(requests.files):
+            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
+
+        for i in range(m):
+            origin = int(requests.origins[i])
+            file_id = int(requests.files[i])
+            replicas = replica_cache[file_id]
+            if replicas.size == 0:
+                raise NoReplicaError(file_id)
+            if unconstrained:
+                pick = int(rng.integers(0, replicas.size))
+                chosen = int(replicas[pick])
+                dist = int(topology.distances_from(origin, np.asarray([chosen]))[0])
+            else:
+                dists = topology.distances_from(origin, replicas)
+                in_ball = dists <= self._radius
+                if np.any(in_ball):
+                    candidates = replicas[in_ball]
+                    candidate_dists = dists[in_ball]
+                elif self._fallback is FallbackPolicy.ERROR:
+                    raise StrategyError(
+                        f"no replica of file {file_id} within radius {self._radius} "
+                        f"of node {origin}"
+                    )
+                elif self._fallback is FallbackPolicy.NEAREST:
+                    nearest = int(np.argmin(dists))
+                    candidates = replicas[nearest : nearest + 1]
+                    candidate_dists = dists[nearest : nearest + 1]
+                    fallback_mask[i] = True
+                else:  # EXPAND
+                    radius = max(self._radius, 1.0)
+                    while True:
+                        radius *= 2.0
+                        in_ball = dists <= radius
+                        if np.any(in_ball):
+                            candidates = replicas[in_ball]
+                            candidate_dists = dists[in_ball]
+                            fallback_mask[i] = True
+                            break
+                pick = int(rng.integers(0, candidates.size))
+                chosen = int(candidates[pick])
+                dist = int(candidate_dists[pick])
+            servers[i] = chosen
+            distances[i] = dist
+
+        return AssignmentResult(
+            servers=servers,
+            distances=distances,
+            num_nodes=topology.n,
+            strategy_name=self.name,
+            fallback_mask=fallback_mask,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "radius": None if np.isinf(self._radius) else self._radius,
+            "fallback": self._fallback.value,
+        }

@@ -1,0 +1,40 @@
+"""Closed-form theoretical predictions from the paper's theorems.
+
+* :mod:`~repro.theory.bounds` — maximum-load predictions for Strategy I
+  (Theorems 1 and 2) and Strategy II (Theorem 4, Theorem 6, Examples 2 and 4).
+* :mod:`~repro.theory.comm_cost` — communication-cost predictions for the
+  nearest-replica strategy (Theorem 3, Uniform and all five Zipf regimes) and
+  for the proximity-aware strategy (``Θ(r)``).
+* :mod:`~repro.theory.predictions` — a single entry point turning a
+  :class:`~repro.simulation.config.SimulationConfig` into a
+  :class:`~repro.theory.predictions.TheoreticalPrediction` the experiment
+  reports print next to the measured values.
+
+All predictions are leading-order Θ(·) scalings; they predict growth shapes
+and crossovers, not absolute constants.
+"""
+
+from repro.theory.bounds import (
+    strategy1_max_load_prediction,
+    strategy2_max_load_prediction,
+    max_poisson_load_prediction,
+)
+from repro.theory.comm_cost import (
+    strategy1_comm_cost_uniform,
+    strategy1_comm_cost_zipf,
+    strategy2_comm_cost,
+    zipf_cost_regime,
+)
+from repro.theory.predictions import TheoreticalPrediction, predict
+
+__all__ = [
+    "strategy1_max_load_prediction",
+    "strategy2_max_load_prediction",
+    "max_poisson_load_prediction",
+    "strategy1_comm_cost_uniform",
+    "strategy1_comm_cost_zipf",
+    "strategy2_comm_cost",
+    "zipf_cost_regime",
+    "TheoreticalPrediction",
+    "predict",
+]

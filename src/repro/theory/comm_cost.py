@@ -1,0 +1,137 @@
+"""Communication-cost predictions (Theorem 3 and the Θ(r) cost of Strategy II).
+
+Theorem 3 gives the nearest-replica communication cost as
+
+* ``Θ(√(K/M))`` under Uniform popularity (any ``M ≪ K``), and
+* for Zipf popularity with constant ``M``:
+
+  ====================  =============================
+  ``0 < γ < 1``          ``Θ(√(K/M))``
+  ``γ = 1``              ``Θ(√(K / (M log K)))``
+  ``1 < γ < 2``          ``Θ(K^{1-γ/2} / √M)``
+  ``γ = 2``              ``Θ(log K / √M)``
+  ``γ > 2``              ``Θ(1 / √M)``
+  ====================  =============================
+
+The finite-``K`` formula behind all of the above (equation (14)) is
+``C = Σ_j p_j / √(1 − (1 − p_j)^M)``, which this module also evaluates exactly
+so that simulations can be compared both to the exact expectation and to the
+asymptotic regime shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.catalog.zipf import generalized_harmonic, zipf_pmf
+from repro.types import FloatArray
+
+__all__ = [
+    "expected_nearest_replica_cost",
+    "strategy1_comm_cost_uniform",
+    "strategy1_comm_cost_zipf",
+    "strategy1_comm_cost_zipf_exact",
+    "strategy2_comm_cost",
+    "zipf_cost_regime",
+]
+
+
+def expected_nearest_replica_cost(pmf: FloatArray | np.ndarray, cache_size: int) -> float:
+    """Exact evaluation of equation (14): ``Σ_j p_j / √(1 − (1 − p_j)^M)``.
+
+    This is the paper's expected hop count up to the geometric constant that
+    converts "expected number of probed cells" into grid hops; as with the
+    other predictions it should be compared to simulations through ratios.
+    """
+    p = np.asarray(pmf, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("pmf must be a non-empty 1-D probability vector")
+    if cache_size <= 0:
+        raise ValueError(f"cache_size must be positive, got {cache_size}")
+    hit = 1.0 - (1.0 - p) ** cache_size
+    # Files with zero popularity contribute nothing (they are never requested).
+    mask = p > 0
+    return float(np.sum(p[mask] / np.sqrt(hit[mask])))
+
+
+def strategy1_comm_cost_uniform(num_files: int, cache_size: int) -> float:
+    """Theorem 3, Uniform popularity: ``Θ(√(K/M))``."""
+    if num_files <= 0 or cache_size <= 0:
+        raise ValueError("num_files and cache_size must be positive")
+    return math.sqrt(num_files / cache_size)
+
+
+def zipf_cost_regime(gamma: float) -> str:
+    """Name of the Theorem 3 regime a Zipf exponent falls into."""
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    if gamma < 1.0:
+        return "gamma<1"
+    if math.isclose(gamma, 1.0):
+        return "gamma=1"
+    if gamma < 2.0:
+        return "1<gamma<2"
+    if math.isclose(gamma, 2.0):
+        return "gamma=2"
+    return "gamma>2"
+
+
+def strategy1_comm_cost_zipf(num_files: int, cache_size: int, gamma: float) -> float:
+    """Theorem 3, Zipf popularity with constant ``M``: the five-regime formula.
+
+    The returned value follows equation (16):
+    ``C = Θ( Σ_j j^{-γ/2} / √(M Λ(γ)) )``, evaluated with the asymptotic form
+    of each regime so the scaling (not the constant) matches the theorem:
+
+    * ``γ < 1``   → ``√(K / M)``
+    * ``γ = 1``   → ``√(K / (M log K))``
+    * ``1 < γ < 2`` → ``K^{1 - γ/2} / √M``
+    * ``γ = 2``   → ``log K / √M``
+    * ``γ > 2``   → ``1 / √M``
+    """
+    if num_files <= 1:
+        raise ValueError(f"num_files must be at least 2, got {num_files}")
+    if cache_size <= 0:
+        raise ValueError(f"cache_size must be positive, got {cache_size}")
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    K = float(num_files)
+    M = float(cache_size)
+    regime = zipf_cost_regime(gamma)
+    if regime == "gamma<1":
+        return math.sqrt(K / M)
+    if regime == "gamma=1":
+        return math.sqrt(K / (M * math.log(K)))
+    if regime == "1<gamma<2":
+        return K ** (1.0 - gamma / 2.0) / math.sqrt(M)
+    if regime == "gamma=2":
+        return math.log(K) / math.sqrt(M)
+    return 1.0 / math.sqrt(M)
+
+
+def strategy1_comm_cost_zipf_exact(num_files: int, cache_size: int, gamma: float) -> float:
+    """Finite-``K`` evaluation of equation (16) (numerator and Λ(γ) exact)."""
+    if num_files <= 0 or cache_size <= 0:
+        raise ValueError("num_files and cache_size must be positive")
+    ranks = np.arange(1, num_files + 1, dtype=np.float64)
+    numerator = float(np.sum(ranks ** (-gamma / 2.0)))
+    lam = generalized_harmonic(num_files, gamma)
+    return numerator / math.sqrt(cache_size * lam)
+
+
+def strategy2_comm_cost(n: int, radius: float) -> float:
+    """Strategy II communication cost: ``Θ(r)`` (``Θ(√n)`` when unconstrained).
+
+    Theorem 4 and Theorem 6 both give ``C = Θ(r)`` — two uniformly random
+    nodes of an L1 ball of radius ``r`` are at expected distance ``Θ(r)`` from
+    its centre.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if np.isinf(radius):
+        return math.sqrt(n)
+    return min(float(radius), math.sqrt(n))

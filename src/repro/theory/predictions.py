@@ -1,0 +1,110 @@
+"""Unified theoretical prediction for a simulation configuration.
+
+:func:`predict` inspects a :class:`~repro.simulation.config.SimulationConfig`
+and returns the paper's leading-order predictions for its maximum load and
+communication cost, together with the regime classification.  The experiment
+reports print these next to the measured values so a reader can judge the
+reproduction at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.regimes import RegimeReport, classify_regime
+from repro.simulation.config import SimulationConfig
+from repro.theory.bounds import (
+    max_poisson_load_prediction,
+    strategy1_max_load_prediction,
+    strategy2_max_load_prediction,
+)
+from repro.theory.comm_cost import (
+    strategy1_comm_cost_uniform,
+    strategy1_comm_cost_zipf,
+    strategy2_comm_cost,
+)
+
+__all__ = ["TheoreticalPrediction", "predict"]
+
+
+@dataclass(frozen=True)
+class TheoreticalPrediction:
+    """The paper's leading-order predictions for one simulation point.
+
+    Attributes
+    ----------
+    max_load_order:
+        Leading-order value of the predicted maximum load (no constants).
+    comm_cost_order:
+        Leading-order value of the predicted communication cost.
+    regime:
+        Regime classification for Strategy II points (``None`` for pure
+        Strategy I points where the regime machinery does not apply).
+    notes:
+        Human-readable explanation of which theorem produced the numbers.
+    """
+
+    max_load_order: float
+    comm_cost_order: float
+    regime: RegimeReport | None
+    notes: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the prediction as a plain dictionary."""
+        return {
+            "max_load_order": self.max_load_order,
+            "comm_cost_order": self.comm_cost_order,
+            "regime": self.regime.as_dict() if self.regime is not None else None,
+            "notes": self.notes,
+        }
+
+
+def _radius_of(config: SimulationConfig) -> float:
+    radius = config.strategy_params.get("radius", None)
+    return np.inf if radius is None else float(radius)
+
+
+def predict(config: SimulationConfig) -> TheoreticalPrediction:
+    """Predict the paper's metrics for ``config``.
+
+    Strategies other than the two analysed in the paper (e.g. the omniscient
+    baseline) receive the Strategy II prediction as an optimistic bound, with
+    a note saying so.
+    """
+    n = config.num_nodes
+    K = config.num_files
+    M = config.cache_size
+    strategy = config.strategy.lower()
+    gamma = config.popularity_params.get("gamma")
+
+    if strategy in ("nearest_replica", "strategy_i", "nearest"):
+        max_load = strategy1_max_load_prediction(n, K, M)
+        if config.popularity == "zipf" and gamma is not None:
+            comm = strategy1_comm_cost_zipf(K, M, float(gamma))
+            notes = "Strategy I: Theorem 1/2 max load, Theorem 3 (Zipf) communication cost."
+        else:
+            comm = strategy1_comm_cost_uniform(K, M)
+            notes = "Strategy I: Theorem 1/2 max load, Theorem 3 (Uniform) communication cost."
+        return TheoreticalPrediction(
+            max_load_order=max_load, comm_cost_order=comm, regime=None, notes=notes
+        )
+
+    radius = _radius_of(config)
+    regime = classify_regime(n, K, M, radius)
+    max_load = strategy2_max_load_prediction(n, K, M, radius)
+    comm = strategy2_comm_cost(n, radius)
+    if strategy in ("proximity_two_choice", "strategy_ii", "two_choice"):
+        notes = f"Strategy II: regime '{regime.regime}' (Theorem 4/6 and Examples 1-4)."
+    elif strategy in ("random_replica", "one_choice"):
+        max_load = max(max_load, max_poisson_load_prediction(n))
+        notes = "One-choice baseline: expect the log n / log log n one-choice scale."
+    else:
+        notes = (
+            f"Strategy {config.strategy!r} is not analysed in the paper; the Strategy II "
+            "prediction is reported as an optimistic bound."
+        )
+    return TheoreticalPrediction(
+        max_load_order=max_load, comm_cost_order=comm, regime=regime, notes=notes
+    )

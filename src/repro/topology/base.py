@@ -1,0 +1,133 @@
+"""Abstract topology interface.
+
+A :class:`Topology` describes the server network: how many servers exist, the
+hop distance between any two of them, and the ball ``B_r(u)`` of servers
+within distance ``r`` of a server ``u``.  Assignment strategies only interact
+with topologies through this interface, so adding a new network shape (e.g. a
+3-D torus or a random geometric graph) requires implementing a handful of
+vectorised methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.types import IntArray
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """Base class for server-network topologies.
+
+    Subclasses must provide vectorised distance computation (``distances_from``
+    and ``pairwise_distances``), which is the only performance-critical part of
+    the interface; generic implementations of ``ball``, ``neighbors`` and
+    ``to_networkx`` are provided in terms of it.
+    """
+
+    #: Short machine-readable topology name (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise TopologyError(f"number of nodes must be positive, got {n}")
+        self._n = int(n)
+
+    # ------------------------------------------------------------------ core
+    @property
+    def n(self) -> int:
+        """Number of servers in the network."""
+        return self._n
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop distance between any two servers."""
+
+    @abstractmethod
+    def distances_from(self, node: int, targets: IntArray | None = None) -> IntArray:
+        """Hop distances from ``node`` to ``targets`` (all nodes if ``None``)."""
+
+    @abstractmethod
+    def pairwise_distances(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        """``len(nodes_a) x len(nodes_b)`` matrix of hop distances."""
+
+    # ----------------------------------------------------------- conveniences
+    def validate_nodes(self, nodes: IntArray | Iterable[int] | int) -> IntArray:
+        """Coerce ``nodes`` to an int array and check all ids are in range."""
+        arr = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if arr.size and (arr.min() < 0 or arr.max() >= self._n):
+            raise TopologyError(
+                f"node ids must be in [0, {self._n}), got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    def distance(self, u: int, v: int) -> int:
+        """Hop distance between two individual servers."""
+        self.validate_nodes([u, v])
+        return int(self.distances_from(int(u), np.asarray([v], dtype=np.int64))[0])
+
+    def ball(self, node: int, radius: float) -> IntArray:
+        """Return ``B_r(node)``: ids of all servers within ``radius`` hops.
+
+        ``radius`` may be ``numpy.inf`` to denote the whole network; the
+        returned array always includes ``node`` itself and is sorted.
+        """
+        self.validate_nodes(node)
+        if radius < 0:
+            raise TopologyError(f"radius must be non-negative, got {radius}")
+        if np.isinf(radius) or radius >= self.diameter:
+            return np.arange(self._n, dtype=np.int64)
+        dist = self.distances_from(int(node))
+        return np.flatnonzero(dist <= radius).astype(np.int64)
+
+    def ball_size(self, node: int, radius: float) -> int:
+        """Number of servers in ``B_r(node)`` (including ``node``)."""
+        return int(self.ball(node, radius).size)
+
+    def neighbors(self, node: int) -> IntArray:
+        """Servers at hop distance exactly one from ``node``."""
+        self.validate_nodes(node)
+        dist = self.distances_from(int(node))
+        return np.flatnonzero(dist == 1).astype(np.int64)
+
+    def degree(self, node: int) -> int:
+        """Number of direct neighbours of ``node``."""
+        return int(self.neighbors(node).size)
+
+    def to_networkx(self):
+        """Materialise the topology as a :class:`networkx.Graph`.
+
+        Only intended for small networks (tests, visualisation, analysis); the
+        simulation engine never builds an explicit graph.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < int(v):
+                    graph.add_edge(u, int(v))
+        return graph
+
+    # -------------------------------------------------------------- plumbing
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._n})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return type(self) is type(other) and self._n == other._n
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._n))

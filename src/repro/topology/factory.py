@@ -1,0 +1,55 @@
+"""Factory for constructing topologies by name.
+
+The experiment specifications store topologies as plain strings so they can be
+serialised to JSON; this module converts those names back into topology
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.complete import CompleteTopology
+from repro.topology.grid import Grid2D
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+__all__ = ["create_topology", "available_topologies", "register_topology"]
+
+_REGISTRY: dict[str, Callable[[int], Topology]] = {
+    "torus": Torus2D,
+    "grid": Grid2D,
+    "ring": Ring,
+    "complete": CompleteTopology,
+}
+
+
+def available_topologies() -> tuple[str, ...]:
+    """Names accepted by :func:`create_topology`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_topology(name: str, constructor: Callable[[int], Topology]) -> None:
+    """Register a custom topology constructor under ``name``.
+
+    The constructor must accept the number of nodes as its single positional
+    argument.  Registering an existing name overwrites it, which is useful in
+    tests; production code should pick unique names.
+    """
+    if not name or not isinstance(name, str):
+        raise TopologyError(f"topology name must be a non-empty string, got {name!r}")
+    _REGISTRY[name.lower()] = constructor
+
+
+def create_topology(name: str, n: int) -> Topology:
+    """Create a topology instance from its registered ``name`` and size ``n``."""
+    key = str(name).lower()
+    try:
+        constructor = _REGISTRY[key]
+    except KeyError as exc:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        ) from exc
+    return constructor(n)

@@ -1,0 +1,151 @@
+"""The 2-D torus topology used throughout the paper.
+
+Servers are arranged on a ``side x side`` square lattice with wrap-around
+edges in both dimensions.  Node ``i`` sits at coordinates
+``(i % side, i // side)``; the hop distance between two nodes is the wrapped
+Manhattan distance, and the ball ``B_r(u)`` is the L1 ball around ``u`` which
+contains ``2 r (r + 1) + 1`` nodes whenever ``2 r < side`` (the exact count
+used in the paper's Lemma 1 and Theorem 2 proofs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.distance import torus_l1, torus_l1_matrix
+from repro.topology.neighborhood import ball_size_torus
+from repro.types import IntArray
+
+__all__ = ["Torus2D"]
+
+
+class Torus2D(Topology):
+    """Square 2-D torus with 4-neighbour connectivity.
+
+    Parameters
+    ----------
+    n:
+        Total number of servers; must be a perfect square.  Alternatively use
+        :meth:`from_side`.
+    """
+
+    name = "torus"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        side = int(np.floor(np.sqrt(n) + 0.5))
+        if side * side != n:
+            raise TopologyError(f"torus size must be a perfect square, got n={n}")
+        self._side = side
+        node_ids = np.arange(n, dtype=np.int64)
+        self._x = node_ids % side
+        self._y = node_ids // side
+
+    # ------------------------------------------------------------ properties
+    @classmethod
+    def from_side(cls, side: int) -> "Torus2D":
+        """Construct a ``side x side`` torus."""
+        if side <= 0:
+            raise TopologyError(f"side must be positive, got {side}")
+        return cls(side * side)
+
+    @property
+    def side(self) -> int:
+        """Lattice side length (``sqrt(n)``)."""
+        return self._side
+
+    @property
+    def diameter(self) -> int:
+        """The torus diameter is ``2 * floor(side / 2)``."""
+        return 2 * (self._side // 2)
+
+    # ------------------------------------------------------------ coordinates
+    def coordinates(self, nodes: IntArray | int | None = None) -> tuple[IntArray, IntArray]:
+        """Return ``(x, y)`` coordinates of ``nodes`` (all nodes if ``None``).
+
+        A scalar node id yields scalar coordinates; an array yields arrays.
+        """
+        if nodes is None:
+            return self._x, self._y
+        scalar = np.isscalar(nodes) or (isinstance(nodes, np.ndarray) and nodes.ndim == 0)
+        validated = self.validate_nodes(nodes)
+        if scalar:
+            node = int(validated[0])
+            return int(self._x[node]), int(self._y[node])
+        return self._x[validated], self._y[validated]
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id of coordinates ``(x, y)`` (taken modulo ``side``)."""
+        return int((y % self._side) * self._side + (x % self._side))
+
+    # -------------------------------------------------------------- distances
+    def distances_from(self, node: int, targets: IntArray | None = None) -> IntArray:
+        self.validate_nodes(node)
+        if targets is None:
+            tx, ty = self._x, self._y
+        else:
+            targets = self.validate_nodes(targets)
+            tx, ty = self._x[targets], self._y[targets]
+        return torus_l1(self._x[node], self._y[node], tx, ty, self._side)
+
+    def pairwise_distances(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        nodes_a = self.validate_nodes(nodes_a)
+        nodes_b = self.validate_nodes(nodes_b)
+        return torus_l1_matrix(
+            self._x[nodes_a], self._y[nodes_a], self._x[nodes_b], self._y[nodes_b], self._side
+        )
+
+    # ------------------------------------------------------------------ balls
+    def ball(self, node: int, radius: float) -> IntArray:
+        """L1 ball around ``node``; overridden for speed on large tori.
+
+        Instead of scanning all ``n`` nodes, enumerate the at most
+        ``2r(r+1)+1`` lattice offsets directly when the ball is small relative
+        to the torus.
+        """
+        self.validate_nodes(node)
+        if radius < 0:
+            raise TopologyError(f"radius must be non-negative, got {radius}")
+        if np.isinf(radius) or radius >= self.diameter:
+            return np.arange(self._n, dtype=np.int64)
+        r = int(radius)
+        if 2 * r >= self._side:
+            # Wrap-around overlaps make direct offset enumeration double-count;
+            # fall back to the generic distance scan.
+            dist = self.distances_from(int(node))
+            return np.flatnonzero(dist <= r).astype(np.int64)
+        dx = np.arange(-r, r + 1, dtype=np.int64)
+        dy = np.arange(-r, r + 1, dtype=np.int64)
+        gx, gy = np.meshgrid(dx, dy, indexing="ij")
+        mask = np.abs(gx) + np.abs(gy) <= r
+        ox = (self._x[node] + gx[mask]) % self._side
+        oy = (self._y[node] + gy[mask]) % self._side
+        nodes = oy * self._side + ox
+        return np.sort(nodes.astype(np.int64))
+
+    def ball_size(self, node: int, radius: float) -> int:
+        """Closed-form ball size on the torus (identical for every node)."""
+        if radius < 0:
+            raise TopologyError(f"radius must be non-negative, got {radius}")
+        if np.isinf(radius) or radius >= self.diameter:
+            return self._n
+        return ball_size_torus(int(radius), self._side)
+
+    def neighbors(self, node: int) -> IntArray:
+        """The four von Neumann neighbours (fewer for degenerate 1x1 / 2x2 tori)."""
+        self.validate_nodes(node)
+        x, y = int(self._x[node]), int(self._y[node])
+        side = self._side
+        candidates = {
+            self.node_at(x + 1, y),
+            self.node_at(x - 1, y),
+            self.node_at(x, y + 1),
+            self.node_at(x, y - 1),
+        }
+        candidates.discard(int(node))
+        return np.array(sorted(candidates), dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"Torus2D(side={self._side}, n={self._n})"

@@ -1,0 +1,25 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["IntArray", "FloatArray", "BoolArray", "NodeId", "FileId"]
+
+#: One-dimensional (or broadcastable) integer array of node or file indices.
+IntArray = npt.NDArray[np.int64]
+
+#: Floating point array (distances, probabilities, costs).
+FloatArray = npt.NDArray[np.float64]
+
+#: Boolean mask array.
+BoolArray = npt.NDArray[np.bool_]
+
+#: A single server index in ``[0, n)``.
+NodeId = Union[int, np.integer]
+
+#: A single file index in ``[0, K)``.
+FileId = Union[int, np.integer]

@@ -1,0 +1,31 @@
+"""Small shared utilities: validation, statistics, timing and logging."""
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_probability_vector,
+    check_in_range,
+    check_perfect_square,
+)
+from repro.utils.stats import (
+    mean_confidence_interval,
+    summarize_samples,
+    SampleSummary,
+    bootstrap_ci,
+)
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability_vector",
+    "check_in_range",
+    "check_perfect_square",
+    "mean_confidence_interval",
+    "summarize_samples",
+    "SampleSummary",
+    "bootstrap_ci",
+    "Timer",
+    "get_logger",
+]

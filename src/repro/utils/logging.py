@@ -1,0 +1,52 @@
+"""Logging configuration helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so applications embedding the simulator
+control output themselves.  The experiment harness and the example scripts
+call :func:`get_logger` with ``configure=True`` to get readable progress
+output on stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+logging.getLogger(_PACKAGE_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(
+    name: str | None = None, *, configure: bool = False, level: int = logging.INFO
+) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Suffix appended to the package logger name (``None`` returns the
+        package logger itself).
+    configure:
+        If true, attach a stream handler with a compact format to the package
+        logger (only once) and set the requested level.  Intended for scripts.
+    level:
+        Logging level applied when ``configure`` is true.
+    """
+    logger_name = _PACKAGE_LOGGER_NAME if not name else f"{_PACKAGE_LOGGER_NAME}.{name}"
+    logger = logging.getLogger(logger_name)
+    if configure:
+        package_logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+        has_stream = any(
+            isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+            for h in package_logger.handlers
+        )
+        if not has_stream:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+            )
+            package_logger.addHandler(handler)
+        package_logger.setLevel(level)
+    return logger

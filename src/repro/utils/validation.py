@@ -1,0 +1,99 @@
+"""Argument-validation helpers shared by constructors across the library.
+
+These helpers raise :class:`~repro.exceptions.ConfigurationError` (a
+``ValueError`` subclass) with uniform, descriptive messages so configuration
+mistakes surface early and consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_probability_vector",
+    "check_perfect_square",
+]
+
+
+def check_positive_int(value: object, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: object, name: str) -> int:
+    """Return ``value`` as ``int`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float = -math.inf,
+    high: float = math.inf,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Check that ``value`` lies in the given interval and return it as ``float``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(value):
+        raise ConfigurationError(f"{name} must not be NaN")
+    low_ok = value >= low if low_inclusive else value > low
+    high_ok = value <= high if high_inclusive else value < high
+    if not (low_ok and high_ok):
+        lo_b = "[" if low_inclusive else "("
+        hi_b = "]" if high_inclusive else ")"
+        raise ConfigurationError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value}")
+    return value
+
+
+def check_probability_vector(p: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``p`` is a non-negative vector summing to one.
+
+    A relative tolerance of ``1e-9`` is used for the normalisation check; the
+    returned array is re-normalised exactly so downstream multinomial sampling
+    never fails on floating point dust.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D vector")
+    if np.any(~np.isfinite(arr)):
+        raise ConfigurationError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ConfigurationError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if total <= 0:
+        raise ConfigurationError(f"{name} must have a positive sum")
+    if abs(total - 1.0) > 1e-9 * max(1.0, abs(total)):
+        raise ConfigurationError(f"{name} must sum to 1, got {total!r}")
+    return arr / total
+
+
+def check_perfect_square(value: int, name: str) -> int:
+    """Check that ``value`` is a perfect square and return its integer square root."""
+    value = check_positive_int(value, name)
+    side = math.isqrt(value)
+    if side * side != value:
+        raise ConfigurationError(f"{name} must be a perfect square, got {value}")
+    return side

@@ -1,0 +1,35 @@
+"""Request workload generation.
+
+The paper's workload is a block of ``m`` sequential requests (``m = n`` in the
+analysis and figures): each request originates at a server chosen uniformly at
+random and asks for a file drawn from the popularity profile.  For large ``n``
+this makes the per-server demand ``D_i`` approximately ``Poisson(m / n)``.
+
+This subpackage provides the sequential batch generator used by all
+experiments, a per-node Poisson demand generator (useful for direct
+balls-into-bins comparisons), a continuous-time Poisson arrival process (for
+the supermarket-model queueing extension), and plain-text trace persistence.
+"""
+
+from repro.workload.request import RequestBatch
+from repro.workload.generators import (
+    UniformOriginWorkload,
+    PoissonDemandWorkload,
+    HotspotOriginWorkload,
+    WorkloadGenerator,
+)
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivalProcess, TimedRequest
+from repro.workload.trace import save_trace, load_trace
+
+__all__ = [
+    "RequestBatch",
+    "WorkloadGenerator",
+    "UniformOriginWorkload",
+    "PoissonDemandWorkload",
+    "HotspotOriginWorkload",
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "TimedRequest",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,87 @@
+"""Continuous-time request arrival processes.
+
+The paper's analysis is for the static balls-into-bins setting, but its
+discussion section conjectures that the same behaviour carries over to the
+continuous-time *supermarket model* in which requests arrive as a Poisson
+process and occupy a server for an exponentially distributed service time.
+The queueing extension in :mod:`repro.simulation.queueing` consumes the timed
+request streams produced here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.rng import SeedLike, as_generator
+from repro.topology.base import Topology
+from repro.utils.validation import check_in_range
+
+__all__ = ["TimedRequest", "ArrivalProcess", "PoissonArrivalProcess"]
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """A single request with an arrival timestamp."""
+
+    time: float
+    origin: int
+    file_id: int
+
+
+class ArrivalProcess(ABC):
+    """Base class for continuous-time arrival processes."""
+
+    @abstractmethod
+    def generate(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        horizon: float,
+        seed: SeedLike = None,
+    ) -> list[TimedRequest]:
+        """Generate all requests arriving in ``[0, horizon)`` sorted by time."""
+
+
+class PoissonArrivalProcess(ArrivalProcess):
+    """Network-wide Poisson arrivals at total rate ``n * rate_per_node``.
+
+    Each arrival picks a uniformly random origin server and a file drawn from
+    the popularity profile — i.e. the continuous-time analogue of
+    :class:`~repro.workload.generators.UniformOriginWorkload`.
+    """
+
+    def __init__(self, rate_per_node: float = 0.9) -> None:
+        self._rate = check_in_range(
+            rate_per_node, "rate_per_node", 0.0, np.inf, low_inclusive=False
+        )
+
+    @property
+    def rate_per_node(self) -> float:
+        """Arrival rate per server (total network rate is ``n * rate_per_node``)."""
+        return self._rate
+
+    def generate(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        horizon: float,
+        seed: SeedLike = None,
+    ) -> list[TimedRequest]:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = as_generator(seed)
+        total_rate = self._rate * topology.n
+        expected = total_rate * horizon
+        # Draw the number of arrivals, then order-statistics for the times.
+        count = int(rng.poisson(expected))
+        times = np.sort(rng.uniform(0.0, horizon, size=count))
+        origins = rng.integers(0, topology.n, size=count)
+        files = library.sample_files(count, rng)
+        return [
+            TimedRequest(time=float(t), origin=int(o), file_id=int(f))
+            for t, o, f in zip(times, origins, files)
+        ]

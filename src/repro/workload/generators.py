@@ -1,0 +1,188 @@
+"""Workload generators producing :class:`~repro.workload.request.RequestBatch`.
+
+Three generators are provided:
+
+* :class:`UniformOriginWorkload` — the paper's model: a fixed number of
+  sequential requests, each born at a uniformly random server and asking for a
+  file drawn from the popularity profile.
+* :class:`PoissonDemandWorkload` — draws each server's demand ``D_i`` from an
+  independent ``Poisson(rate)`` first and then materialises the requests in a
+  random interleaving.  For ``rate = m / n`` and large ``n`` this is the same
+  process as the uniform-origin workload (Poissonisation), and it is the form
+  the paper uses in Examples 1–4.
+* :class:`HotspotOriginWorkload` — an extension where a subset of servers
+  produces a disproportionate share of the requests, used by the example
+  applications to stress the proximity constraint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import WorkloadError
+from repro.rng import SeedLike, as_generator
+from repro.topology.base import Topology
+from repro.utils.validation import check_in_range, check_positive_int
+from repro.workload.request import RequestBatch
+
+__all__ = [
+    "WorkloadGenerator",
+    "UniformOriginWorkload",
+    "PoissonDemandWorkload",
+    "HotspotOriginWorkload",
+]
+
+
+class WorkloadGenerator(ABC):
+    """Base class of request-batch generators."""
+
+    #: Short machine-readable name (set by subclasses).
+    name: str = "abstract"
+
+    @abstractmethod
+    def generate(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> RequestBatch:
+        """Generate an ordered request batch for the given network and library."""
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable description (used by the experiment harness)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformOriginWorkload(WorkloadGenerator):
+    """``num_requests`` sequential requests with uniformly random origins.
+
+    Parameters
+    ----------
+    num_requests:
+        Number of requests ``m``.  ``None`` (default) means ``m = n``, the
+        paper's setting of one request per server on average.
+    """
+
+    name = "uniform_origin"
+
+    def __init__(self, num_requests: int | None = None) -> None:
+        if num_requests is not None:
+            num_requests = check_positive_int(num_requests, "num_requests")
+        self._num_requests = num_requests
+
+    @property
+    def num_requests(self) -> int | None:
+        """Configured number of requests (``None`` = one per server)."""
+        return self._num_requests
+
+    def generate(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> RequestBatch:
+        rng = as_generator(seed)
+        m = self._num_requests if self._num_requests is not None else topology.n
+        origins = rng.integers(0, topology.n, size=m, dtype=np.int64)
+        files = library.sample_files(m, rng)
+        return RequestBatch(
+            origins=origins, files=files, num_nodes=topology.n, num_files=library.num_files
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {"name": self.name, "num_requests": self._num_requests}
+
+
+class PoissonDemandWorkload(WorkloadGenerator):
+    """Per-server i.i.d. ``Poisson(rate)`` demand, requests randomly interleaved.
+
+    Parameters
+    ----------
+    rate:
+        Mean number of requests per server (the paper's ``D_i ~ Po(1)`` uses
+        ``rate = 1``).
+    """
+
+    name = "poisson_demand"
+
+    def __init__(self, rate: float = 1.0) -> None:
+        self._rate = check_in_range(rate, "rate", 0.0, np.inf, low_inclusive=False)
+
+    @property
+    def rate(self) -> float:
+        """Mean demand per server."""
+        return self._rate
+
+    def generate(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> RequestBatch:
+        rng = as_generator(seed)
+        demands = rng.poisson(self._rate, size=topology.n)
+        origins = np.repeat(np.arange(topology.n, dtype=np.int64), demands)
+        if origins.size == 0:
+            # Degenerate but possible for tiny rate*n; emit a single request so
+            # downstream metrics remain well-defined.
+            origins = rng.integers(0, topology.n, size=1, dtype=np.int64)
+        rng.shuffle(origins)
+        files = library.sample_files(origins.size, rng)
+        return RequestBatch(
+            origins=origins, files=files, num_nodes=topology.n, num_files=library.num_files
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {"name": self.name, "rate": self._rate}
+
+
+class HotspotOriginWorkload(WorkloadGenerator):
+    """A fraction of requests originates inside a small geographic hotspot.
+
+    ``hotspot_fraction`` of the requests are born at servers chosen uniformly
+    from the ball of radius ``hotspot_radius`` around a random centre; the
+    remaining requests use uniform origins.  This models flash crowds and is
+    used by the CDN example to show how Strategy II spreads a localised surge.
+    """
+
+    name = "hotspot_origin"
+
+    def __init__(
+        self,
+        num_requests: int | None = None,
+        hotspot_fraction: float = 0.5,
+        hotspot_radius: int = 3,
+        center: int | None = None,
+    ) -> None:
+        if num_requests is not None:
+            num_requests = check_positive_int(num_requests, "num_requests")
+        self._num_requests = num_requests
+        self._fraction = check_in_range(hotspot_fraction, "hotspot_fraction", 0.0, 1.0)
+        if hotspot_radius < 0:
+            raise WorkloadError(f"hotspot_radius must be non-negative, got {hotspot_radius}")
+        self._radius = int(hotspot_radius)
+        self._center = center
+
+    def generate(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> RequestBatch:
+        rng = as_generator(seed)
+        m = self._num_requests if self._num_requests is not None else topology.n
+        center = self._center if self._center is not None else int(rng.integers(0, topology.n))
+        topology.validate_nodes(center)
+        hotspot_nodes = topology.ball(center, self._radius)
+        num_hot = int(round(self._fraction * m))
+        hot_origins = rng.choice(hotspot_nodes, size=num_hot, replace=True).astype(np.int64)
+        cold_origins = rng.integers(0, topology.n, size=m - num_hot, dtype=np.int64)
+        origins = np.concatenate([hot_origins, cold_origins])
+        rng.shuffle(origins)
+        files = library.sample_files(m, rng)
+        return RequestBatch(
+            origins=origins, files=files, num_nodes=topology.n, num_files=library.num_files
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "num_requests": self._num_requests,
+            "hotspot_fraction": self._fraction,
+            "hotspot_radius": self._radius,
+            "center": self._center,
+        }

@@ -1,0 +1,117 @@
+"""The request batch container.
+
+Requests are processed sequentially by the assignment strategies (the order
+matters for load-aware strategies such as Strategy II), so a workload is an
+*ordered* pair of arrays: request origins and requested files.  Keeping the
+batch as two parallel NumPy arrays instead of a list of objects lets the
+load-oblivious Strategy I vectorise over the whole batch at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.types import IntArray
+
+__all__ = ["RequestBatch"]
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """An ordered batch of requests.
+
+    Attributes
+    ----------
+    origins:
+        Server id where each request is born, shape ``(m,)``.
+    files:
+        Requested file id for each request, shape ``(m,)``.
+    num_nodes:
+        Number of servers ``n`` (used for validation only).
+    num_files:
+        Library size ``K`` (used for validation only).
+    """
+
+    origins: IntArray
+    files: IntArray
+    num_nodes: int
+    num_files: int
+
+    def __post_init__(self) -> None:
+        origins = np.asarray(self.origins, dtype=np.int64)
+        files = np.asarray(self.files, dtype=np.int64)
+        if origins.ndim != 1 or files.ndim != 1:
+            raise WorkloadError("origins and files must be 1-D arrays")
+        if origins.shape != files.shape:
+            raise WorkloadError(
+                f"origins and files must have equal length, got {origins.shape} vs {files.shape}"
+            )
+        if self.num_nodes <= 0 or self.num_files <= 0:
+            raise WorkloadError("num_nodes and num_files must be positive")
+        if origins.size:
+            if origins.min() < 0 or origins.max() >= self.num_nodes:
+                raise WorkloadError(
+                    f"request origins must be in [0, {self.num_nodes}), got range "
+                    f"[{origins.min()}, {origins.max()}]"
+                )
+            if files.min() < 0 or files.max() >= self.num_files:
+                raise WorkloadError(
+                    f"requested files must be in [0, {self.num_files}), got range "
+                    f"[{files.min()}, {files.max()}]"
+                )
+        object.__setattr__(self, "origins", origins)
+        object.__setattr__(self, "files", files)
+
+    # --------------------------------------------------------------- behaviour
+    @property
+    def num_requests(self) -> int:
+        """Number of requests ``m`` in the batch."""
+        return int(self.origins.size)
+
+    def __len__(self) -> int:
+        return self.num_requests
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(origin, file)`` pairs in request order."""
+        for origin, file_id in zip(self.origins, self.files):
+            yield int(origin), int(file_id)
+
+    def demand_per_node(self) -> IntArray:
+        """``D_i``: number of requests originating at each server (length ``n``)."""
+        return np.bincount(self.origins, minlength=self.num_nodes).astype(np.int64)
+
+    def demand_per_file(self) -> IntArray:
+        """Number of requests for each file (length ``K``)."""
+        return np.bincount(self.files, minlength=self.num_files).astype(np.int64)
+
+    def subset(self, indices: IntArray) -> "RequestBatch":
+        """A new batch consisting of the requests at ``indices`` (order kept)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return RequestBatch(
+            origins=self.origins[indices],
+            files=self.files[indices],
+            num_nodes=self.num_nodes,
+            num_files=self.num_files,
+        )
+
+    def concatenate(self, other: "RequestBatch") -> "RequestBatch":
+        """Concatenate two batches over the same network and library."""
+        if (self.num_nodes, self.num_files) != (other.num_nodes, other.num_files):
+            raise WorkloadError(
+                "cannot concatenate request batches over different networks or libraries"
+            )
+        return RequestBatch(
+            origins=np.concatenate([self.origins, other.origins]),
+            files=np.concatenate([self.files, other.files]),
+            num_nodes=self.num_nodes,
+            num_files=self.num_files,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestBatch(m={self.num_requests}, n={self.num_nodes}, K={self.num_files})"
+        )

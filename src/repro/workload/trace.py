@@ -1,0 +1,73 @@
+"""Request-trace persistence.
+
+Traces are stored as a small JSON header plus a CSV body so they are readable
+with standard tools and loadable without any optional dependencies.  The
+format is intentionally simple: the reproduction never needs real CDN traces
+(the paper's evaluation is fully synthetic), but the example applications use
+saved traces to make A/B strategy comparisons on identical workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workload.request import RequestBatch
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(batch: RequestBatch, path: str | Path) -> Path:
+    """Write a request batch to ``path`` (a ``.json`` trace file).
+
+    Returns the path written.  Parent directories are created if needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "num_nodes": batch.num_nodes,
+        "num_files": batch.num_files,
+        "num_requests": batch.num_requests,
+        "origins": batch.origins.tolist(),
+        "files": batch.files.tolist(),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_trace(path: str | Path) -> RequestBatch:
+    """Load a request batch previously written with :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"trace file {path} is not valid JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported trace format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    required = {"num_nodes", "num_files", "origins", "files"}
+    missing = required - payload.keys()
+    if missing:
+        raise WorkloadError(f"trace file {path} is missing fields: {sorted(missing)}")
+    batch = RequestBatch(
+        origins=np.asarray(payload["origins"], dtype=np.int64),
+        files=np.asarray(payload["files"], dtype=np.int64),
+        num_nodes=int(payload["num_nodes"]),
+        num_files=int(payload["num_files"]),
+    )
+    declared = payload.get("num_requests")
+    if declared is not None and int(declared) != batch.num_requests:
+        raise WorkloadError(
+            f"trace file {path} declares {declared} requests but contains {batch.num_requests}"
+        )
+    return batch

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import UniformPopularity, ZipfPopularity
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_torus() -> Torus2D:
+    """A 10x10 torus (100 servers)."""
+    return Torus2D(100)
+
+
+@pytest.fixture
+def tiny_torus() -> Torus2D:
+    """A 5x5 torus (25 servers) for exhaustive checks."""
+    return Torus2D(25)
+
+
+@pytest.fixture
+def uniform_library() -> FileLibrary:
+    """A 50-file library with uniform popularity."""
+    return FileLibrary(50, UniformPopularity(50))
+
+
+@pytest.fixture
+def zipf_library() -> FileLibrary:
+    """A 50-file library with Zipf(0.8) popularity."""
+    return FileLibrary(50, ZipfPopularity(50, 0.8))
+
+
+@pytest.fixture
+def small_cache(small_torus, uniform_library, rng):
+    """Proportional placement with M=5 on the small torus."""
+    return ProportionalPlacement(5).place(small_torus, uniform_library, rng)
+
+
+@pytest.fixture
+def distinct_cache(small_torus, uniform_library, rng):
+    """Uniform distinct placement with M=5 on the small torus."""
+    return UniformDistinctPlacement(5).place(small_torus, uniform_library, rng)
+
+
+@pytest.fixture
+def small_requests(small_torus, uniform_library, rng):
+    """One request per server on the small torus."""
+    return UniformOriginWorkload().generate(small_torus, uniform_library, rng)

@@ -1,0 +1,146 @@
+"""Tests for the configuration graph H (Definition 4 / Lemma 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.configuration_graph import ConfigurationGraph, build_configuration_graph
+from repro.catalog.library import FileLibrary
+from repro.placement.cache import CacheState
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.full_replication import FullReplicationPlacement
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+def tiny_cache() -> CacheState:
+    """4 servers, files arranged so edges are easy to reason about."""
+    slots = np.array([[0], [0], [1], [2]])
+    return CacheState(slots, 3)
+
+
+class TestDefinition:
+    def test_edge_requires_common_file_and_distance(self):
+        torus = Torus2D(100)
+        # Nodes 0 and 1 share file 0 and are adjacent; nodes 2, 3 share nothing.
+        slots = np.full((100, 1), 2, dtype=np.int64)
+        slots[0, 0] = 0
+        slots[1, 0] = 0
+        slots[50, 0] = 0  # far away replica of the same file
+        cache = CacheState(slots, 3)
+        graph = build_configuration_graph(torus, cache, radius=1)
+        edges = set(map(tuple, graph.edges))
+        assert (0, 1) in edges
+        assert (0, 50) not in edges and (1, 50) not in edges
+
+    def test_distance_threshold_is_two_r(self):
+        torus = Torus2D(100)
+        slots = np.full((100, 1), 2, dtype=np.int64)
+        slots[0, 0] = 0
+        slots[4, 0] = 0  # distance 4 from node 0
+        cache = CacheState(slots, 3)
+        # r = 2 -> 2r = 4, the pair is connected; r = 1 -> 2r = 2, it is not.
+        assert build_configuration_graph(torus, cache, radius=2).num_edges >= 1
+        graph_r1 = build_configuration_graph(torus, cache, radius=1)
+        assert (0, 4) not in set(map(tuple, graph_r1.edges))
+
+    def test_infinite_radius_connects_all_sharing_pairs(self, torus):
+        library = FileLibrary(10)
+        cache = ProportionalPlacement(2).place(torus, library, seed=0)
+        graph = build_configuration_graph(torus, cache, radius=np.inf)
+        # Every pair sharing a file must be an edge; verify on a sample.
+        edges = set(map(tuple, graph.edges))
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            u, v = rng.integers(0, 100, size=2)
+            if u == v:
+                continue
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            if cache.common_count(int(u), int(v)) > 0:
+                assert key in edges
+            else:
+                assert key not in edges
+
+    def test_full_replication_and_big_radius_is_complete_graph(self):
+        torus = Torus2D(25)
+        cache = FullReplicationPlacement().place(torus, FileLibrary(3))
+        graph = build_configuration_graph(torus, cache, radius=np.inf)
+        assert graph.num_edges == 25 * 24 // 2
+
+    def test_no_shared_files_no_edges(self):
+        torus = Torus2D(25)
+        slots = np.arange(25, dtype=np.int64).reshape(25, 1)  # all distinct files
+        cache = CacheState(slots, 25)
+        graph = build_configuration_graph(torus, cache, radius=np.inf)
+        assert graph.num_edges == 0
+
+    def test_negative_radius_raises(self, torus):
+        cache = ProportionalPlacement(2).place(torus, FileLibrary(10), seed=0)
+        with pytest.raises(ValueError):
+            build_configuration_graph(torus, cache, radius=-1)
+
+
+class TestGraphObject:
+    def test_degree_vector_consistent_with_edges(self, torus):
+        cache = ProportionalPlacement(3).place(torus, FileLibrary(30), seed=1)
+        graph = build_configuration_graph(torus, cache, radius=3)
+        degrees = graph.degrees()
+        assert degrees.sum() == 2 * graph.num_edges
+
+    def test_statistics_fields(self, torus):
+        cache = ProportionalPlacement(3).place(torus, FileLibrary(30), seed=1)
+        graph = build_configuration_graph(torus, cache, radius=3)
+        stats = graph.statistics(cache)
+        assert stats.num_nodes == 100
+        assert stats.num_edges == graph.num_edges
+        assert stats.min_degree <= stats.mean_degree <= stats.max_degree
+        assert stats.predicted_degree > 0
+        data = stats.as_dict()
+        assert "regularity_ratio" in data
+
+    def test_statistics_without_cache_has_nan_prediction(self, torus):
+        cache = ProportionalPlacement(3).place(torus, FileLibrary(30), seed=1)
+        graph = build_configuration_graph(torus, cache, radius=3)
+        stats = graph.statistics()
+        assert np.isnan(stats.predicted_degree)
+
+    def test_regularity_ratio_infinite_with_isolated_nodes(self):
+        graph = ConfigurationGraph(4, np.array([[0, 1]]), radius=1)
+        assert graph.statistics().regularity_ratio() == float("inf")
+
+    def test_to_networkx(self, torus):
+        cache = ProportionalPlacement(2).place(torus, FileLibrary(20), seed=2)
+        graph = build_configuration_graph(torus, cache, radius=2)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 100
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_empty_graph(self):
+        graph = ConfigurationGraph(5, np.empty((0, 2), dtype=np.int64), radius=1)
+        assert graph.num_edges == 0
+        assert graph.statistics().mean_degree == 0.0
+
+
+class TestLemma3Scaling:
+    def test_mean_degree_tracks_m_squared_r_squared_over_k(self):
+        """Lemma 3(a): the H degree scales like M^2 r^2 / K.
+
+        Quadrupling M should roughly quadruple (x4) the mean degree at fixed
+        r and K; we allow a factor-two tolerance around the x4 ratio.
+        """
+        torus = Torus2D(400)
+        K = 400
+        library = FileLibrary(K)
+        r = 4
+        degrees = {}
+        for M in (4, 8):
+            cache = ProportionalPlacement(M).place(torus, library, seed=3)
+            graph = build_configuration_graph(torus, cache, radius=r)
+            degrees[M] = graph.statistics(cache).mean_degree
+        ratio = degrees[8] / degrees[4]
+        assert 2.0 < ratio < 8.0  # ideal ratio 4

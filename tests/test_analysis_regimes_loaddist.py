@@ -1,0 +1,178 @@
+"""Tests for regime classification and load-distribution diagnostics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.load_distribution import (
+    compare_load_distributions,
+    empirical_load_distribution,
+    load_tail_probability,
+)
+from repro.analysis.regimes import (
+    classify_regime,
+    minimum_radius_exponent,
+    recommended_radius,
+    theorem4_condition_holds,
+)
+
+
+class TestTheorem4Condition:
+    def test_infinite_radius_with_large_memory_holds(self):
+        # r = inf corresponds to beta = 1/2, so the condition needs
+        # alpha >= 2 log log n / log n; M = n^0.5 satisfies it comfortably.
+        assert theorem4_condition_holds(10**6, cache_size=10**3, radius=np.inf)
+
+    def test_infinite_radius_with_tiny_memory_fails(self):
+        # Even without a proximity constraint, constant memory violates the
+        # finite-n condition (the Example 2 effect).
+        assert not theorem4_condition_holds(10**6, cache_size=2, radius=np.inf)
+
+    def test_tiny_memory_and_radius_fails(self):
+        assert not theorem4_condition_holds(10**6, cache_size=2, radius=2)
+
+    def test_condition_matches_formula(self):
+        n = 10**6
+        alpha, beta = 0.4, 0.35
+        M = n**alpha
+        r = n**beta
+        slack = 2 * math.log(math.log(n)) / math.log(n)
+        expected = alpha + 2 * beta >= 1 + slack
+        assert theorem4_condition_holds(n, M, r) == expected
+
+    def test_boundary_monotone_in_radius(self):
+        n = 10**6
+        M = int(n**0.3)
+        holds = [theorem4_condition_holds(n, M, n**b) for b in (0.1, 0.25, 0.4, 0.5)]
+        # Once true it stays true as beta grows.
+        assert holds == sorted(holds)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theorem4_condition_holds(2, 1, 1)
+        with pytest.raises(ValueError):
+            theorem4_condition_holds(100, 0, 1)
+        with pytest.raises(ValueError):
+            theorem4_condition_holds(100, 1, -1)
+
+
+class TestRadiusHelpers:
+    def test_minimum_radius_exponent_decreasing_in_alpha(self):
+        n = 10**6
+        assert minimum_radius_exponent(n, 0.4) < minimum_radius_exponent(n, 0.1)
+
+    def test_minimum_radius_satisfies_condition(self):
+        n = 10**6
+        alpha = 0.3
+        beta = minimum_radius_exponent(n, alpha)
+        assert theorem4_condition_holds(n, n**alpha, n**beta)
+
+    def test_recommended_radius_formula(self):
+        n = 10**4
+        M = 100  # alpha = 0.5
+        expected = n ** ((1 - 0.5) / 2) * math.log(n)
+        assert recommended_radius(n, M) == pytest.approx(expected)
+
+    def test_recommended_radius_decreasing_in_memory(self):
+        assert recommended_radius(10**4, 100) < recommended_radius(10**4, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            recommended_radius(2, 1)
+        with pytest.raises(ValueError):
+            recommended_radius(100, 0)
+        with pytest.raises(ValueError):
+            minimum_radius_exponent(2, 0.5)
+
+
+class TestClassifyRegime:
+    def test_example1(self):
+        report = classify_regime(10**4, num_files=100, cache_size=100, radius=np.inf)
+        assert report.regime == "example1_full_memory_no_proximity"
+        assert report.power_of_two_choices
+
+    def test_example4(self):
+        report = classify_regime(10**4, num_files=100, cache_size=100, radius=1)
+        assert report.regime == "example4_full_memory_tiny_radius"
+        assert not report.power_of_two_choices
+
+    def test_theorem6(self):
+        report = classify_regime(10**4, num_files=100, cache_size=100, radius=10)
+        assert report.regime == "theorem6_full_memory"
+        assert report.power_of_two_choices
+
+    def test_example2(self):
+        report = classify_regime(10**4, num_files=10**4, cache_size=2, radius=np.inf)
+        assert report.regime == "example2_scarce_replication"
+        assert not report.power_of_two_choices
+
+    def test_example3(self):
+        report = classify_regime(10**6, num_files=1000, cache_size=1, radius=np.inf)
+        assert report.regime == "example3_small_library"
+        assert report.power_of_two_choices
+
+    def test_theorem4_good(self):
+        n = 10**4
+        report = classify_regime(n, num_files=n, cache_size=int(n**0.5), radius=int(n**0.55))
+        assert report.regime == "theorem4_good"
+        assert report.power_of_two_choices
+
+    def test_theorem4_violated(self):
+        n = 10**4
+        report = classify_regime(n, num_files=n, cache_size=int(n**0.3), radius=int(n**0.2))
+        assert report.regime == "theorem4_violated"
+        assert not report.power_of_two_choices
+
+    def test_as_dict(self):
+        data = classify_regime(10**4, 100, 100, np.inf).as_dict()
+        assert data["regime"] == "example1_full_memory_no_proximity"
+        assert "detail" in data
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            classify_regime(2, 10, 1, 1)
+        with pytest.raises(ValueError):
+            classify_regime(100, 0, 1, 1)
+        with pytest.raises(ValueError):
+            classify_regime(100, 10, 1, -1)
+
+
+class TestLoadDistribution:
+    def test_empirical_distribution_sums_to_one(self):
+        dist = empirical_load_distribution([0, 1, 1, 3])
+        assert dist.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(dist, [0.25, 0.5, 0.0, 0.25])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_load_distribution([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            empirical_load_distribution([1, -1])
+
+    def test_tail_probability(self):
+        loads = [0, 1, 2, 3, 4]
+        assert load_tail_probability(loads, 3) == pytest.approx(0.4)
+        assert load_tail_probability(loads, 0) == 1.0
+        assert load_tail_probability(loads, 10) == 0.0
+
+    def test_compare_identical_distributions(self):
+        loads = [1, 2, 3, 4]
+        comparison = compare_load_distributions(loads, loads)
+        assert comparison["max_load_difference"] == 0.0
+        assert comparison["total_variation_distance"] == pytest.approx(0.0)
+
+    def test_compare_shifted_distribution(self):
+        a = [5, 5, 5, 5]
+        b = [1, 1, 1, 1]
+        comparison = compare_load_distributions(a, b)
+        assert comparison["max_load_difference"] == 4.0
+        assert comparison["total_variation_distance"] == pytest.approx(1.0)
+
+    def test_compare_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_load_distributions([], [1])

@@ -1,0 +1,100 @@
+"""Tests for the per-file Voronoi tessellation (Lemma 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.voronoi import build_voronoi, voronoi_cell_sizes, voronoi_statistics
+from repro.catalog.library import FileLibrary
+from repro.placement.cache import CacheState
+from repro.placement.proportional import ProportionalPlacement
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+class TestBuildVoronoi:
+    def test_every_server_assigned_to_a_center(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[10, 0] = 0
+        slots[55, 0] = 0
+        cache = CacheState(slots, 2)
+        tess = build_voronoi(torus, cache, 0, seed=0)
+        assert tess.num_cells == 2
+        assert set(np.unique(tess.assignment).tolist()) <= {10, 55}
+        assert tess.assignment.shape == (100,)
+
+    def test_assignment_is_nearest_center(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[0, 0] = 0
+        slots[50, 0] = 0
+        cache = CacheState(slots, 2)
+        tess = build_voronoi(torus, cache, 0, seed=0)
+        for node in range(100):
+            assigned = int(tess.assignment[node])
+            d_assigned = torus.distance(node, assigned)
+            for center in (0, 50):
+                assert d_assigned <= torus.distance(node, center)
+
+    def test_cell_sizes_sum_to_n(self, torus):
+        cache = ProportionalPlacement(2).place(torus, FileLibrary(10), seed=0)
+        file_id = int(np.flatnonzero(cache.replication_counts() > 0)[0])
+        tess = build_voronoi(torus, cache, file_id, seed=0)
+        assert tess.cell_sizes().sum() == 100
+        assert tess.max_cell_size() <= 100
+
+    def test_single_replica_owns_everything(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[42, 0] = 0
+        cache = CacheState(slots, 2)
+        tess = build_voronoi(torus, cache, 0, seed=0)
+        assert tess.num_cells == 1
+        assert tess.max_cell_size() == 100
+
+    def test_missing_file_raises(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 3)
+        with pytest.raises(ValueError):
+            build_voronoi(torus, cache, 2, seed=0)
+
+
+class TestAggregates:
+    def test_cell_sizes_skips_uncached(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)  # only file 0 cached
+        cache = CacheState(slots, 5)
+        sizes = voronoi_cell_sizes(torus, cache, seed=0)
+        assert len(sizes) == 1
+
+    def test_statistics_fields(self, torus):
+        cache = ProportionalPlacement(3).place(torus, FileLibrary(20), seed=1)
+        stats = voronoi_statistics(torus, cache, seed=0)
+        assert stats["max_cell_size"] >= stats["mean_cell_size"]
+        assert stats["num_cells"] > 0
+        assert stats["predicted_max_scale"] > 0
+
+    def test_statistics_subset_of_files(self, torus):
+        cache = ProportionalPlacement(3).place(torus, FileLibrary(20), seed=1)
+        stats = voronoi_statistics(torus, cache, files=np.array([0, 1]), seed=0)
+        assert stats["num_cells"] <= 2 * 100
+
+    def test_statistics_all_uncached_raises(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 5)
+        with pytest.raises(ValueError):
+            voronoi_statistics(torus, cache, files=np.array([3]), seed=0)
+
+    def test_larger_cache_smaller_max_cell(self):
+        """Lemma 1's K log n / M scale: more replication => smaller cells."""
+        torus = Torus2D(400)
+        library = FileLibrary(50)
+        small_m = voronoi_statistics(
+            torus, ProportionalPlacement(1).place(torus, library, seed=2), seed=0
+        )["max_cell_size"]
+        large_m = voronoi_statistics(
+            torus, ProportionalPlacement(10).place(torus, library, seed=2), seed=0
+        )["max_cell_size"]
+        assert large_m < small_m

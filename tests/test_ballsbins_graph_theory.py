@@ -1,0 +1,163 @@
+"""Tests for graph-based allocation and the balanced-allocation theory formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.graph_allocation import (
+    graph_edge_allocation,
+    grid_graph_edges,
+    random_regular_graph_edges,
+)
+from repro.ballsbins.theory import (
+    d_choice_max_load_prediction,
+    graph_allocation_max_load_prediction,
+    heavily_loaded_gap_prediction,
+    one_choice_max_load_prediction,
+    two_choice_max_load_prediction,
+)
+
+
+class TestGraphEdgeAllocation:
+    def test_conserves_balls(self):
+        edges = grid_graph_edges(10)
+        result = graph_edge_allocation(100, edges, 300, seed=0)
+        assert result.loads.sum() == 300
+
+    def test_only_edge_endpoints_loaded(self):
+        edges = np.array([[0, 1], [1, 2]])
+        result = graph_edge_allocation(10, edges, 50, seed=1)
+        assert result.loads[3:].sum() == 0
+        assert result.loads[:3].sum() == 50
+
+    def test_deterministic(self):
+        edges = grid_graph_edges(8)
+        a = graph_edge_allocation(64, edges, 64, seed=5)
+        b = graph_edge_allocation(64, edges, 64, seed=5)
+        np.testing.assert_array_equal(a.loads, b.loads)
+
+    def test_edge_probabilities_respected(self):
+        edges = np.array([[0, 1], [2, 3]])
+        probs = np.array([1.0, 0.0])
+        result = graph_edge_allocation(4, edges, 100, seed=0, edge_probabilities=probs)
+        assert result.loads[2] == 0 and result.loads[3] == 0
+        assert result.loads[0] + result.loads[1] == 100
+
+    def test_lesser_loaded_endpoint_balanced(self):
+        edges = np.array([[0, 1]])
+        result = graph_edge_allocation(2, edges, 101, seed=2)
+        assert abs(int(result.loads[0]) - int(result.loads[1])) <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            graph_edge_allocation(0, np.array([[0, 1]]), 10)
+        with pytest.raises(ValueError):
+            graph_edge_allocation(5, np.empty((0, 2), dtype=int), 10)
+        with pytest.raises(ValueError):
+            graph_edge_allocation(2, np.array([[0, 5]]), 10)
+        with pytest.raises(ValueError):
+            graph_edge_allocation(2, np.array([[0, 1]]), -1)
+        with pytest.raises(ValueError):
+            graph_edge_allocation(
+                2, np.array([[0, 1]]), 5, edge_probabilities=np.array([0.5, 0.5])
+            )
+
+    def test_dense_graph_behaves_like_two_choice(self):
+        n = 400
+        edges = random_regular_graph_edges(n, 100, seed=0)
+        result = graph_edge_allocation(n, edges, n, seed=1)
+        assert result.max_load() <= 5
+
+
+class TestGraphConstructors:
+    def test_grid_edges_count_periodic(self):
+        # A side x side torus with side > 2 has exactly 2 * side^2 edges.
+        edges = grid_graph_edges(6, periodic=True)
+        assert edges.shape == (72, 2)
+
+    def test_grid_edges_count_bounded(self):
+        edges = grid_graph_edges(6, periodic=False)
+        assert edges.shape == (2 * 6 * 5, 2)
+
+    def test_grid_edges_endpoints_valid(self):
+        edges = grid_graph_edges(5)
+        assert edges.min() >= 0 and edges.max() < 25
+
+    def test_grid_invalid_side(self):
+        with pytest.raises(ValueError):
+            grid_graph_edges(0)
+
+    def test_random_regular_degree(self):
+        edges = random_regular_graph_edges(100, 6, seed=0)
+        degrees = np.bincount(edges.ravel(), minlength=100)
+        assert np.all(degrees == 6)
+
+    def test_random_regular_odd_product_bumps_degree(self):
+        edges = random_regular_graph_edges(99, 3, seed=0)  # 99*3 odd -> degree 4
+        degrees = np.bincount(edges.ravel(), minlength=99)
+        assert np.all(degrees == 4)
+
+    def test_random_regular_invalid(self):
+        with pytest.raises(ValueError):
+            random_regular_graph_edges(10, 0)
+        with pytest.raises(ValueError):
+            random_regular_graph_edges(10, 10)
+        with pytest.raises(ValueError):
+            random_regular_graph_edges(0, 2)
+
+
+class TestTheoryFormulas:
+    def test_one_choice_grows_with_n(self):
+        assert one_choice_max_load_prediction(10**6) > one_choice_max_load_prediction(10**3)
+
+    def test_one_choice_heavily_loaded(self):
+        n = 1000
+        m = 10**6
+        prediction = one_choice_max_load_prediction(n, m)
+        assert prediction > m / n
+        assert prediction < 2 * m / n
+
+    def test_two_choice_smaller_than_one_choice(self):
+        n = 10**6
+        assert two_choice_max_load_prediction(n) < one_choice_max_load_prediction(n)
+        # The gap widens with n (log n / log log n vs log log n growth).
+        huge = 10**12
+        assert (
+            one_choice_max_load_prediction(huge) - two_choice_max_load_prediction(huge)
+            > one_choice_max_load_prediction(n) - two_choice_max_load_prediction(n)
+        )
+
+    def test_d_choice_decreasing_in_d(self):
+        n = 10**6
+        assert d_choice_max_load_prediction(n, 4) < d_choice_max_load_prediction(n, 2)
+
+    def test_d_choice_includes_average_load(self):
+        n = 1000
+        assert d_choice_max_load_prediction(n, 2, m=10 * n) >= 10.0
+
+    def test_heavily_loaded_gap_independent_of_m(self):
+        assert heavily_loaded_gap_prediction(10**4) == pytest.approx(
+            np.log(np.log(10**4))
+        )
+
+    def test_graph_allocation_degree_dependence(self):
+        # Asymptotically (huge n, polynomial degree) the dense-graph prediction
+        # drops below the sparse one; the prediction is never increasing in Δ.
+        n = 10**12
+        sparse = graph_allocation_max_load_prediction(n, 8)
+        dense = graph_allocation_max_load_prediction(n, n**0.9)
+        assert dense < sparse
+        degrees = [4, 100, 10**4, 10**7, 10**10]
+        predictions = [graph_allocation_max_load_prediction(n, d) for d in degrees]
+        assert all(a >= b for a, b in zip(predictions, predictions[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            one_choice_max_load_prediction(1)
+        with pytest.raises(ValueError):
+            one_choice_max_load_prediction(10, 0)
+        with pytest.raises(ValueError):
+            d_choice_max_load_prediction(10, 1)
+        with pytest.raises(ValueError):
+            graph_allocation_max_load_prediction(10, 0)

@@ -1,0 +1,104 @@
+"""Tests for the classical balls-into-bins processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.standard import BallsBinsResult, d_choice_allocation, one_choice_allocation
+
+
+class TestOneChoice:
+    def test_conserves_balls(self):
+        result = one_choice_allocation(50, 500, seed=0)
+        assert result.loads.sum() == 500
+        assert result.num_bins == 50
+        assert result.num_choices == 1
+
+    def test_zero_balls(self):
+        result = one_choice_allocation(10, 0, seed=0)
+        assert result.max_load() == 0
+        assert result.empty_bins() == 10
+
+    def test_deterministic(self):
+        a = one_choice_allocation(100, 100, seed=3)
+        b = one_choice_allocation(100, 100, seed=3)
+        np.testing.assert_array_equal(a.loads, b.loads)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            one_choice_allocation(0, 10)
+        with pytest.raises(ValueError):
+            one_choice_allocation(10, -1)
+
+    def test_gap(self):
+        result = one_choice_allocation(10, 100, seed=1)
+        assert result.gap() == pytest.approx(result.max_load() - 10.0)
+
+    def test_expected_empty_bins_fraction(self):
+        # With m = n the fraction of empty bins concentrates near 1/e.
+        result = one_choice_allocation(20000, 20000, seed=2)
+        assert result.empty_bins() / 20000 == pytest.approx(np.exp(-1), abs=0.02)
+
+
+class TestDChoice:
+    def test_conserves_balls(self):
+        result = d_choice_allocation(50, 500, 2, seed=0)
+        assert result.loads.sum() == 500
+        assert result.num_choices == 2
+
+    def test_d_one_falls_back_to_one_choice(self):
+        a = d_choice_allocation(50, 200, 1, seed=7)
+        b = one_choice_allocation(50, 200, seed=7)
+        np.testing.assert_array_equal(a.loads, b.loads)
+
+    def test_deterministic(self):
+        a = d_choice_allocation(100, 100, 2, seed=3)
+        b = d_choice_allocation(100, 100, 2, seed=3)
+        np.testing.assert_array_equal(a.loads, b.loads)
+
+    def test_without_replacement(self):
+        result = d_choice_allocation(50, 500, 3, seed=0, with_replacement=False)
+        assert result.loads.sum() == 500
+
+    def test_without_replacement_requires_enough_bins(self):
+        with pytest.raises(ValueError):
+            d_choice_allocation(2, 10, 3, with_replacement=False)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            d_choice_allocation(10, 10, 0)
+        with pytest.raises(ValueError):
+            d_choice_allocation(0, 10, 2)
+        with pytest.raises(ValueError):
+            d_choice_allocation(10, 10, 2, batch_size=0)
+
+    def test_batch_size_does_not_change_distribution_support(self):
+        small = d_choice_allocation(30, 300, 2, seed=5, batch_size=7)
+        large = d_choice_allocation(30, 300, 2, seed=5, batch_size=1000)
+        # Different batch sizes consume randomness differently, so exact loads
+        # differ, but both must conserve balls and stay plausible.
+        assert small.loads.sum() == large.loads.sum() == 300
+
+    def test_power_of_two_choices_gap(self):
+        """Azar et al.: two choices dramatically reduce the maximum load."""
+        n = 20000
+        one = one_choice_allocation(n, n, seed=11).max_load()
+        two = d_choice_allocation(n, n, 2, seed=11).max_load()
+        assert two < one
+        assert two <= 5  # log log n / log 2 + O(1); 5 is a generous envelope
+
+    def test_more_choices_not_worse(self):
+        n = 5000
+        two = d_choice_allocation(n, n, 2, seed=2).max_load()
+        four = d_choice_allocation(n, n, 4, seed=2).max_load()
+        assert four <= two + 1
+
+
+class TestResultContainer:
+    def test_fields(self):
+        result = BallsBinsResult(loads=np.array([1, 2, 0]), num_balls=3, num_choices=2)
+        assert result.num_bins == 3
+        assert result.max_load() == 2
+        assert result.empty_bins() == 1
+        assert result.gap() == pytest.approx(1.0)

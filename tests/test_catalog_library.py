@@ -1,0 +1,99 @@
+"""Tests for the file library (repro.catalog.library)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import UniformPopularity, ZipfPopularity
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_uniform_popularity(self):
+        library = FileLibrary(10)
+        assert library.num_files == 10
+        assert library.popularity.name == "uniform"
+
+    def test_explicit_popularity(self):
+        library = FileLibrary(10, ZipfPopularity(10, 1.0))
+        assert library.popularity.name == "zipf"
+
+    def test_popularity_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(10, UniformPopularity(5))
+
+    def test_len(self):
+        assert len(FileLibrary(7)) == 7
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(0)
+
+
+class TestSizesAndNames:
+    def test_default_unit_sizes(self):
+        library = FileLibrary(5)
+        np.testing.assert_array_equal(library.sizes, np.ones(5))
+        assert library.total_size() == 5.0
+
+    def test_custom_sizes(self):
+        library = FileLibrary(3, sizes=[1.0, 2.0, 3.0])
+        assert library.total_size() == 6.0
+
+    def test_size_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(3, sizes=[1.0, 2.0])
+
+    def test_non_positive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(2, sizes=[1.0, 0.0])
+
+    def test_expected_request_size_uniform(self):
+        library = FileLibrary(2, sizes=[1.0, 3.0])
+        assert library.expected_request_size() == pytest.approx(2.0)
+
+    def test_expected_request_size_skewed(self):
+        # With Zipf weight on the first (larger) file the expectation shifts up.
+        library = FileLibrary(2, ZipfPopularity(2, 2.0), sizes=[3.0, 1.0])
+        assert library.expected_request_size() > 2.0
+
+    def test_default_names(self):
+        library = FileLibrary(3)
+        assert library.name_of(0) == "file-0"
+
+    def test_custom_names(self):
+        library = FileLibrary(2, names=["alpha", "beta"])
+        assert library.name_of(1) == "beta"
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(3, names=["a"])
+
+    def test_name_of_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FileLibrary(3).name_of(3)
+
+
+class TestSampling:
+    def test_sample_files_deterministic(self):
+        library = FileLibrary(20)
+        a = library.sample_files(100, seed=5)
+        b = library.sample_files(100, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_respects_popularity(self):
+        library = FileLibrary(10, ZipfPopularity(10, 3.0))
+        samples = library.sample_files(5000, seed=0)
+        counts = np.bincount(samples, minlength=10)
+        assert counts[0] > counts[5]
+
+    def test_popularity_vector_matches(self):
+        library = FileLibrary(10, ZipfPopularity(10, 1.0))
+        np.testing.assert_allclose(library.popularity_vector(), ZipfPopularity(10, 1.0).pmf())
+
+    def test_as_dict(self):
+        data = FileLibrary(10).as_dict()
+        assert data["num_files"] == 10
+        assert data["unit_sizes"] is True

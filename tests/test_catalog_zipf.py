@@ -1,0 +1,90 @@
+"""Tests for the Zipf helpers (repro.catalog.zipf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.zipf import (
+    generalized_harmonic,
+    generalized_harmonic_asymptotic,
+    zipf_head_mass,
+    zipf_pmf,
+)
+
+
+class TestGeneralizedHarmonic:
+    def test_gamma_zero_is_k(self):
+        assert generalized_harmonic(100, 0.0) == pytest.approx(100.0)
+
+    def test_gamma_one_is_harmonic_number(self):
+        # H_4 = 1 + 1/2 + 1/3 + 1/4 = 25/12
+        assert generalized_harmonic(4, 1.0) == pytest.approx(25.0 / 12.0)
+
+    def test_monotone_decreasing_in_gamma(self):
+        values = [generalized_harmonic(1000, g) for g in (0.0, 0.5, 1.0, 1.5, 2.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            generalized_harmonic(0, 1.0)
+
+
+class TestAsymptotic:
+    @pytest.mark.parametrize("gamma", [0.3, 0.6, 0.9])
+    def test_sublinear_regime_ratio_converges(self, gamma):
+        # exact / asymptotic should approach 1 as K grows (Theta(K^{1-gamma})).
+        small = generalized_harmonic(1000, gamma) / generalized_harmonic_asymptotic(1000, gamma)
+        large = generalized_harmonic(100000, gamma) / generalized_harmonic_asymptotic(
+            100000, gamma
+        )
+        assert abs(large - 1.0) < abs(small - 1.0) + 0.05
+        assert 0.5 < large < 2.0
+
+    def test_gamma_one_log_growth(self):
+        exact = generalized_harmonic(10**6, 1.0)
+        approx = generalized_harmonic_asymptotic(10**6, 1.0)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_gamma_large_converges_to_zeta(self):
+        from scipy.special import zeta
+
+        assert generalized_harmonic_asymptotic(10, 3.0) == pytest.approx(float(zeta(3.0)))
+        assert generalized_harmonic(10**5, 3.0) == pytest.approx(float(zeta(3.0)), rel=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generalized_harmonic_asymptotic(0, 1.0)
+        with pytest.raises(ValueError):
+            generalized_harmonic_asymptotic(10, -1.0)
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(500, 0.8).sum() == pytest.approx(1.0)
+
+    def test_ratio_follows_power_law(self):
+        pmf = zipf_pmf(100, 2.0)
+        assert pmf[0] / pmf[1] == pytest.approx(4.0)
+        assert pmf[1] / pmf[3] == pytest.approx(4.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.1)
+
+
+class TestHeadMass:
+    def test_uniform_head_mass(self):
+        assert zipf_head_mass(100, 0.0, 10) == pytest.approx(0.1)
+
+    def test_skewed_head_mass_larger(self):
+        assert zipf_head_mass(100, 1.5, 10) > zipf_head_mass(100, 0.5, 10)
+
+    def test_head_larger_than_k(self):
+        assert zipf_head_mass(10, 1.0, 100) == pytest.approx(1.0)
+
+    def test_invalid_head(self):
+        with pytest.raises(ValueError):
+            zipf_head_mass(10, 1.0, 0)

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_required_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(
+            ["simulate", "--nodes", "100", "--files", "50", "--cache", "4"]
+        )
+        assert args.command == "simulate"
+        assert args.strategy == "proximity_two_choice"
+        assert args.trials == 10
+
+    def test_figures_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figures", "9"])
+
+    def test_tables_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--tables", "zz"])
+
+
+class TestSimulateCommand:
+    def test_two_choice_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "100",
+                "--files", "50",
+                "--cache", "4",
+                "--radius", "5",
+                "--trials", "2",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maximum load L" in out
+        assert "communication cost C" in out
+
+    def test_nearest_replica_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "100",
+                "--files", "50",
+                "--cache", "4",
+                "--strategy", "nearest_replica",
+                "--trials", "2",
+            ]
+        )
+        assert code == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+    def test_zipf_requires_gamma(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "100",
+                "--files", "50",
+                "--cache", "4",
+                "--popularity", "zipf",
+                "--trials", "1",
+            ]
+        )
+        assert code == 2
+        assert "--gamma" in capsys.readouterr().err
+
+    def test_zipf_with_gamma(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "100",
+                "--files", "50",
+                "--cache", "4",
+                "--popularity", "zipf",
+                "--gamma", "1.2",
+                "--strategy", "nearest_replica",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+
+
+class TestFiguresCommand:
+    def test_single_figure_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures",
+                "--figures", "1",
+                "--trials", "1",
+                "--output-dir", str(tmp_path),
+                "--no-plot",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig1.json").exists()
+        assert (tmp_path / "fig1.csv").exists()
+        assert (tmp_path / "fig1.txt").exists()
+        out = capsys.readouterr().out
+        assert "FIG1" in out
+
+
+class TestTablesCommand:
+    def test_single_table(self, capsys):
+        code = main(["tables", "--tables", "bb", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TAB-BB" in out
+        assert "two_choice_measured" in out

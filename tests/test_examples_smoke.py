@@ -1,0 +1,73 @@
+"""Smoke tests for the example scripts.
+
+Each example exposes a ``main()`` function; these tests import the scripts and
+run scaled-down variants of their core logic (or, for the CLI-style script,
+invoke ``main`` with tiny arguments) to guarantee the examples stay in sync
+with the library API.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "cdn_flash_crowd.py",
+            "zipf_popularity_study.py",
+            "radius_tradeoff_study.py",
+            "supermarket_queueing.py",
+            "reproduce_figures.py",
+        ],
+    )
+    def test_importable_and_has_main(self, name):
+        module = _load_example(name)
+        assert callable(getattr(module, "main"))
+
+    def test_examples_directory_complete(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 5
+
+
+class TestReproduceFiguresCli:
+    def test_tiny_run_writes_artifacts(self, tmp_path, monkeypatch, capsys):
+        module = _load_example("reproduce_figures.py")
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            [
+                "reproduce_figures.py",
+                "--figures",
+                "1",
+                "--trials",
+                "1",
+                "--seed",
+                "3",
+                "--output-dir",
+                str(tmp_path),
+            ],
+        )
+        module.main()
+        assert (tmp_path / "fig1.json").exists()
+        assert (tmp_path / "fig1.csv").exists()
+        out = capsys.readouterr().out
+        assert "FIG1" in out

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    NoReplicaError,
+    PlacementError,
+    ReproError,
+    StrategyError,
+    TopologyError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        ConfigurationError,
+        TopologyError,
+        PlacementError,
+        StrategyError,
+        NoReplicaError,
+        WorkloadError,
+        ExperimentError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_class):
+    if exc_class is NoReplicaError:
+        instance = exc_class(3)
+    else:
+        instance = exc_class("boom")
+    assert isinstance(instance, ReproError)
+
+
+def test_value_error_compatibility():
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(TopologyError, ValueError)
+    assert issubclass(PlacementError, ValueError)
+    assert issubclass(WorkloadError, ValueError)
+
+
+def test_runtime_error_compatibility():
+    assert issubclass(StrategyError, RuntimeError)
+    assert issubclass(ExperimentError, RuntimeError)
+
+
+def test_no_replica_error_carries_file_id():
+    err = NoReplicaError(17)
+    assert err.file_id == 17
+    assert "17" in str(err)
+
+
+def test_no_replica_error_custom_message():
+    err = NoReplicaError(2, "custom text")
+    assert str(err) == "custom text"
+    assert err.file_id == 2
+
+
+def test_no_replica_is_strategy_error():
+    assert issubclass(NoReplicaError, StrategyError)

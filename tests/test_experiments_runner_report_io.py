@@ -1,0 +1,163 @@
+"""Tests for the experiment runner, report rendering, ASCII plot and IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import figure1_spec, figure5_spec
+from repro.experiments.io import load_experiment_result, result_to_csv, save_experiment_result
+from repro.experiments.report import render_comparison_table, render_experiment, render_table
+from repro.experiments.runner import ExperimentResult, PointResult, run_experiment
+
+
+@pytest.fixture(scope="module")
+def small_result() -> ExperimentResult:
+    spec = figure1_spec(sizes=[25, 100], cache_sizes=[1, 5], trials=2)
+    return run_experiment(spec, seed=0)
+
+
+class TestRunner:
+    def test_structure(self, small_result):
+        assert small_result.experiment_id == "FIG1"
+        assert len(small_result.series) == 2
+        for series in small_result.series:
+            assert len(series.points) == 2
+            np.testing.assert_array_equal(series.x_values(), [25.0, 100.0])
+
+    def test_metrics_populated(self, small_result):
+        for series in small_result.series:
+            assert np.all(series.metric("max_load") >= 1)
+            assert np.all(series.metric("communication_cost") >= 0)
+            assert np.all(series.metric("predicted_max_load") > 0)
+
+    def test_reproducible(self):
+        spec = figure1_spec(sizes=[25], cache_sizes=[1], trials=2)
+        a = run_experiment(spec, seed=3)
+        b = run_experiment(spec, seed=3)
+        assert a.series[0].points[0].max_load_mean == b.series[0].points[0].max_load_mean
+
+    def test_progress_callback(self):
+        spec = figure1_spec(sizes=[25], cache_sizes=[1, 5], trials=1)
+        calls = []
+        run_experiment(spec, seed=0, progress_callback=lambda label, x, p: calls.append(label))
+        assert calls == ["Cache size = 1", "Cache size = 5"]
+
+    def test_series_by_label(self, small_result):
+        series = small_result.series_by_label("Cache size = 5")
+        assert series.label == "Cache size = 5"
+        with pytest.raises(ExperimentError):
+            small_result.series_by_label("Cache size = 42")
+
+    def test_unknown_metric_raises(self, small_result):
+        with pytest.raises(ExperimentError):
+            small_result.series[0].metric("latency")
+
+    def test_round_trip_dict(self, small_result):
+        rebuilt = ExperimentResult.from_dict(small_result.as_dict())
+        assert rebuilt.as_dict() == small_result.as_dict()
+
+    def test_point_result_round_trip(self, small_result):
+        point = small_result.series[0].points[0]
+        assert PointResult.from_dict(point.as_dict()) == point
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long header"], [[1, 2.5], [300, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_experiment_contains_series_and_values(self, small_result):
+        text = render_experiment(small_result, plot=False)
+        assert "FIG1" in text
+        assert "Cache size = 1" in text
+        assert "max load" in text
+
+    def test_render_experiment_with_plot(self, small_result):
+        text = render_experiment(small_result, plot=True)
+        assert "legend:" in text
+
+    def test_render_parametric_experiment(self):
+        spec = figure5_spec(radii=[1, 3], cache_sizes=[2], num_nodes=100, num_files=20, trials=1)
+        result = run_experiment(spec, seed=0)
+        text = render_experiment(result, plot=True)
+        assert "average cost" in text
+
+    def test_render_comparison_table(self):
+        rows = [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}]
+        text = render_comparison_table(rows, title="T")
+        assert "== T ==" in text
+        assert "a" in text and "b" in text
+
+    def test_render_comparison_table_empty(self):
+        with pytest.raises(ValueError):
+            render_comparison_table([])
+
+    def test_render_comparison_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_comparison_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestAsciiPlot:
+    def test_basic_plot(self):
+        text = ascii_plot({"s": ([1, 2, 3], [1, 4, 9])}, title="squares")
+        assert "squares" in text
+        assert "legend: o s" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        assert "o a" in text and "x b" in text
+
+    def test_constant_series(self):
+        text = ascii_plot({"c": ([1, 2, 3], [5, 5, 5])})
+        assert "c" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1, 2], [1])})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1], [1])}, width=5)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([], [])})
+
+
+class TestIO:
+    def test_json_round_trip(self, small_result, tmp_path):
+        path = save_experiment_result(small_result, tmp_path / "result.json")
+        loaded = load_experiment_result(path)
+        assert loaded.as_dict() == small_result.as_dict()
+
+    def test_csv_export(self, small_result, tmp_path):
+        path = result_to_csv(small_result, tmp_path / "result.csv")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 4  # header + 2 series * 2 points
+        assert lines[0].startswith("experiment_id,series,x")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_experiment_result(tmp_path / "missing.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(ExperimentError):
+            load_experiment_result(path)
+
+    def test_load_wrong_version(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"format_version": 99, "result": {}}')
+        with pytest.raises(ExperimentError):
+            load_experiment_result(path)

@@ -1,0 +1,151 @@
+"""Tests for experiment specifications and the paper-figure spec factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import (
+    all_figure_specs,
+    figure1_spec,
+    figure2_spec,
+    figure3_spec,
+    figure4_spec,
+    figure5_spec,
+)
+from repro.experiments.spec import ExperimentSpec, SeriesSpec, SweepPoint
+from repro.simulation.config import SimulationConfig
+
+
+def tiny_point(x: float = 1.0) -> SweepPoint:
+    return SweepPoint(x=x, config=SimulationConfig(num_nodes=25, num_files=10, cache_size=2))
+
+
+class TestSpecDataclasses:
+    def test_sweep_point_round_trip(self):
+        point = tiny_point(3.0)
+        assert SweepPoint.from_dict(point.as_dict()) == point
+
+    def test_series_requires_points(self):
+        with pytest.raises(ExperimentError):
+            SeriesSpec(label="empty", points=())
+
+    def test_series_requires_label(self):
+        with pytest.raises(ExperimentError):
+            SeriesSpec(label="", points=(tiny_point(),))
+
+    def test_series_round_trip(self):
+        series = SeriesSpec(label="s", points=(tiny_point(1), tiny_point(2)))
+        assert SeriesSpec.from_dict(series.as_dict()) == series
+
+    def test_experiment_validation(self):
+        series = (SeriesSpec(label="s", points=(tiny_point(),)),)
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(
+                experiment_id="",
+                title="t",
+                x_label="x",
+                y_label="y",
+                y_metric="max_load",
+                series=series,
+            )
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(
+                experiment_id="E",
+                title="t",
+                x_label="x",
+                y_label="y",
+                y_metric="latency",
+                series=series,
+            )
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(
+                experiment_id="E",
+                title="t",
+                x_label="x",
+                y_label="y",
+                y_metric="max_load",
+                series=(),
+            )
+
+    def test_experiment_round_trip(self):
+        spec = figure1_spec(sizes=[25, 100], cache_sizes=[1], trials=2)
+        assert ExperimentSpec.from_dict(spec.as_dict()).as_dict() == spec.as_dict()
+
+    def test_num_points(self):
+        spec = figure1_spec(sizes=[25, 100], cache_sizes=[1, 2], trials=2)
+        assert spec.num_points == 4
+
+    def test_scaled(self):
+        spec = figure1_spec(sizes=[25], cache_sizes=[1], trials=2)
+        assert spec.scaled(7).trials == 7
+        with pytest.raises(ExperimentError):
+            spec.scaled(0)
+
+
+class TestFigureSpecs:
+    def test_all_specs_present(self):
+        specs = all_figure_specs()
+        assert set(specs) == {"FIG1", "FIG2", "FIG3", "FIG4", "FIG5"}
+
+    def test_all_specs_rescaled(self):
+        specs = all_figure_specs(trials=2)
+        assert all(spec.trials == 2 for spec in specs.values())
+
+    def test_figure1_uses_strategy1(self):
+        spec = figure1_spec()
+        assert spec.y_metric == "max_load"
+        for series in spec.series:
+            for point in series.points:
+                assert point.config.strategy == "nearest_replica"
+                assert point.config.num_files == 100
+
+    def test_figure2_sweeps_cache_size(self):
+        spec = figure2_spec()
+        assert spec.y_metric == "communication_cost"
+        for series in spec.series:
+            xs = [p.x for p in series.points]
+            assert xs == sorted(xs)
+            for point in series.points:
+                assert point.config.cache_size == int(point.x)
+                assert point.config.num_nodes == 2025
+
+    def test_figure3_uses_strategy2_unconstrained(self):
+        spec = figure3_spec()
+        for series in spec.series:
+            for point in series.points:
+                assert point.config.strategy == "proximity_two_choice"
+                assert point.config.strategy_params["radius"] is None
+                assert point.config.num_files == 2000
+
+    def test_figure4_same_sweep_different_metric(self):
+        fig3 = figure3_spec()
+        fig4 = figure4_spec()
+        assert fig4.y_metric == "communication_cost"
+        assert [s.label for s in fig3.series] == [s.label for s in fig4.series]
+
+    def test_figure5_parametric_radius_sweep(self):
+        spec = figure5_spec()
+        assert spec.extra.get("parametric") is True
+        for series in spec.series:
+            for point in series.points:
+                assert point.config.strategy_params["radius"] == int(point.x)
+                assert point.config.num_files == 500
+                assert point.config.num_nodes == 2025
+
+    def test_figure_cache_size_labels(self):
+        spec = figure5_spec(cache_sizes=[1, 2])
+        assert [s.label for s in spec.series] == ["Cache size = 1", "Cache size = 2"]
+
+    def test_paper_trial_counts_documented(self):
+        assert figure1_spec().paper_trials == 10000
+        assert figure3_spec().paper_trials == 800
+        assert figure5_spec().paper_trials == 5000
+
+    def test_configs_are_valid_torus_sizes(self):
+        for spec in all_figure_specs().values():
+            for series in spec.series:
+                for point in series.points:
+                    side = int(np.sqrt(point.config.num_nodes))
+                    assert side * side == point.config.num_nodes

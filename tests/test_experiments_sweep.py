@@ -1,0 +1,130 @@
+"""Tests for the generic parameter-sweep builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import build_grid_experiment, build_sweep, set_parameter
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture
+def base() -> SimulationConfig:
+    return SimulationConfig(
+        num_nodes=100,
+        num_files=50,
+        cache_size=4,
+        strategy="proximity_two_choice",
+        strategy_params={"radius": 4, "num_choices": 2},
+    )
+
+
+class TestSetParameter:
+    def test_top_level_field(self, base):
+        updated = set_parameter(base, "cache_size", 8)
+        assert updated.cache_size == 8
+        assert base.cache_size == 4  # original untouched
+
+    def test_nested_strategy_parameter(self, base):
+        updated = set_parameter(base, "strategy_params.radius", 9)
+        assert updated.strategy_params["radius"] == 9
+        assert updated.strategy_params["num_choices"] == 2
+
+    def test_nested_popularity_parameter(self, base):
+        zipf_base = base.replace(popularity="zipf", popularity_params={"gamma": 0.5})
+        updated = set_parameter(zipf_base, "popularity_params.gamma", 1.5)
+        assert updated.popularity_params["gamma"] == 1.5
+
+    def test_unknown_field(self, base):
+        with pytest.raises(ExperimentError):
+            set_parameter(base, "bandwidth", 10)
+
+    def test_unknown_container(self, base):
+        with pytest.raises(ExperimentError):
+            set_parameter(base, "num_nodes.radius", 10)
+
+    def test_too_deep_path(self, base):
+        with pytest.raises(ExperimentError):
+            set_parameter(base, "strategy_params.radius.extra", 10)
+
+
+class TestBuildSweep:
+    def test_points_and_labels(self, base):
+        series = build_sweep(base, "strategy_params.radius", [2, 4, 8], label="radii")
+        assert series.label == "radii"
+        assert [p.x for p in series.points] == [2.0, 4.0, 8.0]
+        assert [p.config.strategy_params["radius"] for p in series.points] == [2, 4, 8]
+
+    def test_empty_values(self, base):
+        with pytest.raises(ExperimentError):
+            build_sweep(base, "cache_size", [])
+
+
+class TestBuildGridExperiment:
+    def test_single_series(self, base):
+        spec = build_grid_experiment(
+            base,
+            experiment_id="CUSTOM1",
+            title="radius sweep",
+            x_parameter="strategy_params.radius",
+            x_values=[2, 6],
+            trials=2,
+        )
+        assert spec.num_points == 2
+        assert len(spec.series) == 1
+
+    def test_grid_of_series(self, base):
+        spec = build_grid_experiment(
+            base,
+            experiment_id="CUSTOM2",
+            title="radius x cache grid",
+            x_parameter="strategy_params.radius",
+            x_values=[2, 6],
+            series_parameter="cache_size",
+            series_values=[2, 8],
+            y_metric="communication_cost",
+            trials=1,
+        )
+        assert len(spec.series) == 2
+        assert spec.series[0].label == "cache_size = 2"
+        assert spec.series[1].points[0].config.cache_size == 8
+
+    def test_mismatched_series_arguments(self, base):
+        with pytest.raises(ExperimentError):
+            build_grid_experiment(
+                base,
+                experiment_id="X",
+                title="t",
+                x_parameter="cache_size",
+                x_values=[1, 2],
+                series_parameter="strategy_params.radius",
+            )
+        with pytest.raises(ExperimentError):
+            build_grid_experiment(
+                base,
+                experiment_id="X",
+                title="t",
+                x_parameter="cache_size",
+                x_values=[1, 2],
+                series_parameter="strategy_params.radius",
+                series_values=[],
+            )
+
+    def test_custom_experiment_runs_end_to_end(self, base):
+        spec = build_grid_experiment(
+            base,
+            experiment_id="CUSTOM3",
+            title="custom",
+            x_parameter="strategy_params.radius",
+            x_values=[2, 8],
+            series_parameter="cache_size",
+            series_values=[4],
+            trials=2,
+        )
+        result = run_experiment(spec, seed=0)
+        series = result.series[0]
+        costs = series.metric("communication_cost")
+        # A bigger radius means longer routes in this custom sweep too.
+        assert costs[1] > costs[0]

@@ -1,0 +1,106 @@
+"""Tests for the theory-versus-simulation comparison tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import render_comparison_table
+from repro.experiments.tables import (
+    ballsbins_table,
+    goodness_table,
+    theorem1_table,
+    theorem3_table,
+    theorem4_table,
+)
+
+
+class TestTheorem1Table:
+    def test_rows_and_columns(self):
+        rows = theorem1_table(sizes=[25, 100], trials=2, seed=0)
+        assert len(rows) == 2
+        assert set(rows[0]) >= {"n", "measured_max_load", "log_n", "ratio_L_over_log_n"}
+
+    def test_ratio_positive_and_bounded(self):
+        rows = theorem1_table(sizes=[100, 400], trials=3, seed=1)
+        for row in rows:
+            assert 0.1 < row["ratio_L_over_log_n"] < 10.0
+
+    def test_renderable(self):
+        rows = theorem1_table(sizes=[25], trials=1, seed=0)
+        text = render_comparison_table(rows, title="T1")
+        assert "measured_max_load" in text
+
+
+class TestTheorem3Table:
+    def test_structure(self):
+        rows = theorem3_table(
+            num_files=100, cache_sizes=[1, 4], gammas=[0.0, 2.5], num_nodes=100, trials=1, seed=0
+        )
+        assert len(rows) == 4
+        regimes = {row["regime"] for row in rows}
+        assert "uniform" in regimes and "gamma>2" in regimes
+
+    def test_skewed_popularity_cheaper(self):
+        rows = theorem3_table(
+            num_files=400, cache_sizes=[1], gammas=[0.0, 2.5], num_nodes=400, trials=2, seed=1
+        )
+        uniform_cost = next(r["measured_comm_cost"] for r in rows if r["gamma"] == 0.0)
+        skewed_cost = next(r["measured_comm_cost"] for r in rows if r["gamma"] == 2.5)
+        assert skewed_cost < uniform_cost
+
+    def test_ratio_finite(self):
+        rows = theorem3_table(
+            num_files=100, cache_sizes=[4], gammas=[1.0], num_nodes=100, trials=1, seed=0
+        )
+        assert np.isfinite(rows[0]["ratio"])
+
+
+class TestTheorem4Table:
+    def test_structure(self):
+        rows = theorem4_table(num_nodes=256, cache_sizes=[4], radii=[2, np.inf], trials=1, seed=0)
+        assert len(rows) == 2
+        assert {"condition_holds", "measured_max_load", "fallback_rate"} <= set(rows[0])
+
+    def test_infinite_radius_encoded_as_string(self):
+        rows = theorem4_table(num_nodes=256, cache_sizes=[4], radii=[np.inf], trials=1, seed=0)
+        assert rows[0]["radius"] == "inf"
+
+    def test_larger_radius_lower_fallback(self):
+        rows = theorem4_table(num_nodes=256, cache_sizes=[4], radii=[1, 8], trials=2, seed=1)
+        small_r = next(r for r in rows if r["radius"] == 1.0)
+        big_r = next(r for r in rows if r["radius"] == 8.0)
+        assert big_r["fallback_rate"] <= small_r["fallback_rate"]
+
+
+class TestGoodnessTable:
+    def test_structure(self):
+        rows = goodness_table(
+            num_nodes=100, num_files=100, cache_sizes=[2, 5], radii=[3], seed=0
+        )
+        assert len(rows) == 2
+        assert {"is_good", "H_edges", "H_mean_degree", "H_predicted_degree"} <= set(rows[0])
+
+    def test_more_memory_more_edges(self):
+        rows = goodness_table(
+            num_nodes=100, num_files=100, cache_sizes=[2, 10], radii=[3], seed=1
+        )
+        small = next(r for r in rows if r["M"] == 2)
+        large = next(r for r in rows if r["M"] == 10)
+        assert large["H_edges"] > small["H_edges"]
+
+
+class TestBallsBinsTable:
+    def test_structure_and_gap(self):
+        rows = ballsbins_table(sizes=[2000], degrees=[8], trials=2, seed=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["two_choice_measured"] < row["one_choice_measured"]
+        # Predictions are leading-order terms (no constants); just require them
+        # to be positive and finite at this size.
+        assert row["two_choice_predicted"] > 0 and row["one_choice_predicted"] > 0
+        assert "graph_d8_measured" in row
+
+    def test_degree_skipped_when_too_large(self):
+        rows = ballsbins_table(sizes=[100], degrees=[200], trials=1, seed=0)
+        assert "graph_d200_measured" not in rows[0]

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CacheNetworkSimulation,
+    FileLibrary,
+    NearestReplicaStrategy,
+    ProportionalPlacement,
+    ProximityTwoChoiceStrategy,
+    SimulationConfig,
+    Torus2D,
+    UniformOriginWorkload,
+    run_trials,
+    run_trials_parallel,
+)
+from repro.analysis import build_configuration_graph, voronoi_statistics
+from repro.ballsbins import graph_edge_allocation
+from repro.experiments import (
+    figure1_spec,
+    figure5_spec,
+    load_experiment_result,
+    render_experiment,
+    result_to_csv,
+    run_experiment,
+    save_experiment_result,
+)
+from repro.theory import predict
+from repro.workload import save_trace, load_trace
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        """The README quickstart: config -> trials -> metrics."""
+        config = SimulationConfig(
+            num_nodes=225,
+            num_files=100,
+            cache_size=5,
+            strategy="proximity_two_choice",
+            strategy_params={"radius": 6},
+        )
+        result = run_trials(config, num_trials=3, seed=1)
+        assert result.mean_max_load >= 1.0
+        assert result.mean_communication_cost > 0.0
+        prediction = predict(config)
+        assert prediction.max_load_order > 0
+
+    def test_component_level_flow(self):
+        """Building the components by hand and running the engine directly."""
+        torus = Torus2D(100)
+        library = FileLibrary(50)
+        simulation = CacheNetworkSimulation(
+            topology=torus,
+            library=library,
+            placement=ProportionalPlacement(4),
+            strategy=ProximityTwoChoiceStrategy(radius=5),
+            workload=UniformOriginWorkload(),
+        )
+        result, cache, requests = simulation.run_with_components(seed=0)
+        assert result.max_load >= 1
+        # The analysis modules accept the same cache state.
+        graph = build_configuration_graph(torus, cache, radius=5)
+        assert graph.num_nodes == 100
+        stats = voronoi_statistics(torus, cache, files=np.arange(3), seed=0)
+        assert stats["max_cell_size"] >= 1
+
+    def test_trace_round_trip_gives_identical_assignment(self, tmp_path):
+        """Saving and reloading a trace reproduces the exact same assignment."""
+        torus = Torus2D(100)
+        library = FileLibrary(30)
+        cache = ProportionalPlacement(4).place(torus, library, seed=0)
+        requests = UniformOriginWorkload(100).generate(torus, library, seed=1)
+        path = save_trace(requests, tmp_path / "trace.json")
+        reloaded = load_trace(path)
+        strategy = NearestReplicaStrategy()
+        a = strategy.assign(torus, cache, requests, seed=2)
+        b = strategy.assign(torus, cache, reloaded, seed=2)
+        np.testing.assert_array_equal(a.servers, b.servers)
+
+    def test_configuration_graph_feeds_graph_allocation(self):
+        """The H graph extracted from a placement can drive the Theorem 5 process."""
+        torus = Torus2D(100)
+        library = FileLibrary(100)
+        cache = ProportionalPlacement(10).place(torus, library, seed=3)
+        graph = build_configuration_graph(torus, cache, radius=4)
+        assert graph.num_edges > 0
+        result = graph_edge_allocation(100, graph.edges, 100, seed=0)
+        assert result.loads.sum() == 100
+
+    def test_parallel_and_sequential_agree_end_to_end(self):
+        config = SimulationConfig(
+            num_nodes=100,
+            num_files=50,
+            cache_size=4,
+            strategy="proximity_two_choice",
+            strategy_params={"radius": 4},
+        )
+        sequential = run_trials(config, 4, seed=3)
+        parallel = run_trials_parallel(config, 4, seed=3, max_workers=2)
+        np.testing.assert_allclose(sequential.max_loads, parallel.max_loads)
+
+
+class TestExperimentPipeline:
+    def test_figure_run_render_save_load_csv(self, tmp_path):
+        spec = figure1_spec(sizes=[100, 225], cache_sizes=[2, 10], trials=2)
+        result = run_experiment(spec, seed=0)
+        text = render_experiment(result)
+        assert "FIG1" in text and "Cache size = 2" in text
+        json_path = save_experiment_result(result, tmp_path / "fig1.json")
+        assert load_experiment_result(json_path).as_dict() == result.as_dict()
+        csv_path = result_to_csv(result, tmp_path / "fig1.csv")
+        assert len(csv_path.read_text().splitlines()) == 1 + 4
+
+    def test_figure5_tradeoff_direction(self):
+        """Figure 5's qualitative message: growing the radius cannot increase
+        the maximum load (on average) and strictly increases the hop cost for
+        memory-rich caches."""
+        spec = figure5_spec(
+            radii=[1, 8], cache_sizes=[20], num_nodes=225, num_files=50, trials=4
+        )
+        result = run_experiment(spec, seed=1)
+        series = result.series[0]
+        costs = series.metric("communication_cost")
+        loads = series.metric("max_load")
+        assert costs[1] > costs[0]
+        assert loads[1] <= loads[0] + 0.5

@@ -1,0 +1,142 @@
+"""Integration tests of the paper's qualitative claims.
+
+These are the scientific acceptance tests of the reproduction: each test runs
+a small-but-real simulation and checks a *directional* claim of the paper
+(who wins, how a metric moves with a parameter), never absolute constants.
+Sizes and trial counts are chosen so every test is stable across seeds yet
+runs in a few seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, run_trials
+from repro.theory.comm_cost import strategy1_comm_cost_uniform
+
+
+def _run(strategy, n=625, K=100, M=4, radius=None, trials=5, seed=0, **kwargs):
+    params = {}
+    if strategy == "proximity_two_choice":
+        params = {"radius": radius, "num_choices": 2}
+    config = SimulationConfig(
+        num_nodes=n,
+        num_files=K,
+        cache_size=M,
+        strategy=strategy,
+        strategy_params=params,
+        **kwargs,
+    )
+    return run_trials(config, trials, seed=seed)
+
+
+class TestStrategyComparison:
+    def test_two_choices_reduce_max_load_vs_nearest(self):
+        """The paper's headline: Strategy II balances load far better than
+        Strategy I (at the price of longer routes)."""
+        nearest = _run("nearest_replica", M=10, trials=8, seed=1)
+        two_choice = _run("proximity_two_choice", M=10, radius=None, trials=8, seed=1)
+        assert two_choice.mean_max_load < nearest.mean_max_load
+        assert two_choice.mean_communication_cost > nearest.mean_communication_cost
+
+    def test_two_choices_beat_one_choice(self):
+        """The second choice is what matters: d=2 beats a random replica."""
+        one = _run("random_replica", M=10, trials=8, seed=2)
+        config = SimulationConfig(
+            num_nodes=625,
+            num_files=100,
+            cache_size=10,
+            strategy="proximity_two_choice",
+            strategy_params={"radius": None, "num_choices": 2},
+        )
+        two = run_trials(config, 8, seed=2)
+        assert two.mean_max_load < one.mean_max_load
+
+    def test_nearest_replica_achieves_minimum_cost(self):
+        nearest = _run("nearest_replica", M=4, trials=5, seed=3)
+        others = [
+            _run("random_replica", M=4, trials=5, seed=3),
+            _run("proximity_two_choice", M=4, radius=None, trials=5, seed=3),
+        ]
+        for other in others:
+            assert nearest.mean_communication_cost <= other.mean_communication_cost + 1e-9
+
+
+class TestStrategy1Scaling:
+    def test_max_load_grows_with_n(self):
+        """Theorem 1/2: Strategy I's maximum load grows with the network size
+        (logarithmically), for fixed K and M."""
+        small = _run("nearest_replica", n=100, K=100, M=2, trials=12, seed=4)
+        large = _run("nearest_replica", n=1600, K=100, M=2, trials=12, seed=4)
+        assert large.mean_max_load > small.mean_max_load
+
+    def test_comm_cost_scales_like_sqrt_k_over_m(self):
+        """Theorem 3 (Uniform): quadrupling M roughly halves the hop cost."""
+        m_small = _run("nearest_replica", n=2025, K=400, M=4, trials=3, seed=5)
+        m_large = _run("nearest_replica", n=2025, K=400, M=16, trials=3, seed=5)
+        measured_ratio = m_small.mean_communication_cost / m_large.mean_communication_cost
+        predicted_ratio = strategy1_comm_cost_uniform(400, 4) / strategy1_comm_cost_uniform(400, 16)
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.35)
+
+    def test_comm_cost_grows_with_library_size(self):
+        small_k = _run("nearest_replica", n=900, K=50, M=2, trials=4, seed=6)
+        large_k = _run("nearest_replica", n=900, K=500, M=2, trials=4, seed=6)
+        assert large_k.mean_communication_cost > small_k.mean_communication_cost
+
+    def test_zipf_popularity_reduces_cost(self):
+        """Theorem 3 (Zipf): skewed popularity makes the nearest replica closer."""
+        uniform = _run("nearest_replica", n=900, K=300, M=2, trials=4, seed=7)
+        zipf = _run(
+            "nearest_replica",
+            n=900,
+            K=300,
+            M=2,
+            trials=4,
+            seed=7,
+            popularity="zipf",
+            popularity_params={"gamma": 1.5},
+        )
+        assert zipf.mean_communication_cost < uniform.mean_communication_cost
+
+
+class TestStrategy2Regimes:
+    def test_more_memory_restores_power_of_two_choices(self):
+        """Figure 3's message: with K = Theta(n) and tiny M the two-choice
+        gain is muted by replica scarcity; growing M restores it."""
+        scarce = _run("proximity_two_choice", n=900, K=900, M=1, radius=None, trials=6, seed=8)
+        rich = _run("proximity_two_choice", n=900, K=900, M=20, radius=None, trials=6, seed=8)
+        assert rich.mean_max_load < scarce.mean_max_load
+
+    def test_radius_controls_communication_cost(self):
+        """Theorem 4: the communication cost is Theta(r)."""
+        costs = []
+        for radius in (2, 5, 10):
+            result = _run(
+                "proximity_two_choice", n=2025, K=100, M=10, radius=radius, trials=3, seed=9
+            )
+            costs.append(result.mean_communication_cost)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_unconstrained_cost_scales_with_sqrt_n(self):
+        """Figure 4: with r = inf the hop count grows like sqrt(n)."""
+        small = _run("proximity_two_choice", n=400, K=100, M=10, radius=None, trials=3, seed=10)
+        large = _run("proximity_two_choice", n=3600, K=100, M=10, radius=None, trials=3, seed=10)
+        ratio = large.mean_communication_cost / small.mean_communication_cost
+        assert 2.0 < ratio < 4.5  # ideal ratio = sqrt(3600/400) = 3
+
+    def test_tradeoff_larger_radius_not_worse_load(self):
+        """Figure 5: at moderate memory, a longer radius buys a (weakly)
+        smaller maximum load."""
+        tight = _run("proximity_two_choice", n=900, K=200, M=20, radius=1, trials=8, seed=11)
+        loose = _run("proximity_two_choice", n=900, K=200, M=20, radius=8, trials=8, seed=11)
+        assert loose.mean_max_load <= tight.mean_max_load
+        assert loose.mean_communication_cost > tight.mean_communication_cost
+
+    def test_low_memory_radius_does_not_help(self):
+        """Figure 5, M = 1 curve: with a single cache slot the load cannot be
+        balanced no matter how much communication budget is spent."""
+        tight = _run("proximity_two_choice", n=900, K=200, M=1, radius=1, trials=8, seed=12)
+        loose = _run("proximity_two_choice", n=900, K=200, M=1, radius=10, trials=8, seed=12)
+        # The maximum load stays essentially flat (within one request).
+        assert abs(loose.mean_max_load - tight.mean_max_load) <= 1.0

@@ -1,0 +1,167 @@
+"""Tests for the cache-state index (repro.placement.cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.placement.cache import CacheState
+
+
+def small_state() -> CacheState:
+    """A hand-built 4-node, 5-file state used across tests.
+
+    node 0: files {0, 1}
+    node 1: files {1, 1} -> distinct {1}
+    node 2: files {2, 3}
+    node 3: files {0, 3}
+    File 4 is cached nowhere.
+    """
+    slots = np.array([[0, 1], [1, 1], [2, 3], [0, 3]])
+    return CacheState(slots, num_files=5)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(PlacementError):
+            CacheState(np.array([0, 1, 2]), 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(PlacementError):
+            CacheState(np.empty((0, 2), dtype=int), 5)
+
+    def test_out_of_range_file_raises(self):
+        with pytest.raises(PlacementError):
+            CacheState(np.array([[0, 5]]), 5)
+        with pytest.raises(PlacementError):
+            CacheState(np.array([[-1, 0]]), 5)
+
+    def test_invalid_num_files(self):
+        with pytest.raises(PlacementError):
+            CacheState(np.array([[0]]), 0)
+
+    def test_properties(self):
+        state = small_state()
+        assert state.num_nodes == 4
+        assert state.num_files == 5
+        assert state.cache_size == 2
+
+    def test_slots_read_only(self):
+        state = small_state()
+        with pytest.raises(ValueError):
+            state.slots[0, 0] = 3
+
+    def test_repr(self):
+        assert "uncached=1" in repr(small_state())
+
+
+class TestNodeQueries:
+    def test_node_files_distinct(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.node_files(1), [1])
+        np.testing.assert_array_equal(state.node_files(0), [0, 1])
+
+    def test_node_files_raw(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.node_files(1, distinct=False), [1, 1])
+
+    def test_distinct_count(self):
+        state = small_state()
+        assert state.distinct_count(0) == 2
+        assert state.distinct_count(1) == 1
+
+    def test_distinct_counts_vector(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.distinct_counts(), [2, 1, 2, 2])
+
+    def test_contains(self):
+        state = small_state()
+        assert state.contains(0, 1)
+        assert not state.contains(0, 2)
+
+    def test_invalid_node(self):
+        with pytest.raises(PlacementError):
+            small_state().node_files(4)
+        with pytest.raises(PlacementError):
+            small_state().distinct_count(-1)
+
+
+class TestFileQueries:
+    def test_file_nodes(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.file_nodes(0), [0, 3])
+        np.testing.assert_array_equal(state.file_nodes(1), [0, 1])
+        np.testing.assert_array_equal(state.file_nodes(4), [])
+
+    def test_file_nodes_deduplicates_within_node(self):
+        # Node 1 caches file 1 twice; it must appear once.
+        state = small_state()
+        assert np.count_nonzero(state.file_nodes(1) == 1) == 1
+
+    def test_replication_counts(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.replication_counts(), [2, 2, 1, 2, 0])
+
+    def test_replication_of(self):
+        assert small_state().replication_of(3) == 2
+
+    def test_uncached_files(self):
+        np.testing.assert_array_equal(small_state().uncached_files(), [4])
+
+    def test_invalid_file(self):
+        with pytest.raises(PlacementError):
+            small_state().file_nodes(5)
+        with pytest.raises(PlacementError):
+            small_state().replication_of(-1)
+
+
+class TestPairQueries:
+    def test_common_files(self):
+        state = small_state()
+        np.testing.assert_array_equal(state.common_files(0, 1), [1])
+        np.testing.assert_array_equal(state.common_files(0, 3), [0])
+        np.testing.assert_array_equal(state.common_files(1, 2), [])
+
+    def test_common_count(self):
+        state = small_state()
+        assert state.common_count(0, 1) == 1
+        assert state.common_count(1, 2) == 0
+
+    def test_common_symmetric(self):
+        state = small_state()
+        assert state.common_count(0, 3) == state.common_count(3, 0)
+
+
+class TestMembershipMatrix:
+    def test_matches_index(self):
+        state = small_state()
+        matrix = state.node_membership_matrix()
+        assert matrix.shape == (4, 5)
+        for node in range(4):
+            for file_id in range(5):
+                assert matrix[node, file_id] == state.contains(node, file_id)
+
+    def test_consistency_with_file_nodes(self):
+        state = small_state()
+        matrix = state.node_membership_matrix()
+        for file_id in range(5):
+            np.testing.assert_array_equal(
+                np.flatnonzero(matrix[:, file_id]), state.file_nodes(file_id)
+            )
+
+
+class TestLargeRandomConsistency:
+    def test_index_consistency_random(self):
+        rng = np.random.default_rng(0)
+        slots = rng.integers(0, 40, size=(60, 7))
+        state = CacheState(slots, 40)
+        # replication counts match membership matrix column sums
+        matrix = state.node_membership_matrix()
+        np.testing.assert_array_equal(matrix.sum(axis=0), state.replication_counts())
+        # every file's node list is sorted and in range
+        for file_id in range(40):
+            nodes = state.file_nodes(file_id)
+            assert np.all(np.diff(nodes) > 0)
+            if nodes.size:
+                assert nodes.min() >= 0 and nodes.max() < 60

@@ -1,0 +1,111 @@
+"""Tests for the (delta, mu)-goodness checks (repro.placement.goodness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import ConfigurationError
+from repro.placement.cache import CacheState
+from repro.placement.goodness import check_goodness, common_file_count, pairwise_common_counts
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture
+def cache():
+    torus = Torus2D(100)
+    library = FileLibrary(200)
+    return ProportionalPlacement(8).place(torus, library, seed=0)
+
+
+class TestCommonFileCount:
+    def test_matches_cache_state(self, cache):
+        assert common_file_count(cache, 0, 1) == cache.common_count(0, 1)
+
+    def test_pairwise_counts_shape(self, cache):
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        counts = pairwise_common_counts(cache, pairs)
+        assert counts.shape == (3,)
+        assert np.all(counts >= 0)
+
+    def test_pairwise_invalid_shape(self, cache):
+        with pytest.raises(ConfigurationError):
+            pairwise_common_counts(cache, np.array([0, 1, 2]))
+
+
+class TestCheckGoodness:
+    def test_sampled_report_fields(self, cache):
+        report = check_goodness(cache, delta=0.3, mu=6, max_pairs=200, seed=0)
+        assert report.pairs_checked > 0
+        assert report.min_distinct >= 1
+        assert report.mean_distinct > 0
+        assert not report.exhaustive
+        assert isinstance(report.is_good, bool)
+
+    def test_exhaustive_small_instance(self):
+        torus = Torus2D(16)
+        library = FileLibrary(40)
+        cache = ProportionalPlacement(4).place(torus, library, seed=1)
+        report = check_goodness(cache, delta=0.25, mu=4, exhaustive=True)
+        assert report.exhaustive
+        assert report.pairs_checked == 16 * 15 // 2
+
+    def test_distinct_placement_is_delta_one_good(self):
+        torus = Torus2D(36)
+        library = FileLibrary(100)
+        cache = UniformDistinctPlacement(6).place(torus, library, seed=2)
+        report = check_goodness(cache, delta=1.0, mu=7, exhaustive=True)
+        assert report.min_distinct == 6
+        # delta = 1 condition holds because every node caches 6 distinct files.
+        assert report.is_good or report.max_common >= 7
+
+    def test_impossible_mu_fails(self, cache):
+        # mu = 1 requires all pairs to share zero files; with K=200, M=8 and
+        # 100 nodes some pair certainly shares a file.
+        report = check_goodness(cache, delta=0.0, mu=1, exhaustive=True)
+        assert not report.is_good
+        assert report.max_common >= 1
+
+    def test_radius_restriction_runs(self, cache):
+        torus = Torus2D(100)
+        report = check_goodness(
+            cache, delta=0.3, mu=6, topology=torus, radius=3, max_pairs=100, seed=1
+        )
+        assert report.pairs_checked >= 0
+
+    def test_invalid_delta(self, cache):
+        with pytest.raises(ConfigurationError):
+            check_goodness(cache, delta=1.5, mu=3)
+
+    def test_invalid_mu(self, cache):
+        with pytest.raises(ConfigurationError):
+            check_goodness(cache, delta=0.5, mu=0)
+
+    def test_as_dict(self, cache):
+        report = check_goodness(cache, delta=0.3, mu=6, max_pairs=50, seed=0)
+        data = report.as_dict()
+        assert set(data) >= {"delta", "mu", "is_good", "min_distinct", "max_common"}
+
+
+class TestLemma2Statistical:
+    def test_proportional_placement_is_good_in_paper_regime(self):
+        """Lemma 2: proportional placement is (delta, mu)-good w.h.p.
+
+        Use K = n = 400, M = 20 = n^0.5-ish; delta = (1-alpha)/3 and a
+        generous constant mu.  The check is statistical but extremely stable
+        at this size.
+        """
+        n = 400
+        torus = Torus2D(n)
+        library = FileLibrary(n)
+        M = 20
+        cache = ProportionalPlacement(M).place(torus, library, seed=3)
+        alpha = np.log(M) / np.log(n)
+        delta = (1 - alpha) / 3
+        report = check_goodness(cache, delta=delta, mu=10, max_pairs=1500, seed=4)
+        assert report.is_good
+        # t(u) should be close to M (few duplicate slots when K >> M).
+        assert report.mean_distinct > 0.9 * M

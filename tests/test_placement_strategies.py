@@ -1,0 +1,165 @@
+"""Tests for the placement strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import ZipfPopularity
+from repro.exceptions import PlacementError
+from repro.placement.factory import available_placements, create_placement, register_placement
+from repro.placement.full_replication import FullReplicationPlacement
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.topology.torus import Torus2D
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(50)
+
+
+class TestProportionalPlacement:
+    def test_shape(self, torus, library):
+        cache = ProportionalPlacement(5).place(torus, library, seed=0)
+        assert cache.num_nodes == 100
+        assert cache.cache_size == 5
+        assert cache.num_files == 50
+
+    def test_deterministic_given_seed(self, torus, library):
+        a = ProportionalPlacement(5).place(torus, library, seed=1)
+        b = ProportionalPlacement(5).place(torus, library, seed=1)
+        np.testing.assert_array_equal(a.slots, b.slots)
+
+    def test_different_seeds_differ(self, torus, library):
+        a = ProportionalPlacement(5).place(torus, library, seed=1)
+        b = ProportionalPlacement(5).place(torus, library, seed=2)
+        assert not np.array_equal(a.slots, b.slots)
+
+    def test_zipf_bias(self, torus):
+        library = FileLibrary(50, ZipfPopularity(50, 2.0))
+        cache = ProportionalPlacement(4).place(torus, library, seed=0)
+        replication = cache.replication_counts()
+        # The most popular file must be cached far more widely than the median file.
+        assert replication[0] > replication[25]
+
+    def test_allows_m_larger_than_k(self, torus):
+        library = FileLibrary(3)
+        cache = ProportionalPlacement(10).place(torus, library, seed=0)
+        assert cache.cache_size == 10
+
+    def test_mean_replication_close_to_expectation(self, torus, library):
+        # Each of the 100 nodes caches 5 uniform draws over 50 files; a file is
+        # cached at a node w.p. 1-(1-1/50)^5 ~ 0.096, so ~9.6 nodes on average.
+        cache = ProportionalPlacement(5).place(torus, library, seed=3)
+        mean_replication = cache.replication_counts().mean()
+        assert 7.0 < mean_replication < 12.0
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(PlacementError):
+            ProportionalPlacement(0)
+
+
+class TestUniformDistinctPlacement:
+    def test_all_rows_distinct(self, torus, library):
+        cache = UniformDistinctPlacement(5).place(torus, library, seed=0)
+        assert np.all(cache.distinct_counts() == 5)
+
+    def test_requires_m_at_most_k(self, torus):
+        library = FileLibrary(3)
+        with pytest.raises(PlacementError):
+            UniformDistinctPlacement(5).place(torus, library, seed=0)
+
+    def test_m_equals_k_gives_full_library(self, torus):
+        library = FileLibrary(8)
+        cache = UniformDistinctPlacement(8).place(torus, library, seed=0)
+        assert np.all(cache.replication_counts() == 100)
+
+    def test_marginal_uniform(self, torus, library):
+        # Every file should be cached at roughly n * M / K = 10 nodes.
+        cache = UniformDistinctPlacement(5).place(torus, library, seed=1)
+        replication = cache.replication_counts()
+        assert replication.mean() == pytest.approx(10.0, abs=0.01)
+        assert replication.min() > 0 or replication.max() < 30
+
+    def test_deterministic(self, torus, library):
+        a = UniformDistinctPlacement(5).place(torus, library, seed=7)
+        b = UniformDistinctPlacement(5).place(torus, library, seed=7)
+        np.testing.assert_array_equal(a.slots, b.slots)
+
+
+class TestPartitionPlacement:
+    def test_every_file_cached(self, torus, library):
+        cache = PartitionPlacement(5).place(torus, library)
+        assert cache.uncached_files().size == 0
+
+    def test_balanced_replication(self, torus, library):
+        cache = PartitionPlacement(5).place(torus, library)
+        replication = cache.replication_counts()
+        assert replication.max() - replication.min() <= 1
+
+    def test_distinct_slots(self, torus, library):
+        cache = PartitionPlacement(5).place(torus, library)
+        assert np.all(cache.distinct_counts() == 5)
+
+    def test_requires_m_at_most_k(self, torus):
+        with pytest.raises(PlacementError):
+            PartitionPlacement(10).place(torus, FileLibrary(5))
+
+    def test_is_deterministic_without_seed(self, torus, library):
+        a = PartitionPlacement(3).place(torus, library)
+        b = PartitionPlacement(3).place(torus, library)
+        np.testing.assert_array_equal(a.slots, b.slots)
+
+
+class TestFullReplicationPlacement:
+    def test_everything_everywhere(self, torus):
+        library = FileLibrary(12)
+        cache = FullReplicationPlacement().place(torus, library)
+        assert cache.cache_size == 12
+        assert np.all(cache.replication_counts() == 100)
+
+    def test_explicit_cache_size_must_match(self, torus):
+        library = FileLibrary(12)
+        with pytest.raises(PlacementError):
+            FullReplicationPlacement(10).place(torus, library)
+        cache = FullReplicationPlacement(12).place(torus, library)
+        assert cache.cache_size == 12
+
+    def test_as_dict(self):
+        assert FullReplicationPlacement().as_dict()["cache_size"] is None
+
+
+class TestFactory:
+    def test_available(self):
+        names = available_placements()
+        assert {"proportional", "uniform_distinct", "partition", "full_replication"} <= set(names)
+
+    def test_create_each(self):
+        assert isinstance(create_placement("proportional", 4), ProportionalPlacement)
+        assert isinstance(create_placement("uniform_distinct", 4), UniformDistinctPlacement)
+        assert isinstance(create_placement("partition", 4), PartitionPlacement)
+        assert isinstance(create_placement("full_replication"), FullReplicationPlacement)
+
+    def test_missing_cache_size(self):
+        with pytest.raises(PlacementError):
+            create_placement("proportional")
+
+    def test_unknown_name(self):
+        with pytest.raises(PlacementError):
+            create_placement("magic", 4)
+
+    def test_register(self):
+        register_placement("my_prop", ProportionalPlacement)
+        assert isinstance(create_placement("my_prop", 2), ProportionalPlacement)
+
+    def test_register_invalid(self):
+        with pytest.raises(PlacementError):
+            register_placement("", ProportionalPlacement)

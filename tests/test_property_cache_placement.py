@@ -1,0 +1,115 @@
+"""Property-based tests for cache state and placements."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import UniformPopularity, ZipfPopularity
+from repro.placement.cache import CacheState
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.topology.torus import Torus2D
+
+
+@st.composite
+def slot_arrays(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=8))
+    k = draw(st.integers(min_value=1, max_value=30))
+    slots = draw(
+        st.lists(
+            st.lists(st.integers(0, k - 1), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(slots, dtype=np.int64), k
+
+
+@given(data=slot_arrays())
+@settings(max_examples=80, deadline=None)
+def test_cache_state_index_is_consistent(data):
+    """The file->nodes index and node->files view describe the same relation."""
+    slots, k = data
+    state = CacheState(slots, k)
+    # Node -> file direction.
+    for node in range(state.num_nodes):
+        for file_id in state.node_files(node):
+            assert node in state.file_nodes(int(file_id))
+            assert state.contains(node, int(file_id))
+    # File -> node direction.
+    for file_id in range(k):
+        nodes = state.file_nodes(file_id)
+        assert np.all(np.diff(nodes) > 0)  # sorted, distinct
+        for node in nodes:
+            assert state.contains(int(node), file_id)
+    # Replication counts consistent with the index.
+    np.testing.assert_array_equal(
+        state.replication_counts(),
+        np.array([state.file_nodes(j).size for j in range(k)]),
+    )
+
+
+@given(data=slot_arrays())
+@settings(max_examples=60, deadline=None)
+def test_cache_state_common_files_symmetric_and_bounded(data):
+    slots, k = data
+    state = CacheState(slots, k)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        u, v = rng.integers(0, state.num_nodes, size=2)
+        tuv = state.common_count(int(u), int(v))
+        assert tuv == state.common_count(int(v), int(u))
+        assert tuv <= min(state.distinct_count(int(u)), state.distinct_count(int(v)))
+
+
+@st.composite
+def placement_setups(draw):
+    side = draw(st.integers(min_value=2, max_value=8))
+    num_files = draw(st.integers(min_value=2, max_value=60))
+    cache_size = draw(st.integers(min_value=1, max_value=min(8, num_files)))
+    gamma = draw(st.sampled_from([None, 0.6, 1.2]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return side, num_files, cache_size, gamma, seed
+
+
+@given(setup=placement_setups(), kind=st.sampled_from(["proportional", "uniform", "partition"]))
+@settings(max_examples=60, deadline=None)
+def test_placements_produce_valid_states(setup, kind):
+    side, num_files, cache_size, gamma, seed = setup
+    torus = Torus2D.from_side(side)
+    popularity = UniformPopularity(num_files) if gamma is None else ZipfPopularity(num_files, gamma)
+    library = FileLibrary(num_files, popularity)
+    if kind == "proportional":
+        placement = ProportionalPlacement(cache_size)
+    elif kind == "uniform":
+        placement = UniformDistinctPlacement(cache_size)
+    else:
+        placement = PartitionPlacement(cache_size)
+    state = placement.place(torus, library, seed=seed)
+    assert state.num_nodes == torus.n
+    assert state.cache_size == cache_size
+    assert state.num_files == num_files
+    assert state.slots.min() >= 0 and state.slots.max() < num_files
+    # Distinct counts never exceed the cache size.
+    assert np.all(state.distinct_counts() <= cache_size)
+    if kind in ("uniform", "partition"):
+        assert np.all(state.distinct_counts() == cache_size)
+    # Replication is bounded by the number of nodes.
+    assert state.replication_counts().max() <= torus.n
+
+
+@given(setup=placement_setups())
+@settings(max_examples=30, deadline=None)
+def test_proportional_placement_reproducible(setup):
+    side, num_files, cache_size, gamma, seed = setup
+    torus = Torus2D.from_side(side)
+    popularity = UniformPopularity(num_files) if gamma is None else ZipfPopularity(num_files, gamma)
+    library = FileLibrary(num_files, popularity)
+    a = ProportionalPlacement(cache_size).place(torus, library, seed=seed)
+    b = ProportionalPlacement(cache_size).place(torus, library, seed=seed)
+    np.testing.assert_array_equal(a.slots, b.slots)

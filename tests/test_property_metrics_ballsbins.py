@@ -1,0 +1,82 @@
+"""Property-based tests for metrics and the balls-into-bins substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.load_distribution import empirical_load_distribution, load_tail_probability
+from repro.ballsbins.standard import d_choice_allocation, one_choice_allocation
+from repro.simulation.metrics import (
+    gini_coefficient,
+    jain_fairness,
+    load_summary,
+    max_load,
+    normalized_max_load,
+)
+
+load_vectors = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+@given(loads=load_vectors)
+@settings(max_examples=100, deadline=None)
+def test_metric_bounds(loads):
+    assert max_load(loads) == loads.max()
+    assert 0.0 <= gini_coefficient(loads) < 1.0
+    assert 1.0 / loads.size <= jain_fairness(loads) <= 1.0 + 1e-12
+    assert normalized_max_load(loads) >= 1.0 or loads.max() == 0
+    summary = load_summary(loads)
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max_load"]
+
+
+@given(loads=load_vectors)
+@settings(max_examples=100, deadline=None)
+def test_metrics_invariant_under_permutation(loads):
+    rng = np.random.default_rng(0)
+    shuffled = rng.permutation(loads)
+    assert gini_coefficient(loads) == gini_coefficient(shuffled)
+    assert jain_fairness(loads) == jain_fairness(shuffled)
+    assert max_load(loads) == max_load(shuffled)
+
+
+@given(loads=load_vectors)
+@settings(max_examples=100, deadline=None)
+def test_empirical_distribution_is_a_distribution(loads):
+    dist = empirical_load_distribution(loads)
+    assert dist.sum() == 1.0 or abs(dist.sum() - 1.0) < 1e-12
+    assert np.all(dist >= 0)
+    # Tail probabilities are non-increasing in the threshold.
+    tails = [load_tail_probability(loads, t) for t in range(int(loads.max()) + 2)]
+    assert all(a >= b for a, b in zip(tails, tails[1:]))
+    assert tails[0] == 1.0
+
+
+@given(
+    num_bins=st.integers(min_value=1, max_value=300),
+    num_balls=st.integers(min_value=0, max_value=600),
+    num_choices=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_ballsbins_conservation_and_bounds(num_bins, num_balls, num_choices, seed):
+    result = d_choice_allocation(num_bins, num_balls, num_choices, seed=seed)
+    assert result.loads.sum() == num_balls
+    assert result.loads.min() >= 0
+    assert result.max_load() <= num_balls
+    # Gap is max load minus average, so it is at least zero... and bounded.
+    assert result.gap() >= -1e-12
+    assert result.empty_bins() <= num_bins
+
+
+@given(
+    num_bins=st.integers(min_value=2, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_one_choice_reproducible(num_bins, seed):
+    a = one_choice_allocation(num_bins, num_bins, seed=seed)
+    b = one_choice_allocation(num_bins, num_bins, seed=seed)
+    np.testing.assert_array_equal(a.loads, b.loads)

@@ -1,0 +1,130 @@
+"""Property-based tests for the assignment strategies.
+
+The invariants checked here hold for *every* valid combination of topology,
+placement, workload and strategy parameters:
+
+* every request is served by a server that caches the requested file;
+* the recorded hop distance equals the topology distance between origin and
+  server;
+* loads sum to the number of requests;
+* non-fallback assignments of radius-constrained strategies stay within the
+  radius;
+* the whole pipeline is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.library import FileLibrary
+from repro.placement.proportional import ProportionalPlacement
+from repro.placement.uniform import UniformDistinctPlacement
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.strategies.random_replica import RandomReplicaStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+
+@st.composite
+def scenarios(draw):
+    side = draw(st.integers(min_value=3, max_value=8))
+    num_files = draw(st.integers(min_value=2, max_value=40))
+    cache_size = draw(st.integers(min_value=1, max_value=min(6, num_files)))
+    num_requests = draw(st.integers(min_value=1, max_value=80))
+    radius = draw(st.sampled_from([1, 2, 3, 5, np.inf]))
+    num_choices = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    strategy_kind = draw(
+        st.sampled_from(["nearest", "two_choice", "random", "least_loaded"])
+    )
+    return side, num_files, cache_size, num_requests, radius, num_choices, seed, strategy_kind
+
+
+def _build(side, num_files, cache_size, num_requests, seed):
+    torus = Torus2D.from_side(side)
+    library = FileLibrary(num_files)
+    # Distinct placement guarantees every node caches cache_size files and,
+    # because every file is chosen uniformly, all files are usually covered;
+    # uncovered files are filtered out of the workload below.
+    placement = UniformDistinctPlacement(cache_size)
+    cache = placement.place(torus, library, seed=seed)
+    requests = UniformOriginWorkload(num_requests).generate(torus, library, seed=seed + 1)
+    cached = np.flatnonzero(cache.replication_counts() > 0)
+    files = cached[requests.files % cached.size]
+    requests = type(requests)(
+        origins=requests.origins,
+        files=files,
+        num_nodes=torus.n,
+        num_files=num_files,
+    )
+    return torus, cache, requests
+
+
+def _strategy(kind, radius, num_choices):
+    if kind == "nearest":
+        return NearestReplicaStrategy()
+    if kind == "two_choice":
+        return ProximityTwoChoiceStrategy(radius=radius, num_choices=num_choices)
+    if kind == "random":
+        return RandomReplicaStrategy(radius=radius)
+    return LeastLoadedInBallStrategy(radius=radius)
+
+
+@given(scenario=scenarios())
+@settings(max_examples=60, deadline=None)
+def test_assignment_invariants(scenario):
+    side, num_files, cache_size, num_requests, radius, num_choices, seed, kind = scenario
+    torus, cache, requests = _build(side, num_files, cache_size, num_requests, seed)
+    strategy = _strategy(kind, radius, num_choices)
+    result = strategy.assign(torus, cache, requests, seed=seed + 2)
+
+    # Conservation: every request assigned exactly once.
+    assert result.num_requests == requests.num_requests
+    assert result.loads().sum() == requests.num_requests
+
+    for i in range(requests.num_requests):
+        origin = int(requests.origins[i])
+        file_id = int(requests.files[i])
+        server = int(result.servers[i])
+        # Served by a replica of the requested file.
+        assert cache.contains(server, file_id)
+        # Recorded distance is the true hop distance.
+        assert int(result.distances[i]) == torus.distance(origin, server)
+
+    # Radius respected whenever the fallback did not fire.
+    if kind != "nearest" and not np.isinf(radius):
+        ok = ~result.fallback_mask
+        assert np.all(result.distances[ok] <= radius)
+
+    # Max load and communication cost are consistent with raw arrays.
+    assert result.max_load() == int(result.loads().max())
+    assert result.communication_cost() == float(result.distances.mean())
+
+
+@given(scenario=scenarios())
+@settings(max_examples=30, deadline=None)
+def test_assignment_deterministic_given_seed(scenario):
+    side, num_files, cache_size, num_requests, radius, num_choices, seed, kind = scenario
+    torus, cache, requests = _build(side, num_files, cache_size, num_requests, seed)
+    strategy = _strategy(kind, radius, num_choices)
+    a = strategy.assign(torus, cache, requests, seed=seed)
+    b = strategy.assign(torus, cache, requests, seed=seed)
+    np.testing.assert_array_equal(a.servers, b.servers)
+    np.testing.assert_array_equal(a.distances, b.distances)
+
+
+@given(scenario=scenarios())
+@settings(max_examples=30, deadline=None)
+def test_nearest_replica_is_cheapest(scenario):
+    """No strategy can beat Strategy I on communication cost for the same
+    placement and workload — its per-request distance is a pointwise lower
+    bound for any replica-respecting assignment."""
+    side, num_files, cache_size, num_requests, radius, num_choices, seed, kind = scenario
+    torus, cache, requests = _build(side, num_files, cache_size, num_requests, seed)
+    nearest = NearestReplicaStrategy().assign(torus, cache, requests, seed=seed)
+    other = _strategy(kind, radius, num_choices).assign(torus, cache, requests, seed=seed + 1)
+    assert np.all(nearest.distances <= other.distances)

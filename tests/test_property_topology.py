@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the topology substrate.
+
+These check metric-space axioms and ball properties on randomly drawn
+topologies, node pairs and radii — invariants that every topology must satisfy
+regardless of size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.complete import CompleteTopology
+from repro.topology.grid import Grid2D
+from repro.topology.neighborhood import ball_size_lattice, minimal_radius_for_count
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+# Sides/sizes kept small so each example is O(n) work.
+sides = st.integers(min_value=2, max_value=12)
+ring_sizes = st.integers(min_value=2, max_value=150)
+
+
+def _topologies(draw):
+    kind = draw(st.sampled_from(["torus", "grid", "ring", "complete"]))
+    if kind == "torus":
+        return Torus2D.from_side(draw(sides))
+    if kind == "grid":
+        return Grid2D.from_side(draw(sides))
+    if kind == "ring":
+        return Ring(draw(ring_sizes))
+    return CompleteTopology(draw(ring_sizes))
+
+
+topologies = st.composite(_topologies)()
+
+
+@given(topology=topologies, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distance_is_a_metric(topology, data):
+    """Symmetry, identity and the triangle inequality hold for all topologies."""
+    n = topology.n
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    w = data.draw(st.integers(0, n - 1))
+    duv = topology.distance(u, v)
+    dvu = topology.distance(v, u)
+    assert duv == dvu
+    assert topology.distance(u, u) == 0
+    assert (duv == 0) == (u == v) or isinstance(topology, CompleteTopology) and u == v
+    assert duv >= 0
+    assert topology.distance(u, w) <= duv + topology.distance(v, w)
+    assert duv <= topology.diameter
+
+
+@given(topology=topologies, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distances_from_matches_pointwise_distance(topology, data):
+    n = topology.n
+    u = data.draw(st.integers(0, n - 1))
+    dist = topology.distances_from(u)
+    v = data.draw(st.integers(0, n - 1))
+    assert int(dist[v]) == topology.distance(u, v)
+
+
+@given(topology=topologies, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_ball_is_exactly_the_distance_sublevel_set(topology, data):
+    n = topology.n
+    u = data.draw(st.integers(0, n - 1))
+    radius = data.draw(st.integers(0, max(topology.diameter, 1)))
+    ball = topology.ball(u, radius)
+    dist = topology.distances_from(u)
+    expected = np.flatnonzero(dist <= radius)
+    np.testing.assert_array_equal(np.sort(ball), expected)
+    assert topology.ball_size(u, radius) == expected.size
+    assert u in ball
+
+
+@given(topology=topologies, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_balls_are_monotone_in_radius(topology, data):
+    n = topology.n
+    u = data.draw(st.integers(0, n - 1))
+    r1 = data.draw(st.integers(0, max(topology.diameter, 1)))
+    r2 = data.draw(st.integers(0, max(topology.diameter, 1)))
+    small, large = sorted((r1, r2))
+    assert set(topology.ball(u, small).tolist()) <= set(topology.ball(u, large).tolist())
+
+
+@given(topology=topologies, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_neighbors_are_distance_one(topology, data):
+    n = topology.n
+    u = data.draw(st.integers(0, n - 1))
+    neighbors = topology.neighbors(u)
+    for v in neighbors:
+        assert topology.distance(u, int(v)) == 1
+    # And every node at distance one is a neighbour.
+    dist = topology.distances_from(u)
+    np.testing.assert_array_equal(np.sort(neighbors), np.flatnonzero(dist == 1))
+
+
+@given(side=sides, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_torus_ball_size_node_invariant(side, data):
+    """On the torus every node has the same ball size (vertex transitivity)."""
+    torus = Torus2D.from_side(side)
+    radius = data.draw(st.integers(0, side))
+    u = data.draw(st.integers(0, torus.n - 1))
+    v = data.draw(st.integers(0, torus.n - 1))
+    assert torus.ball(u, radius).size == torus.ball(v, radius).size
+
+
+@given(count=st.integers(min_value=1, max_value=10_000))
+@settings(max_examples=80, deadline=None)
+def test_minimal_radius_for_count_is_tight(count):
+    r = minimal_radius_for_count(count)
+    assert ball_size_lattice(r) >= count
+    if r > 0:
+        assert ball_size_lattice(r - 1) < count

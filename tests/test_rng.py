@@ -1,0 +1,89 @@
+"""Tests for the RNG helpers (repro.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, derive_generator, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        gen = as_generator(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq).integers(0, 1000, size=5)
+        b = as_generator(np.random.SeedSequence(7)).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_seeds_count(self):
+        seeds = spawn_seeds(0, 5)
+        assert len(seeds) == 5
+        assert all(isinstance(s, np.random.SeedSequence) for s in seeds)
+
+    def test_spawn_seeds_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_spawn_seeds_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(3, 3)
+        draws = [g.integers(0, 10**9, size=4) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(0, 10**9, size=4) for g in spawn_generators(99, 3)]
+        b = [g.integers(0, 10**9, size=4) for g in spawn_generators(99, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        seeds = spawn_seeds(parent, 2)
+        assert len(seeds) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        seeds = spawn_seeds(np.random.SeedSequence(11), 4)
+        assert len(seeds) == 4
+
+
+class TestDeriveGenerator:
+    def test_same_keys_same_stream(self):
+        a = derive_generator(7, 1).integers(0, 10**9, size=5)
+        b = derive_generator(7, 1).integers(0, 10**9, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = derive_generator(7, 1).integers(0, 10**9, size=5)
+        b = derive_generator(7, 2).integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_works(self):
+        gen = derive_generator(None, 3)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_sequence_key(self):
+        gen = derive_generator(1, [2, 3])
+        assert isinstance(gen, np.random.Generator)

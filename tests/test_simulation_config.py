@@ -1,0 +1,135 @@
+"""Tests for SimulationConfig."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import ConfigurationError
+from repro.placement.base import PlacementStrategy
+from repro.simulation.config import SimulationConfig
+from repro.strategies.base import AssignmentStrategy
+from repro.topology.base import Topology
+from repro.workload.generators import WorkloadGenerator
+
+
+def base_config(**overrides) -> SimulationConfig:
+    params = dict(num_nodes=100, num_files=50, cache_size=5)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestValidation:
+    def test_valid(self):
+        config = base_config()
+        assert config.num_nodes == 100
+
+    def test_non_square_torus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_config(num_nodes=50)
+
+    def test_non_square_allowed_for_ring(self):
+        config = base_config(num_nodes=50, topology="ring")
+        assert config.num_nodes == 50
+
+    def test_non_positive_values(self):
+        with pytest.raises(ConfigurationError):
+            base_config(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            base_config(num_files=0)
+        with pytest.raises(ConfigurationError):
+            base_config(cache_size=0)
+
+    def test_invalid_num_requests(self):
+        with pytest.raises(ConfigurationError):
+            base_config(num_requests=0)
+
+    def test_invalid_uncached_policy(self):
+        with pytest.raises(ConfigurationError):
+            base_config(uncached_policy="drop")
+
+    def test_unknown_field_in_from_dict(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict({"num_nodes": 100, "num_files": 5, "cache_size": 1, "x": 2})
+
+
+class TestBuild:
+    def test_components_types(self):
+        components = base_config().build()
+        assert isinstance(components["topology"], Topology)
+        assert isinstance(components["library"], FileLibrary)
+        assert isinstance(components["placement"], PlacementStrategy)
+        assert isinstance(components["strategy"], AssignmentStrategy)
+        assert isinstance(components["workload"], WorkloadGenerator)
+        assert components["uncached_policy"] == "resample"
+
+    def test_strategy_params_forwarded(self):
+        config = base_config(
+            strategy="proximity_two_choice", strategy_params={"radius": 4, "num_choices": 3}
+        )
+        strategy = config.build()["strategy"]
+        assert strategy.radius == 4
+        assert strategy.num_choices == 3
+
+    def test_zipf_popularity(self):
+        config = base_config(popularity="zipf", popularity_params={"gamma": 1.3})
+        library = config.build()["library"]
+        assert library.popularity.name == "zipf"
+
+    def test_poisson_workload(self):
+        config = base_config(workload="poisson_demand", workload_params={"rate": 2.0})
+        assert config.build()["workload"].rate == 2.0
+
+    def test_hotspot_workload(self):
+        config = base_config(
+            workload="hotspot_origin", workload_params={"hotspot_fraction": 0.4}
+        )
+        workload = config.build()["workload"]
+        assert workload.name == "hotspot_origin"
+
+    def test_unknown_workload(self):
+        config = base_config(workload="burst")
+        with pytest.raises(ConfigurationError):
+            config.build()
+
+    def test_num_requests_none_means_n(self):
+        components = base_config().build()
+        assert components["workload"].num_requests is None
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        config = base_config(
+            strategy="proximity_two_choice",
+            strategy_params={"radius": 3},
+            popularity="zipf",
+            popularity_params={"gamma": 0.9},
+        )
+        assert SimulationConfig.from_dict(config.as_dict()) == config
+
+    def test_picklable(self):
+        config = base_config(strategy_params={"radius": 2})
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_hashable(self):
+        a = base_config()
+        b = base_config()
+        assert hash(a) == hash(b)
+        assert hash(a) != hash(base_config(cache_size=6))
+
+    def test_replace(self):
+        config = base_config()
+        bigger = config.replace(num_nodes=400)
+        assert bigger.num_nodes == 400
+        assert config.num_nodes == 100
+
+    def test_describe_mentions_radius(self):
+        config = base_config(strategy_params={"radius": 9})
+        assert "r=9" in config.describe()
+
+    def test_describe_mentions_sizes(self):
+        description = base_config().describe()
+        assert "n=100" in description and "K=50" in description and "M=5" in description

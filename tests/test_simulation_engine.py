@@ -1,0 +1,141 @@
+"""Tests for the single-trial simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import NoReplicaError
+from repro.placement.proportional import ProportionalPlacement
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import CacheNetworkSimulation, run_single_trial
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+
+def small_simulation(strategy=None) -> CacheNetworkSimulation:
+    return CacheNetworkSimulation(
+        topology=Torus2D(100),
+        library=FileLibrary(40),
+        placement=ProportionalPlacement(4),
+        strategy=strategy or ProximityTwoChoiceStrategy(radius=6),
+        workload=UniformOriginWorkload(),
+        description="test simulation",
+    )
+
+
+class TestRun:
+    def test_result_fields(self):
+        result = small_simulation().run(seed=0)
+        assert result.assignment.num_requests == 100
+        assert result.max_load >= 1
+        assert result.communication_cost >= 0
+        assert result.config_description == "test simulation"
+        assert result.elapsed_seconds >= 0
+        assert "replication_mean" in result.placement_stats
+
+    def test_deterministic_given_seed(self):
+        sim = small_simulation()
+        a = sim.run(seed=42)
+        b = sim.run(seed=42)
+        np.testing.assert_array_equal(a.assignment.servers, b.assignment.servers)
+        assert a.max_load == b.max_load
+
+    def test_different_seeds_differ(self):
+        sim = small_simulation()
+        a = sim.run(seed=1)
+        b = sim.run(seed=2)
+        assert not np.array_equal(a.assignment.servers, b.assignment.servers)
+
+    def test_seed_entropy_recorded_for_int_seed(self):
+        result = small_simulation().run(seed=7)
+        assert result.seed_entropy == (7,)
+
+    def test_run_with_components(self):
+        result, cache, requests = small_simulation().run_with_components(seed=3)
+        assert cache.num_nodes == 100
+        assert requests.num_requests == 100
+        assert result.assignment.num_requests == 100
+
+    def test_load_metrics(self):
+        result = small_simulation().run(seed=5)
+        metrics = result.load_metrics()
+        assert metrics["max_load"] == result.max_load
+
+    def test_summary_contains_placement_stats(self):
+        summary = small_simulation().run(seed=1).summary()
+        assert "placement_replication_mean" in summary
+
+    def test_nearest_strategy_runs(self):
+        result = small_simulation(NearestReplicaStrategy()).run(seed=0)
+        assert result.max_load >= 1
+
+
+class TestUncachedPolicy:
+    def _scarce_config(self, policy: str) -> SimulationConfig:
+        # n=25, M=1, K=200: most files uncached, so the policy matters.
+        return SimulationConfig(
+            num_nodes=25,
+            num_files=200,
+            cache_size=1,
+            strategy="nearest_replica",
+            uncached_policy=policy,
+        )
+
+    def test_resample_succeeds_and_records_remaps(self):
+        result = run_single_trial(self._scarce_config("resample"), seed=0)
+        assert result.assignment.num_requests == 25
+        assert result.placement_stats["remapped_requests"] > 0
+
+    def test_error_policy_raises(self):
+        with pytest.raises(NoReplicaError):
+            run_single_trial(self._scarce_config("error"), seed=0)
+
+    def test_resample_targets_only_cached_files(self):
+        config = self._scarce_config("resample")
+        simulation = CacheNetworkSimulation.from_config(config)
+        result, cache, requests = simulation.run_with_components(seed=1)
+        cached = set(np.flatnonzero(cache.replication_counts() > 0).tolist())
+        assert all(int(f) in cached for f in requests.files)
+
+    def test_invalid_policy_rejected_by_engine(self):
+        with pytest.raises(ValueError):
+            CacheNetworkSimulation(
+                topology=Torus2D(25),
+                library=FileLibrary(10),
+                placement=ProportionalPlacement(1),
+                strategy=NearestReplicaStrategy(),
+                workload=UniformOriginWorkload(),
+                uncached_policy="drop",
+            )
+
+
+class TestFromConfig:
+    def test_from_config_and_run(self):
+        config = SimulationConfig(
+            num_nodes=100,
+            num_files=40,
+            cache_size=4,
+            strategy="proximity_two_choice",
+            strategy_params={"radius": 5},
+        )
+        simulation = CacheNetworkSimulation.from_config(config)
+        result = simulation.run(seed=0)
+        assert result.config_description == config.describe()
+
+    def test_run_single_trial_accepts_dict(self):
+        config = SimulationConfig(num_nodes=25, num_files=10, cache_size=2)
+        result = run_single_trial(config.as_dict(), seed=0)
+        assert result.assignment.num_requests == 25
+
+    def test_run_single_trial_matches_engine(self):
+        config = SimulationConfig(num_nodes=25, num_files=10, cache_size=2)
+        a = run_single_trial(config, seed=11)
+        b = CacheNetworkSimulation.from_config(config).run(seed=11)
+        np.testing.assert_array_equal(a.assignment.servers, b.assignment.servers)
+
+    def test_repr(self):
+        assert "n=100" in repr(small_simulation())

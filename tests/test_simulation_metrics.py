@@ -1,0 +1,119 @@
+"""Tests for the load/communication metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import (
+    communication_cost,
+    gini_coefficient,
+    jain_fairness,
+    load_percentile,
+    load_summary,
+    max_load,
+    normalized_max_load,
+)
+
+
+class TestMaxLoad:
+    def test_basic(self):
+        assert max_load([0, 3, 1]) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_load([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            max_load([1, -1])
+
+
+class TestCommunicationCost:
+    def test_mean(self):
+        assert communication_cost([0, 2, 4]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert communication_cost([]) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            communication_cost([1, -2])
+
+
+class TestNormalizedMaxLoad:
+    def test_balanced(self):
+        assert normalized_max_load([2, 2, 2]) == pytest.approx(1.0)
+
+    def test_imbalanced(self):
+        assert normalized_max_load([0, 0, 6]) == pytest.approx(3.0)
+
+    def test_all_zero(self):
+        assert normalized_max_load([0, 0]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalized_max_load([])
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([3, 3, 3, 3]) == pytest.approx(1.0)
+
+    def test_single_hot_server(self):
+        n = 10
+        loads = [0] * (n - 1) + [5]
+        assert jain_fairness(loads) == pytest.approx(1.0 / n)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        loads = rng.integers(0, 10, size=50)
+        value = jain_fairness(loads)
+        assert 1.0 / 50 <= value <= 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0, 0, 0]) == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1, -1])
+
+
+class TestGini:
+    def test_equal_loads_zero(self):
+        assert gini_coefficient([4, 4, 4]) == pytest.approx(0.0)
+
+    def test_concentrated_load_close_to_one(self):
+        loads = [0] * 99 + [100]
+        assert gini_coefficient(loads) > 0.9
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        loads = rng.poisson(3, size=100)
+        assert 0.0 <= gini_coefficient(loads) < 1.0
+
+    def test_order_invariant(self):
+        assert gini_coefficient([1, 5, 2]) == pytest.approx(gini_coefficient([5, 1, 2]))
+
+
+class TestPercentilesAndSummary:
+    def test_percentile(self):
+        loads = np.arange(101)
+        assert load_percentile(loads, 50) == pytest.approx(50.0)
+        assert load_percentile(loads, 100) == 100.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            load_percentile([1, 2], 101)
+
+    def test_summary_keys_and_consistency(self):
+        loads = np.array([0, 1, 1, 2, 5])
+        summary = load_summary(loads)
+        assert summary["max_load"] == 5
+        assert summary["mean_load"] == pytest.approx(loads.mean())
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max_load"]
+        assert 0 <= summary["gini"] < 1
+        assert 0 < summary["jain_fairness"] <= 1

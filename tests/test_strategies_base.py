@@ -1,0 +1,113 @@
+"""Tests for AssignmentResult and the strategy base machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StrategyError
+from repro.strategies.base import AssignmentResult, FallbackPolicy
+
+
+def make_result() -> AssignmentResult:
+    return AssignmentResult(
+        servers=np.array([0, 1, 1, 2]),
+        distances=np.array([0, 2, 1, 3]),
+        num_nodes=4,
+        strategy_name="test",
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        result = make_result()
+        assert result.num_requests == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(StrategyError):
+            AssignmentResult(np.array([0, 1]), np.array([0]), 4, "test")
+
+    def test_server_out_of_range(self):
+        with pytest.raises(StrategyError):
+            AssignmentResult(np.array([4]), np.array([0]), 4, "test")
+
+    def test_negative_distance(self):
+        with pytest.raises(StrategyError):
+            AssignmentResult(np.array([0]), np.array([-1]), 4, "test")
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(StrategyError):
+            AssignmentResult(np.array([0]), np.array([0]), 0, "test")
+
+    def test_fallback_mask_shape_mismatch(self):
+        with pytest.raises(StrategyError):
+            AssignmentResult(
+                np.array([0, 1]), np.array([0, 0]), 4, "test", fallback_mask=np.array([True])
+            )
+
+    def test_default_fallback_mask_all_false(self):
+        result = make_result()
+        assert result.fallback_count() == 0
+        assert result.fallback_rate() == 0.0
+
+
+class TestMetrics:
+    def test_loads(self):
+        np.testing.assert_array_equal(make_result().loads(), [1, 2, 1, 0])
+
+    def test_max_load(self):
+        assert make_result().max_load() == 2
+
+    def test_communication_cost(self):
+        assert make_result().communication_cost() == pytest.approx(1.5)
+
+    def test_total_hops(self):
+        assert make_result().total_hops() == 6
+
+    def test_empty_result(self):
+        result = AssignmentResult(
+            np.array([], dtype=int), np.array([], dtype=int), 3, "test"
+        )
+        assert result.max_load() == 0
+        assert result.communication_cost() == 0.0
+        assert result.fallback_rate() == 0.0
+
+    def test_fallback_counting(self):
+        result = AssignmentResult(
+            np.array([0, 1, 2]),
+            np.array([0, 0, 0]),
+            3,
+            "test",
+            fallback_mask=np.array([True, False, True]),
+        )
+        assert result.fallback_count() == 2
+        assert result.fallback_rate() == pytest.approx(2 / 3)
+
+    def test_load_distribution_sums_to_one(self):
+        dist = make_result().load_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        # one idle server, two with load 1, one with load 2
+        np.testing.assert_allclose(dist, [0.25, 0.5, 0.25])
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert set(summary) == {
+            "num_requests",
+            "max_load",
+            "communication_cost",
+            "fallback_rate",
+        }
+
+    def test_repr(self):
+        assert "L=2" in repr(make_result())
+
+
+class TestFallbackPolicy:
+    def test_values(self):
+        assert FallbackPolicy("nearest") is FallbackPolicy.NEAREST
+        assert FallbackPolicy("expand") is FallbackPolicy.EXPAND
+        assert FallbackPolicy("error") is FallbackPolicy.ERROR
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            FallbackPolicy("retry")

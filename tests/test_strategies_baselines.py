@@ -1,0 +1,186 @@
+"""Tests for the baseline strategies (random replica, least loaded in ball)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.placement.partition import PartitionPlacement
+from repro.strategies.base import FallbackPolicy
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.strategies.random_replica import RandomReplicaStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+from repro.workload.request import RequestBatch
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(20)
+
+
+@pytest.fixture
+def cache(torus, library):
+    return PartitionPlacement(4).place(torus, library)
+
+
+@pytest.fixture
+def requests(torus, library):
+    return UniformOriginWorkload(200).generate(torus, library, seed=0)
+
+
+class TestRandomReplica:
+    def test_assigns_to_caching_server(self, torus, cache, requests):
+        result = RandomReplicaStrategy(radius=np.inf).assign(torus, cache, requests, seed=1)
+        for i in range(requests.num_requests):
+            assert cache.contains(int(result.servers[i]), int(requests.files[i]))
+
+    def test_respects_radius(self, torus, cache, requests):
+        result = RandomReplicaStrategy(radius=5).assign(torus, cache, requests, seed=2)
+        assert np.all(result.distances[~result.fallback_mask] <= 5)
+
+    def test_distance_consistency(self, torus, cache, requests):
+        result = RandomReplicaStrategy(radius=6).assign(torus, cache, requests, seed=3)
+        for i in range(requests.num_requests):
+            assert int(result.distances[i]) == torus.distance(
+                int(requests.origins[i]), int(result.servers[i])
+            )
+
+    def test_deterministic(self, torus, cache, requests):
+        a = RandomReplicaStrategy(radius=6).assign(torus, cache, requests, seed=4)
+        b = RandomReplicaStrategy(radius=6).assign(torus, cache, requests, seed=4)
+        np.testing.assert_array_equal(a.servers, b.servers)
+
+    def test_uncached_raises(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([7]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(NoReplicaError):
+            RandomReplicaStrategy().assign(torus, cache, requests, seed=0)
+
+    def test_fallback_policies(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0, 1]),
+            files=np.zeros(2, dtype=np.int64),
+            num_nodes=100,
+            num_files=20,
+        )
+        nearest = RandomReplicaStrategy(radius=1, fallback="nearest").assign(
+            torus, cache, requests, seed=0
+        )
+        assert np.all(nearest.servers == 99)
+        assert nearest.fallback_count() == 2
+        expand = RandomReplicaStrategy(radius=1, fallback="expand").assign(
+            torus, cache, requests, seed=0
+        )
+        assert np.all(expand.servers == 99)
+        with pytest.raises(StrategyError):
+            RandomReplicaStrategy(radius=1, fallback="error").assign(
+                torus, cache, requests, seed=0
+            )
+
+    def test_invalid_radius(self):
+        with pytest.raises(StrategyError):
+            RandomReplicaStrategy(radius=-2)
+
+    def test_as_dict(self):
+        assert RandomReplicaStrategy(radius=np.inf).as_dict()["radius"] is None
+        assert RandomReplicaStrategy(radius=3).as_dict()["radius"] == 3
+
+
+class TestLeastLoadedInBall:
+    def test_assigns_to_caching_server(self, torus, cache, requests):
+        result = LeastLoadedInBallStrategy(radius=np.inf).assign(torus, cache, requests, seed=1)
+        for i in range(requests.num_requests):
+            assert cache.contains(int(result.servers[i]), int(requests.files[i]))
+
+    def test_never_worse_than_two_choice(self, torus, cache, requests):
+        """The omniscient baseline minimises the max load at least as well as
+        two random choices on the same workload (statistically; compare means
+        over several seeds to avoid flakiness)."""
+        omniscient = []
+        two_choice = []
+        for seed in range(5):
+            omniscient.append(
+                LeastLoadedInBallStrategy(radius=np.inf)
+                .assign(torus, cache, requests, seed=seed)
+                .max_load()
+            )
+            two_choice.append(
+                ProximityTwoChoiceStrategy(radius=np.inf)
+                .assign(torus, cache, requests, seed=seed)
+                .max_load()
+            )
+        assert np.mean(omniscient) <= np.mean(two_choice) + 1e-9
+
+    def test_respects_radius(self, torus, cache, requests):
+        result = LeastLoadedInBallStrategy(radius=4).assign(torus, cache, requests, seed=2)
+        assert np.all(result.distances[~result.fallback_mask] <= 4)
+
+    def test_prefers_closer_among_equally_loaded(self, torus):
+        # All loads start at zero: the first request must go to the closest
+        # replica because ties on load are broken by distance.
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[1, 0] = 0  # one hop away from origin 0
+        slots[50, 0] = 0  # far away
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([0]), num_nodes=100, num_files=20
+        )
+        result = LeastLoadedInBallStrategy(radius=np.inf).assign(torus, cache, requests, seed=0)
+        assert int(result.servers[0]) == 1
+
+    def test_fallback_nearest(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([0]), num_nodes=100, num_files=20
+        )
+        result = LeastLoadedInBallStrategy(radius=1, fallback="nearest").assign(
+            torus, cache, requests, seed=0
+        )
+        assert int(result.servers[0]) == 99
+        assert result.fallback_count() == 1
+
+    def test_error_fallback(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([0]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(StrategyError):
+            LeastLoadedInBallStrategy(radius=1, fallback=FallbackPolicy.ERROR).assign(
+                torus, cache, requests, seed=0
+            )
+
+    def test_uncached_raises(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([9]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(NoReplicaError):
+            LeastLoadedInBallStrategy().assign(torus, cache, requests, seed=0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(StrategyError):
+            LeastLoadedInBallStrategy(radius=-1)
+
+    def test_as_dict(self):
+        assert LeastLoadedInBallStrategy(radius=2).as_dict()["radius"] == 2

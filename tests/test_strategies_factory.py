@@ -1,0 +1,73 @@
+"""Tests for the strategy factory and aliases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StrategyError
+from repro.strategies.factory import available_strategies, create_strategy, register_strategy
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.strategies.random_replica import RandomReplicaStrategy
+
+
+class TestFactory:
+    def test_available_names(self):
+        names = available_strategies()
+        assert {
+            "nearest_replica",
+            "proximity_two_choice",
+            "random_replica",
+            "least_loaded_in_ball",
+        } <= set(names)
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("nearest_replica", NearestReplicaStrategy),
+            ("proximity_two_choice", ProximityTwoChoiceStrategy),
+            ("random_replica", RandomReplicaStrategy),
+            ("least_loaded_in_ball", LeastLoadedInBallStrategy),
+        ],
+    )
+    def test_creates_correct_class(self, name, cls):
+        assert isinstance(create_strategy(name), cls)
+
+    @pytest.mark.parametrize(
+        "alias, cls",
+        [
+            ("strategy_i", NearestReplicaStrategy),
+            ("strategy_ii", ProximityTwoChoiceStrategy),
+            ("nearest", NearestReplicaStrategy),
+            ("two_choice", ProximityTwoChoiceStrategy),
+            ("one_choice", RandomReplicaStrategy),
+        ],
+    )
+    def test_aliases(self, alias, cls):
+        assert isinstance(create_strategy(alias), cls)
+
+    def test_kwargs_forwarded(self):
+        strategy = create_strategy("proximity_two_choice", radius=7, num_choices=3)
+        assert strategy.radius == 7
+        assert strategy.num_choices == 3
+
+    def test_none_radius_becomes_infinite(self):
+        strategy = create_strategy("proximity_two_choice", radius=None)
+        assert np.isinf(strategy.radius)
+
+    def test_unknown_name(self):
+        with pytest.raises(StrategyError):
+            create_strategy("round_robin")
+
+    def test_case_insensitive(self):
+        assert isinstance(create_strategy("Strategy_II"), ProximityTwoChoiceStrategy)
+
+    def test_register_custom(self):
+        register_strategy("my_nearest", NearestReplicaStrategy)
+        assert isinstance(create_strategy("my_nearest"), NearestReplicaStrategy)
+
+    def test_register_invalid_name(self):
+        with pytest.raises(StrategyError):
+            register_strategy("", NearestReplicaStrategy)

@@ -1,0 +1,193 @@
+"""Tests for the threshold hybrid strategy (distance-aware two choices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.placement.partition import PartitionPlacement
+from repro.strategies.factory import create_strategy
+from repro.strategies.hybrid import ThresholdHybridStrategy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+from repro.workload.request import RequestBatch
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(20)
+
+
+@pytest.fixture
+def cache(torus, library):
+    return PartitionPlacement(4).place(torus, library)
+
+
+@pytest.fixture
+def requests(torus, library):
+    return UniformOriginWorkload(300).generate(torus, library, seed=0)
+
+
+class TestCorrectness:
+    def test_assigns_to_caching_server(self, torus, cache, requests):
+        result = ThresholdHybridStrategy(radius=6).assign(torus, cache, requests, seed=1)
+        for i in range(requests.num_requests):
+            assert cache.contains(int(result.servers[i]), int(requests.files[i]))
+
+    def test_distance_consistency(self, torus, cache, requests):
+        result = ThresholdHybridStrategy(radius=6).assign(torus, cache, requests, seed=2)
+        for i in range(requests.num_requests):
+            assert int(result.distances[i]) == torus.distance(
+                int(requests.origins[i]), int(result.servers[i])
+            )
+
+    def test_radius_respected(self, torus, cache, requests):
+        result = ThresholdHybridStrategy(radius=5).assign(torus, cache, requests, seed=3)
+        assert np.all(result.distances[~result.fallback_mask] <= 5)
+
+    def test_deterministic(self, torus, cache, requests):
+        strategy = ThresholdHybridStrategy(radius=6, imbalance_threshold=2)
+        a = strategy.assign(torus, cache, requests, seed=4)
+        b = strategy.assign(torus, cache, requests, seed=4)
+        np.testing.assert_array_equal(a.servers, b.servers)
+
+    def test_conserves_requests(self, torus, cache, requests):
+        result = ThresholdHybridStrategy().assign(torus, cache, requests, seed=5)
+        assert result.loads().sum() == requests.num_requests
+
+    def test_uncached_raises(self, torus):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 20)
+        batch = RequestBatch(
+            origins=np.array([0]), files=np.array([5]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(NoReplicaError):
+            ThresholdHybridStrategy().assign(torus, cache, batch, seed=0)
+
+
+class TestThresholdSemantics:
+    def test_zero_threshold_matches_two_choice_load_profile(self, torus, cache, requests):
+        """With threshold 0 the winner is always among the least-loaded sampled
+        candidates, so the maximum load behaves like Strategy II (compare the
+        omniscient-free metric across several seeds)."""
+        hybrid_loads = []
+        two_choice_loads = []
+        for seed in range(4):
+            hybrid_loads.append(
+                ThresholdHybridStrategy(radius=np.inf, imbalance_threshold=0.0)
+                .assign(torus, cache, requests, seed=seed)
+                .max_load()
+            )
+            two_choice_loads.append(
+                ProximityTwoChoiceStrategy(radius=np.inf)
+                .assign(torus, cache, requests, seed=seed)
+                .max_load()
+            )
+        assert abs(np.mean(hybrid_loads) - np.mean(two_choice_loads)) <= 1.0
+
+    def test_infinite_threshold_ignores_load(self, torus):
+        """With an infinite threshold the strategy always picks the closest of
+        the sampled candidates — for a single replica set with exactly two
+        replicas the outcome is fully determined by distance, never by load."""
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[1, 0] = 0   # one hop from origin 0
+        slots[50, 0] = 0  # far away
+        cache = CacheState(slots, 20)
+        batch = RequestBatch(
+            origins=np.zeros(200, dtype=np.int64),
+            files=np.zeros(200, dtype=np.int64),
+            num_nodes=100,
+            num_files=20,
+        )
+        result = ThresholdHybridStrategy(
+            radius=np.inf, imbalance_threshold=np.inf
+        ).assign(torus, cache, batch, seed=0)
+        # Every request lands on the close replica regardless of its load.
+        assert np.all(result.servers == 1)
+
+    def test_threshold_trades_load_for_distance(self, torus, cache, requests):
+        """A permissive threshold yields cheaper routes but no better balance
+        than the strict threshold (statistically, across seeds)."""
+        strict_cost, strict_load, loose_cost, loose_load = [], [], [], []
+        for seed in range(4):
+            strict = ThresholdHybridStrategy(radius=np.inf, imbalance_threshold=0.0).assign(
+                torus, cache, requests, seed=seed
+            )
+            loose = ThresholdHybridStrategy(radius=np.inf, imbalance_threshold=10.0).assign(
+                torus, cache, requests, seed=seed
+            )
+            strict_cost.append(strict.communication_cost())
+            strict_load.append(strict.max_load())
+            loose_cost.append(loose.communication_cost())
+            loose_load.append(loose.max_load())
+        assert np.mean(loose_cost) <= np.mean(strict_cost)
+        assert np.mean(loose_load) >= np.mean(strict_load) - 0.5
+
+    def test_never_cheaper_than_nearest_replica(self, torus, cache, requests):
+        nearest = NearestReplicaStrategy().assign(torus, cache, requests, seed=0)
+        hybrid = ThresholdHybridStrategy(radius=np.inf, imbalance_threshold=np.inf).assign(
+            torus, cache, requests, seed=1
+        )
+        assert hybrid.communication_cost() >= nearest.communication_cost() - 1e-9
+
+
+class TestConfiguration:
+    def test_invalid_arguments(self):
+        with pytest.raises(StrategyError):
+            ThresholdHybridStrategy(radius=-1)
+        with pytest.raises(StrategyError):
+            ThresholdHybridStrategy(num_choices=0)
+        with pytest.raises(StrategyError):
+            ThresholdHybridStrategy(imbalance_threshold=-0.5)
+        with pytest.raises(ValueError):
+            ThresholdHybridStrategy(fallback="bogus")
+
+    def test_properties_and_as_dict(self):
+        strategy = ThresholdHybridStrategy(radius=7, num_choices=3, imbalance_threshold=2.0)
+        assert strategy.radius == 7
+        assert strategy.num_choices == 3
+        assert strategy.imbalance_threshold == 2.0
+        data = strategy.as_dict()
+        assert data["imbalance_threshold"] == 2.0
+        assert data["radius"] == 7
+
+    def test_factory_registration(self):
+        strategy = create_strategy("threshold_hybrid", radius=4, imbalance_threshold=1.5)
+        assert isinstance(strategy, ThresholdHybridStrategy)
+        assert strategy.imbalance_threshold == 1.5
+
+    def test_repr(self):
+        assert "threshold=1" in repr(ThresholdHybridStrategy(imbalance_threshold=1.0))
+
+    def test_fallback_nearest(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        batch = RequestBatch(
+            origins=np.array([0]), files=np.array([0]), num_nodes=100, num_files=20
+        )
+        result = ThresholdHybridStrategy(radius=1).assign(torus, cache, batch, seed=0)
+        assert int(result.servers[0]) == 99
+        assert result.fallback_count() == 1
+
+    def test_fallback_error(self, torus):
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        batch = RequestBatch(
+            origins=np.array([0]), files=np.array([0]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(StrategyError):
+            ThresholdHybridStrategy(radius=1, fallback="error").assign(
+                torus, cache, batch, seed=0
+            )

@@ -1,0 +1,217 @@
+"""Tests for Strategy II (proximity-aware two choices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.placement.partition import PartitionPlacement
+from repro.placement.full_replication import FullReplicationPlacement
+from repro.strategies.base import FallbackPolicy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+from repro.workload.request import RequestBatch
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(20)
+
+
+@pytest.fixture
+def cache(torus, library):
+    return PartitionPlacement(4).place(torus, library)
+
+
+class TestCorrectness:
+    def test_assigns_to_caching_server(self, torus, library, cache):
+        requests = UniformOriginWorkload(200).generate(torus, library, seed=0)
+        strategy = ProximityTwoChoiceStrategy(radius=np.inf)
+        result = strategy.assign(torus, cache, requests, seed=1)
+        for i in range(requests.num_requests):
+            assert cache.contains(int(result.servers[i]), int(requests.files[i]))
+
+    def test_respects_radius_when_replicas_available(self, torus, library, cache):
+        radius = 6
+        requests = UniformOriginWorkload(200).generate(torus, library, seed=2)
+        strategy = ProximityTwoChoiceStrategy(radius=radius)
+        result = strategy.assign(torus, cache, requests, seed=3)
+        # Requests that did not need the fallback must stay within the radius.
+        within = result.distances[~result.fallback_mask]
+        assert np.all(within <= radius)
+
+    def test_distance_matches_chosen_server(self, torus, library, cache):
+        requests = UniformOriginWorkload(150).generate(torus, library, seed=4)
+        strategy = ProximityTwoChoiceStrategy(radius=5)
+        result = strategy.assign(torus, cache, requests, seed=5)
+        for i in range(requests.num_requests):
+            assert int(result.distances[i]) == torus.distance(
+                int(requests.origins[i]), int(result.servers[i])
+            )
+
+    def test_deterministic_given_seed(self, torus, library, cache):
+        requests = UniformOriginWorkload(150).generate(torus, library, seed=6)
+        strategy = ProximityTwoChoiceStrategy(radius=6)
+        a = strategy.assign(torus, cache, requests, seed=7)
+        b = strategy.assign(torus, cache, requests, seed=7)
+        np.testing.assert_array_equal(a.servers, b.servers)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_loads_account_for_all_requests(self, torus, library, cache):
+        requests = UniformOriginWorkload(300).generate(torus, library, seed=8)
+        result = ProximityTwoChoiceStrategy().assign(torus, cache, requests, seed=9)
+        assert result.loads().sum() == 300
+
+    def test_uncached_file_raises(self, torus, library):
+        slots = np.zeros((100, 1), dtype=np.int64)
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0]), files=np.array([3]), num_nodes=100, num_files=20
+        )
+        with pytest.raises(NoReplicaError):
+            ProximityTwoChoiceStrategy().assign(torus, cache, requests, seed=0)
+
+
+class TestLoadAwareness:
+    def test_prefers_less_loaded_of_two_replicas(self, torus, library):
+        """With exactly two replicas, the process is the classical two-choice
+        process on two bins: the final split must be close to even."""
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[10, 0] = 0
+        slots[90, 0] = 0
+        cache = CacheState(slots, 20)
+        m = 400
+        rng = np.random.default_rng(0)
+        requests = RequestBatch(
+            origins=rng.integers(0, 100, size=m),
+            files=np.zeros(m, dtype=np.int64),
+            num_nodes=100,
+            num_files=20,
+        )
+        result = ProximityTwoChoiceStrategy(radius=np.inf).assign(torus, cache, requests, seed=1)
+        loads = result.loads()
+        assert loads[10] + loads[90] == m
+        assert abs(int(loads[10]) - int(loads[90])) <= 1
+
+    def test_single_choice_ignores_load(self, torus, library):
+        """d = 1 degenerates to a random replica: the split fluctuates like a
+        binomial, i.e. much wider than the two-choice split."""
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[10, 0] = 0
+        slots[90, 0] = 0
+        cache = CacheState(slots, 20)
+        m = 400
+        rng = np.random.default_rng(2)
+        requests = RequestBatch(
+            origins=rng.integers(0, 100, size=m),
+            files=np.zeros(m, dtype=np.int64),
+            num_nodes=100,
+            num_files=20,
+        )
+        result = ProximityTwoChoiceStrategy(radius=np.inf, num_choices=1).assign(
+            torus, cache, requests, seed=3
+        )
+        loads = result.loads()
+        assert loads[10] + loads[90] == m
+        # A perfectly balanced outcome is astronomically unlikely for d = 1.
+        assert abs(int(loads[10]) - int(loads[90])) > 1
+
+    def test_two_choice_beats_one_choice_max_load(self, torus):
+        library = FileLibrary(400)
+        cache = FullReplicationPlacement().place(torus, library)
+        requests = UniformOriginWorkload(2000).generate(torus, library, seed=4)
+        one = ProximityTwoChoiceStrategy(radius=np.inf, num_choices=1).assign(
+            torus, cache, requests, seed=5
+        )
+        two = ProximityTwoChoiceStrategy(radius=np.inf, num_choices=2).assign(
+            torus, cache, requests, seed=5
+        )
+        assert two.max_load() <= one.max_load()
+
+
+class TestFallbackPolicies:
+    def _lonely_replica_setup(self):
+        """File 0 cached only at node 99; origins far away with a tiny radius."""
+        torus = Torus2D(100)
+        slots = np.full((100, 1), 1, dtype=np.int64)
+        slots[99, 0] = 0
+        cache = CacheState(slots, 20)
+        requests = RequestBatch(
+            origins=np.array([0, 1, 2]),
+            files=np.zeros(3, dtype=np.int64),
+            num_nodes=100,
+            num_files=20,
+        )
+        return torus, cache, requests
+
+    def test_nearest_fallback(self):
+        torus, cache, requests = self._lonely_replica_setup()
+        strategy = ProximityTwoChoiceStrategy(radius=1, fallback=FallbackPolicy.NEAREST)
+        result = strategy.assign(torus, cache, requests, seed=0)
+        assert np.all(result.servers == 99)
+        assert result.fallback_count() == 3
+
+    def test_expand_fallback(self):
+        torus, cache, requests = self._lonely_replica_setup()
+        strategy = ProximityTwoChoiceStrategy(radius=1, fallback="expand")
+        result = strategy.assign(torus, cache, requests, seed=0)
+        assert np.all(result.servers == 99)
+        assert result.fallback_count() == 3
+
+    def test_error_fallback(self):
+        torus, cache, requests = self._lonely_replica_setup()
+        strategy = ProximityTwoChoiceStrategy(radius=1, fallback=FallbackPolicy.ERROR)
+        with pytest.raises(StrategyError):
+            strategy.assign(torus, cache, requests, seed=0)
+
+    def test_no_fallback_needed_with_big_radius(self):
+        torus, cache, requests = self._lonely_replica_setup()
+        strategy = ProximityTwoChoiceStrategy(radius=np.inf)
+        result = strategy.assign(torus, cache, requests, seed=0)
+        assert result.fallback_count() == 0
+
+
+class TestConfiguration:
+    def test_invalid_radius(self):
+        with pytest.raises(StrategyError):
+            ProximityTwoChoiceStrategy(radius=-1)
+
+    def test_invalid_num_choices(self):
+        with pytest.raises(StrategyError):
+            ProximityTwoChoiceStrategy(num_choices=0)
+
+    def test_invalid_fallback(self):
+        with pytest.raises(ValueError):
+            ProximityTwoChoiceStrategy(fallback="bogus")
+
+    def test_properties(self):
+        strategy = ProximityTwoChoiceStrategy(radius=5, num_choices=3, fallback="expand")
+        assert strategy.radius == 5
+        assert strategy.num_choices == 3
+        assert strategy.fallback is FallbackPolicy.EXPAND
+
+    def test_as_dict_finite_radius(self):
+        data = ProximityTwoChoiceStrategy(radius=5).as_dict()
+        assert data["radius"] == 5
+
+    def test_as_dict_infinite_radius(self):
+        data = ProximityTwoChoiceStrategy(radius=np.inf).as_dict()
+        assert data["radius"] is None
+
+    def test_repr(self):
+        assert "r=5" not in repr(ProximityTwoChoiceStrategy(radius=np.inf))
+        assert "inf" in repr(ProximityTwoChoiceStrategy(radius=np.inf))
+
+    def test_incompatible_components(self, torus, library, cache):
+        requests = UniformOriginWorkload(10).generate(Torus2D(25), library, seed=0)
+        with pytest.raises(StrategyError):
+            ProximityTwoChoiceStrategy().assign(torus, cache, requests, seed=0)

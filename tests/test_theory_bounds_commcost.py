@@ -1,0 +1,180 @@
+"""Tests for the theory module (Theorems 1-4, 6 predictions and Theorem 3 costs)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.bounds import (
+    max_poisson_load_prediction,
+    strategy1_max_load_prediction,
+    strategy2_max_load_prediction,
+)
+from repro.theory.comm_cost import (
+    expected_nearest_replica_cost,
+    strategy1_comm_cost_uniform,
+    strategy1_comm_cost_zipf,
+    strategy1_comm_cost_zipf_exact,
+    strategy2_comm_cost,
+    zipf_cost_regime,
+)
+from repro.catalog.zipf import zipf_pmf
+
+
+class TestMaxLoadBounds:
+    def test_poisson_max_grows_with_n(self):
+        assert max_poisson_load_prediction(10**6) > max_poisson_load_prediction(10**3)
+
+    def test_poisson_invalid(self):
+        with pytest.raises(ValueError):
+            max_poisson_load_prediction(2)
+        with pytest.raises(ValueError):
+            max_poisson_load_prediction(100, rate=0)
+
+    def test_strategy1_log_n_scale(self):
+        n = 10**6
+        assert strategy1_max_load_prediction(n, n, int(n**0.3)) == pytest.approx(math.log(n))
+
+    def test_strategy1_full_memory_drops_to_poisson_scale(self):
+        n = 10**6
+        full = strategy1_max_load_prediction(n, 100, 100)
+        limited = strategy1_max_load_prediction(n, 100, 2)
+        assert full < limited
+
+    def test_strategy1_invalid(self):
+        with pytest.raises(ValueError):
+            strategy1_max_load_prediction(2, 10, 1)
+        with pytest.raises(ValueError):
+            strategy1_max_load_prediction(100, 0, 1)
+
+    def test_strategy2_good_regime_loglog(self):
+        n = 10**6
+        value = strategy2_max_load_prediction(n, n, int(n**0.5), int(n**0.55))
+        assert value == pytest.approx(1.0 + math.log(math.log(n)))
+
+    def test_strategy2_example2_scale(self):
+        n = 10**6
+        M = 2
+        value = strategy2_max_load_prediction(n, n, M, np.inf)
+        assert value == pytest.approx(math.log(n) / (M * math.log(math.log(n))))
+
+    def test_strategy2_example4_scale(self):
+        n = 10**6
+        value = strategy2_max_load_prediction(n, 100, 100, 1)
+        assert value == pytest.approx(math.log(n) / math.log(math.log(n)))
+
+    def test_strategy2_better_than_strategy1_in_good_regime(self):
+        n = 10**6
+        s2 = strategy2_max_load_prediction(n, n, int(n**0.5), int(n**0.55))
+        s1 = strategy1_max_load_prediction(n, n, int(n**0.5))
+        assert s2 < s1
+
+    def test_strategy2_invalid(self):
+        with pytest.raises(ValueError):
+            strategy2_max_load_prediction(2, 10, 1, 1)
+
+
+class TestCommCostUniform:
+    def test_sqrt_k_over_m(self):
+        assert strategy1_comm_cost_uniform(400, 4) == pytest.approx(10.0)
+
+    def test_decreasing_in_m(self):
+        assert strategy1_comm_cost_uniform(1000, 10) > strategy1_comm_cost_uniform(1000, 100)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            strategy1_comm_cost_uniform(0, 1)
+        with pytest.raises(ValueError):
+            strategy1_comm_cost_uniform(10, 0)
+
+
+class TestZipfRegimes:
+    def test_regime_labels(self):
+        assert zipf_cost_regime(0.5) == "gamma<1"
+        assert zipf_cost_regime(1.0) == "gamma=1"
+        assert zipf_cost_regime(1.5) == "1<gamma<2"
+        assert zipf_cost_regime(2.0) == "gamma=2"
+        assert zipf_cost_regime(3.0) == "gamma>2"
+
+    def test_regime_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_cost_regime(-0.1)
+
+    def test_cost_decreasing_in_gamma(self):
+        K, M = 10**4, 4
+        costs = [strategy1_comm_cost_zipf(K, M, g) for g in (0.5, 1.0, 1.5, 2.0, 3.0)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_gamma_below_one_matches_uniform_scale(self):
+        K, M = 10**4, 4
+        assert strategy1_comm_cost_zipf(K, M, 0.5) == pytest.approx(
+            strategy1_comm_cost_uniform(K, M)
+        )
+
+    def test_gamma_above_two_independent_of_k(self):
+        M = 4
+        assert strategy1_comm_cost_zipf(10**3, M, 3.0) == pytest.approx(
+            strategy1_comm_cost_zipf(10**6, M, 3.0)
+        )
+
+    def test_exact_formula_tracks_regime_formula(self):
+        # The exact finite-K evaluation should scale like the regime formula:
+        # their ratio stays bounded as K varies within a regime.
+        M = 1
+        ratios = []
+        for K in (10**3, 10**4, 10**5):
+            ratios.append(
+                strategy1_comm_cost_zipf_exact(K, M, 1.5) / strategy1_comm_cost_zipf(K, M, 1.5)
+            )
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            strategy1_comm_cost_zipf(1, 1, 1.0)
+        with pytest.raises(ValueError):
+            strategy1_comm_cost_zipf(100, 0, 1.0)
+        with pytest.raises(ValueError):
+            strategy1_comm_cost_zipf(100, 1, -1.0)
+
+
+class TestExactExpectedCost:
+    def test_uniform_matches_closed_form_scale(self):
+        K, M = 400, 4
+        pmf = np.full(K, 1.0 / K)
+        exact = expected_nearest_replica_cost(pmf, M)
+        # sum p_j / sqrt(1-(1-p_j)^M) ~ sqrt(K/M) for small M/K.
+        assert exact == pytest.approx(math.sqrt(K / M), rel=0.15)
+
+    def test_more_memory_cheaper(self):
+        pmf = zipf_pmf(1000, 0.8)
+        assert expected_nearest_replica_cost(pmf, 10) < expected_nearest_replica_cost(pmf, 1)
+
+    def test_zero_probability_files_ignored(self):
+        pmf = np.array([0.5, 0.5, 0.0])
+        value = expected_nearest_replica_cost(pmf, 1)
+        assert np.isfinite(value)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_nearest_replica_cost(np.array([]), 1)
+        with pytest.raises(ValueError):
+            expected_nearest_replica_cost(np.array([1.0]), 0)
+
+
+class TestStrategy2Cost:
+    def test_theta_r(self):
+        assert strategy2_comm_cost(10**4, 17) == 17.0
+
+    def test_infinite_radius_is_sqrt_n(self):
+        assert strategy2_comm_cost(10**4, np.inf) == pytest.approx(100.0)
+
+    def test_radius_capped_at_sqrt_n(self):
+        assert strategy2_comm_cost(100, 1000) == pytest.approx(10.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            strategy2_comm_cost(0, 1)
+        with pytest.raises(ValueError):
+            strategy2_comm_cost(10, -1)

@@ -1,0 +1,78 @@
+"""Tests for the unified prediction entry point (repro.theory.predictions)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.theory.predictions import TheoreticalPrediction, predict
+
+
+def config(**overrides) -> SimulationConfig:
+    params = dict(num_nodes=10000, num_files=10000, cache_size=100)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestStrategy1Predictions:
+    def test_uniform(self):
+        prediction = predict(config(strategy="nearest_replica"))
+        assert prediction.regime is None
+        assert prediction.max_load_order == pytest.approx(math.log(10000))
+        assert prediction.comm_cost_order == pytest.approx(math.sqrt(10000 / 100))
+        assert "Theorem 3" in prediction.notes
+
+    def test_zipf(self):
+        prediction = predict(
+            config(
+                strategy="nearest_replica",
+                popularity="zipf",
+                popularity_params={"gamma": 3.0},
+            )
+        )
+        assert prediction.comm_cost_order == pytest.approx(1.0 / math.sqrt(100))
+        assert "Zipf" in prediction.notes
+
+
+class TestStrategy2Predictions:
+    def test_good_regime(self):
+        prediction = predict(
+            config(
+                strategy="proximity_two_choice",
+                cache_size=int(10000**0.5),
+                strategy_params={"radius": int(10000**0.55)},
+            )
+        )
+        assert prediction.regime is not None
+        assert prediction.regime.power_of_two_choices
+        assert prediction.max_load_order < math.log(10000)
+
+    def test_unconstrained_radius(self):
+        prediction = predict(config(strategy="proximity_two_choice"))
+        assert prediction.comm_cost_order == pytest.approx(100.0)
+
+    def test_one_choice_uses_poisson_floor(self):
+        prediction = predict(config(strategy="random_replica"))
+        assert prediction.max_load_order >= math.log(10000) / math.log(math.log(10000))
+
+    def test_unanalysed_strategy_notes(self):
+        prediction = predict(config(strategy="least_loaded_in_ball"))
+        assert "not analysed" in prediction.notes
+
+    def test_as_dict(self):
+        data = predict(config()).as_dict()
+        assert set(data) == {"max_load_order", "comm_cost_order", "regime", "notes"}
+        assert isinstance(data["regime"], dict)
+
+    def test_as_dict_strategy1_regime_none(self):
+        data = predict(config(strategy="nearest_replica")).as_dict()
+        assert data["regime"] is None
+
+    def test_dataclass_fields(self):
+        prediction = predict(config())
+        assert isinstance(prediction, TheoreticalPrediction)
+        assert np.isfinite(prediction.max_load_order)
+        assert np.isfinite(prediction.comm_cost_order)

@@ -1,0 +1,91 @@
+"""Tests for the topology factory and neighbourhood arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.complete import CompleteTopology
+from repro.topology.factory import available_topologies, create_topology, register_topology
+from repro.topology.grid import Grid2D
+from repro.topology.neighborhood import (
+    ball_size_lattice,
+    ball_size_torus,
+    minimal_radius_for_count,
+)
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+
+
+class TestFactory:
+    def test_available_names(self):
+        names = available_topologies()
+        assert {"torus", "grid", "ring", "complete"} <= set(names)
+
+    @pytest.mark.parametrize(
+        "name, cls, n",
+        [
+            ("torus", Torus2D, 49),
+            ("grid", Grid2D, 49),
+            ("ring", Ring, 30),
+            ("complete", CompleteTopology, 30),
+        ],
+    )
+    def test_creates_correct_class(self, name, cls, n):
+        topo = create_topology(name, n)
+        assert isinstance(topo, cls)
+        assert topo.n == n
+
+    def test_case_insensitive(self):
+        assert isinstance(create_topology("TORUS", 25), Torus2D)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            create_topology("hypercube", 16)
+
+    def test_register_custom(self):
+        register_topology("my_ring", Ring)
+        assert isinstance(create_topology("my_ring", 12), Ring)
+
+    def test_register_invalid_name(self):
+        with pytest.raises(TopologyError):
+            register_topology("", Ring)
+
+
+class TestBallArithmetic:
+    def test_lattice_ball_sizes(self):
+        assert ball_size_lattice(0) == 1
+        assert ball_size_lattice(1) == 5
+        assert ball_size_lattice(2) == 13
+        assert ball_size_lattice(3) == 25
+
+    def test_lattice_negative_raises(self):
+        with pytest.raises(ValueError):
+            ball_size_lattice(-1)
+
+    def test_torus_ball_small_radius_matches_lattice(self):
+        assert ball_size_torus(2, 10) == ball_size_lattice(2)
+
+    def test_torus_ball_saturates(self):
+        assert ball_size_torus(100, 7) == 49
+
+    def test_torus_ball_wrapped_matches_enumeration(self):
+        topo = Torus2D(81)
+        assert ball_size_torus(5, 9) == topo.ball(0, 5).size
+
+    def test_torus_invalid_args(self):
+        with pytest.raises(ValueError):
+            ball_size_torus(-1, 5)
+        with pytest.raises(ValueError):
+            ball_size_torus(1, 0)
+
+    def test_minimal_radius_inverse_of_size(self):
+        for count in (1, 2, 5, 6, 13, 14, 50, 200):
+            r = minimal_radius_for_count(count)
+            assert ball_size_lattice(r) >= count
+            if r > 0:
+                assert ball_size_lattice(r - 1) < count
+
+    def test_minimal_radius_invalid(self):
+        with pytest.raises(ValueError):
+            minimal_radius_for_count(0)

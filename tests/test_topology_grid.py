@@ -1,0 +1,105 @@
+"""Tests for the bounded grid topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.grid import Grid2D
+from repro.topology.torus import Torus2D
+
+
+class TestConstruction:
+    def test_basic(self):
+        grid = Grid2D(64)
+        assert grid.n == 64
+        assert grid.side == 8
+
+    def test_from_side(self):
+        assert Grid2D.from_side(5).n == 25
+
+    def test_non_square_raises(self):
+        with pytest.raises(TopologyError):
+            Grid2D(12)
+
+    def test_from_side_invalid(self):
+        with pytest.raises(TopologyError):
+            Grid2D.from_side(-1)
+
+
+class TestDistances:
+    def test_no_wraparound(self):
+        grid = Grid2D(100)
+        # Opposite corners of a row: 9 hops on the grid, 1 on the torus.
+        assert grid.distance(0, 9) == 9
+        assert Torus2D(100).distance(0, 9) == 1
+
+    def test_diameter(self):
+        assert Grid2D(100).diameter == 18
+        assert Grid2D(25).diameter == 8
+
+    def test_distance_bounded_by_diameter(self):
+        grid = Grid2D(49)
+        rng = np.random.default_rng(3)
+        for u, v in rng.integers(0, 49, size=(40, 2)):
+            assert grid.distance(int(u), int(v)) <= grid.diameter
+
+    def test_grid_distance_at_least_torus(self):
+        grid = Grid2D(81)
+        torus = Torus2D(81)
+        rng = np.random.default_rng(4)
+        for u, v in rng.integers(0, 81, size=(40, 2)):
+            assert grid.distance(int(u), int(v)) >= torus.distance(int(u), int(v))
+
+    def test_pairwise_matches_scalar(self):
+        grid = Grid2D(36)
+        a = np.array([0, 5, 35])
+        b = np.array([7, 14])
+        matrix = grid.pairwise_distances(a, b)
+        for i, u in enumerate(a):
+            for j, v in enumerate(b):
+                assert matrix[i, j] == grid.distance(int(u), int(v))
+
+    def test_distances_from_subset(self):
+        grid = Grid2D(25)
+        out = grid.distances_from(12, np.array([12, 13, 24]))
+        np.testing.assert_array_equal(out, [0, 1, 4])
+
+
+class TestStructure:
+    def test_corner_has_two_neighbors(self):
+        grid = Grid2D(25)
+        assert grid.degree(0) == 2
+        assert grid.degree(24) == 2
+
+    def test_edge_has_three_neighbors(self):
+        grid = Grid2D(25)
+        assert grid.degree(2) == 3
+
+    def test_interior_has_four_neighbors(self):
+        grid = Grid2D(25)
+        assert grid.degree(12) == 4
+
+    def test_node_at_out_of_range_raises(self):
+        with pytest.raises(TopologyError):
+            Grid2D(25).node_at(5, 0)
+
+    def test_coordinates_round_trip(self):
+        grid = Grid2D(16)
+        for node in range(16):
+            x, y = grid.coordinates(node)
+            assert grid.node_at(int(x), int(y)) == node
+
+    def test_ball_subset_of_torus_ball(self):
+        grid = Grid2D(49)
+        torus = Torus2D(49)
+        ball_grid = set(grid.ball(0, 2).tolist())
+        ball_torus = set(torus.ball(0, 2).tolist())
+        assert ball_grid <= ball_torus
+
+    def test_to_networkx_edge_count(self):
+        grid = Grid2D(16)
+        graph = grid.to_networkx()
+        # 4x4 grid has 2 * 4 * 3 = 24 edges.
+        assert graph.number_of_edges() == 24

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.timer and repro.utils.logging."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        first = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == first
+
+    def test_elapsed_inside_block_increases(self):
+        with Timer() as t:
+            first = t.elapsed
+            time.sleep(0.005)
+            assert t.elapsed >= first
+
+    def test_repr_contains_seconds(self):
+        with Timer() as t:
+            pass
+        assert "s" in repr(t)
+
+
+class TestGetLogger:
+    def test_namespace(self):
+        logger = get_logger("unit")
+        assert logger.name == "repro.unit"
+
+    def test_package_logger(self):
+        logger = get_logger()
+        assert logger.name == "repro"
+
+    def test_configure_adds_single_stream_handler(self):
+        get_logger("a", configure=True)
+        get_logger("b", configure=True)
+        package_logger = logging.getLogger("repro")
+        stream_handlers = [
+            h
+            for h in package_logger.handlers
+            if isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1
+
+    def test_configure_sets_level(self):
+        get_logger("c", configure=True, level=logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG

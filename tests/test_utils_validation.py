@@ -1,0 +1,132 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative_int,
+    check_perfect_square,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            check_positive_int(-1, "my_param")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int("3", "x")
+
+
+class TestCheckInRange:
+    def test_within_range(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_boundaries_inclusive_by_default(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(0.0, "x", 0.0, 1.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, "x", 0.0, 1.0, high_inclusive=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(float("nan"), "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("abc", "x")
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector(self):
+        out = check_probability_vector([0.25, 0.25, 0.5], "p")
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_renormalises_dust(self):
+        p = np.full(3, 1.0 / 3.0)
+        out = check_probability_vector(p, "p")
+        assert abs(out.sum() - 1.0) < 1e-15
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector([0.5, -0.1, 0.6], "p")
+
+    def test_rejects_not_normalised(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector([0.2, 0.2], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector([], "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector([0.5, float("nan")], "p")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector(np.ones((2, 2)) / 4, "p")
+
+
+class TestCheckPerfectSquare:
+    def test_perfect_square(self):
+        assert check_perfect_square(49, "n") == 7
+
+    def test_one(self):
+        assert check_perfect_square(1, "n") == 1
+
+    def test_not_square(self):
+        with pytest.raises(ConfigurationError):
+            check_perfect_square(50, "n")
+
+    def test_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            check_perfect_square(0, "n")

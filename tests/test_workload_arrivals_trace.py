@@ -1,0 +1,106 @@
+"""Tests for continuous-time arrivals and trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import WorkloadError
+from repro.topology.torus import Torus2D
+from repro.workload.arrivals import PoissonArrivalProcess, TimedRequest
+from repro.workload.generators import UniformOriginWorkload
+from repro.workload.trace import load_trace, save_trace
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(64)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(20)
+
+
+class TestPoissonArrivalProcess:
+    def test_count_close_to_rate_times_horizon(self, torus, library):
+        process = PoissonArrivalProcess(rate_per_node=1.0)
+        requests = process.generate(torus, library, horizon=10.0, seed=0)
+        # Expect ~ 64 * 10 = 640 arrivals.
+        assert 450 < len(requests) < 850
+
+    def test_times_sorted_within_horizon(self, torus, library):
+        requests = PoissonArrivalProcess(0.5).generate(torus, library, horizon=5.0, seed=1)
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5.0 for t in times)
+
+    def test_fields_in_range(self, torus, library):
+        requests = PoissonArrivalProcess(0.5).generate(torus, library, horizon=3.0, seed=2)
+        assert all(isinstance(r, TimedRequest) for r in requests)
+        assert all(0 <= r.origin < 64 for r in requests)
+        assert all(0 <= r.file_id < 20 for r in requests)
+
+    def test_deterministic(self, torus, library):
+        a = PoissonArrivalProcess(0.5).generate(torus, library, horizon=3.0, seed=4)
+        b = PoissonArrivalProcess(0.5).generate(torus, library, horizon=3.0, seed=4)
+        assert a == b
+
+    def test_invalid_horizon(self, torus, library):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(0.5).generate(torus, library, horizon=0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(Exception):
+            PoissonArrivalProcess(0.0)
+
+    def test_rate_property(self):
+        assert PoissonArrivalProcess(0.7).rate_per_node == 0.7
+
+
+class TestTracePersistence:
+    def test_round_trip(self, torus, library, tmp_path):
+        batch = UniformOriginWorkload(50).generate(torus, library, seed=0)
+        path = save_trace(batch, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.origins, batch.origins)
+        np.testing.assert_array_equal(loaded.files, batch.files)
+        assert loaded.num_nodes == batch.num_nodes
+        assert loaded.num_files == batch.num_files
+
+    def test_creates_parent_directories(self, torus, library, tmp_path):
+        batch = UniformOriginWorkload(5).generate(torus, library, seed=0)
+        path = save_trace(batch, tmp_path / "nested" / "dir" / "trace.json")
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad_version.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "missing_fields.json"
+        path.write_text('{"format_version": 1, "num_nodes": 4}')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_inconsistent_request_count(self, tmp_path):
+        path = tmp_path / "inconsistent.json"
+        path.write_text(
+            '{"format_version": 1, "num_nodes": 4, "num_files": 2, '
+            '"num_requests": 3, "origins": [0], "files": [1]}'
+        )
+        with pytest.raises(WorkloadError):
+            load_trace(path)

@@ -1,0 +1,132 @@
+"""Tests for the workload generators (repro.workload.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.catalog.popularity import ZipfPopularity
+from repro.exceptions import WorkloadError
+from repro.topology.torus import Torus2D
+from repro.workload.generators import (
+    HotspotOriginWorkload,
+    PoissonDemandWorkload,
+    UniformOriginWorkload,
+)
+
+
+@pytest.fixture
+def torus():
+    return Torus2D(100)
+
+
+@pytest.fixture
+def library():
+    return FileLibrary(30)
+
+
+class TestUniformOriginWorkload:
+    def test_default_one_request_per_server(self, torus, library):
+        batch = UniformOriginWorkload().generate(torus, library, seed=0)
+        assert batch.num_requests == 100
+
+    def test_explicit_count(self, torus, library):
+        batch = UniformOriginWorkload(250).generate(torus, library, seed=0)
+        assert batch.num_requests == 250
+
+    def test_deterministic(self, torus, library):
+        a = UniformOriginWorkload().generate(torus, library, seed=3)
+        b = UniformOriginWorkload().generate(torus, library, seed=3)
+        np.testing.assert_array_equal(a.origins, b.origins)
+        np.testing.assert_array_equal(a.files, b.files)
+
+    def test_origins_roughly_uniform(self, torus, library):
+        batch = UniformOriginWorkload(20000).generate(torus, library, seed=1)
+        demand = batch.demand_per_node()
+        assert demand.mean() == pytest.approx(200.0)
+        assert demand.min() > 100
+
+    def test_files_follow_popularity(self, torus):
+        library = FileLibrary(30, ZipfPopularity(30, 2.0))
+        batch = UniformOriginWorkload(5000).generate(torus, library, seed=1)
+        per_file = batch.demand_per_file()
+        assert per_file[0] > per_file[15]
+
+    def test_invalid_count(self):
+        with pytest.raises(Exception):
+            UniformOriginWorkload(0)
+
+    def test_as_dict(self):
+        assert UniformOriginWorkload(10).as_dict()["num_requests"] == 10
+
+
+class TestPoissonDemandWorkload:
+    def test_mean_demand(self, torus, library):
+        batch = PoissonDemandWorkload(rate=2.0).generate(torus, library, seed=0)
+        assert batch.num_requests == pytest.approx(200, abs=60)
+
+    def test_demand_is_poisson_like(self, torus, library):
+        batch = PoissonDemandWorkload(rate=1.0).generate(torus, library, seed=1)
+        demand = batch.demand_per_node()
+        # Poisson(1): variance close to mean.
+        assert demand.var() == pytest.approx(demand.mean(), rel=0.6)
+
+    def test_invalid_rate(self):
+        with pytest.raises(Exception):
+            PoissonDemandWorkload(rate=0.0)
+
+    def test_tiny_rate_still_produces_a_request(self, library):
+        torus = Torus2D(4)
+        batch = PoissonDemandWorkload(rate=1e-9).generate(torus, library, seed=0)
+        assert batch.num_requests >= 1
+
+    def test_deterministic(self, torus, library):
+        a = PoissonDemandWorkload(1.0).generate(torus, library, seed=9)
+        b = PoissonDemandWorkload(1.0).generate(torus, library, seed=9)
+        np.testing.assert_array_equal(a.origins, b.origins)
+
+    def test_as_dict(self):
+        assert PoissonDemandWorkload(0.5).as_dict()["rate"] == 0.5
+
+
+class TestHotspotOriginWorkload:
+    def test_hotspot_concentration(self, torus, library):
+        workload = HotspotOriginWorkload(
+            num_requests=2000, hotspot_fraction=0.8, hotspot_radius=2, center=0
+        )
+        batch = workload.generate(torus, library, seed=0)
+        hotspot_nodes = set(torus.ball(0, 2).tolist())
+        in_hotspot = sum(1 for origin in batch.origins if int(origin) in hotspot_nodes)
+        # 80% targeted plus ~13/100 of the uniform remainder.
+        assert in_hotspot / batch.num_requests > 0.6
+
+    def test_zero_fraction_is_uniform(self, torus, library):
+        workload = HotspotOriginWorkload(num_requests=500, hotspot_fraction=0.0, center=0)
+        batch = workload.generate(torus, library, seed=0)
+        assert batch.num_requests == 500
+
+    def test_full_fraction(self, torus, library):
+        workload = HotspotOriginWorkload(
+            num_requests=300, hotspot_fraction=1.0, hotspot_radius=1, center=50
+        )
+        batch = workload.generate(torus, library, seed=0)
+        allowed = set(torus.ball(50, 1).tolist())
+        assert all(int(o) in allowed for o in batch.origins)
+
+    def test_random_center(self, torus, library):
+        batch = HotspotOriginWorkload(num_requests=100).generate(torus, library, seed=5)
+        assert batch.num_requests == 100
+
+    def test_invalid_radius(self):
+        with pytest.raises(WorkloadError):
+            HotspotOriginWorkload(hotspot_radius=-1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(Exception):
+            HotspotOriginWorkload(hotspot_fraction=1.5)
+
+    def test_as_dict(self):
+        data = HotspotOriginWorkload(10, 0.3, 2, center=7).as_dict()
+        assert data["hotspot_fraction"] == 0.3
+        assert data["center"] == 7

@@ -1,0 +1,85 @@
+"""Tests for the request batch container (repro.workload.request)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.request import RequestBatch
+
+
+def make_batch() -> RequestBatch:
+    return RequestBatch(
+        origins=np.array([0, 1, 1, 3]),
+        files=np.array([2, 0, 2, 1]),
+        num_nodes=4,
+        num_files=3,
+    )
+
+
+class TestValidation:
+    def test_valid_batch(self):
+        batch = make_batch()
+        assert batch.num_requests == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.array([0, 1]), np.array([0]), 4, 3)
+
+    def test_origin_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.array([4]), np.array([0]), 4, 3)
+
+    def test_file_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.array([0]), np.array([3]), 4, 3)
+
+    def test_negative_ids(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.array([-1]), np.array([0]), 4, 3)
+
+    def test_2d_arrays_rejected(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int), 4, 3)
+
+    def test_non_positive_sizes(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(np.array([0]), np.array([0]), 0, 3)
+
+    def test_empty_batch_allowed(self):
+        batch = RequestBatch(np.array([], dtype=int), np.array([], dtype=int), 4, 3)
+        assert batch.num_requests == 0
+
+
+class TestBehaviour:
+    def test_iteration_order(self):
+        batch = make_batch()
+        assert list(batch) == [(0, 2), (1, 0), (1, 2), (3, 1)]
+
+    def test_len(self):
+        assert len(make_batch()) == 4
+
+    def test_demand_per_node(self):
+        np.testing.assert_array_equal(make_batch().demand_per_node(), [1, 2, 0, 1])
+
+    def test_demand_per_file(self):
+        np.testing.assert_array_equal(make_batch().demand_per_file(), [1, 1, 2])
+
+    def test_subset_preserves_order(self):
+        subset = make_batch().subset(np.array([2, 0]))
+        assert list(subset) == [(1, 2), (0, 2)]
+
+    def test_concatenate(self):
+        batch = make_batch()
+        merged = batch.concatenate(batch)
+        assert merged.num_requests == 8
+        np.testing.assert_array_equal(merged.origins[:4], batch.origins)
+
+    def test_concatenate_mismatch(self):
+        other = RequestBatch(np.array([0]), np.array([0]), 5, 3)
+        with pytest.raises(WorkloadError):
+            make_batch().concatenate(other)
+
+    def test_repr(self):
+        assert "m=4" in repr(make_batch())
