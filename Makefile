@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test bench bench-smoke
+
+# Tier-1 verification: the full test + benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark suite with pytest-benchmark timing enabled.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -s
+
+# Fast smoke pass over the kernel micro-benches: exercises the batched
+# group-index / sampling / commit code paths (and the kernel-vs-reference
+# speedup gate) without benchmark calibration overhead.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernels.py -m bench_smoke -q -s --benchmark-disable

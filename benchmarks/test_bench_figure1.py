@@ -23,7 +23,9 @@ from repro.experiments.figures import PAPER_FIGURE1_SIZES
 
 def _spec():
     sizes = PAPER_FIGURE1_SIZES if paper_scale() else (100, 225, 400, 625, 900)
-    return figure1_spec(sizes=sizes, cache_sizes=(1, 2, 10, 100), trials=bench_trials(5))
+    # 15 trials: the M=100 vs M=1 curve comparison below is within Monte-Carlo
+    # noise at 5 trials per point.
+    return figure1_spec(sizes=sizes, cache_sizes=(1, 2, 10, 100), trials=bench_trials(15))
 
 
 def test_bench_figure1(benchmark, artifact_dir):

@@ -39,6 +39,7 @@ from repro.experiments.tables import (
 from repro.simulation.config import SimulationConfig
 from repro.simulation.multirun import run_trials
 from repro.simulation.parallel import run_trials_parallel
+from repro.strategies.factory import resolve_strategy_name
 from repro.theory.predictions import predict
 
 __all__ = ["main", "build_parser"]
@@ -113,8 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     strategy_params: dict[str, object] = {}
-    if args.strategy not in ("nearest_replica", "strategy_i", "nearest"):
-        strategy_params = {"radius": args.radius, "num_choices": args.choices}
+    strategy = resolve_strategy_name(args.strategy)
+    if strategy != "nearest_replica":
+        strategy_params["radius"] = args.radius
+        # Only the d-choice strategies accept a number of choices.
+        if strategy in ("proximity_two_choice", "threshold_hybrid"):
+            strategy_params["num_choices"] = args.choices
     popularity_params: dict[str, object] = {}
     if args.popularity == "zipf":
         if args.gamma is None:

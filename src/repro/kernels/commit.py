@@ -1,0 +1,219 @@
+"""The sequential commit phase: tight loops over pre-materialised arrays.
+
+Everything that does not depend on the evolving load vector happens in the
+precompute phase; what remains — for every request, inspect the loads of its
+(pre-sampled) candidates, pick a winner, bump its load — is inherently
+sequential and lives here.  The loops deliberately run over plain Python lists
+of ints: per-iteration work is a handful of list index operations, with no
+numpy scalar boxing, no topology queries and no RNG calls.
+
+Tie-breaking consumes one pre-drawn uniform ``u`` per request (drawn whether
+or not a tie occurs, so the stream position never depends on the loads): if
+``t`` options tie, the winner is option ``floor(u * t)`` in candidate order.
+The scalar reference engine implements the exact same rule, which is what
+makes the two engines bit-identical.
+
+All functions return, per request, the *flat index* of the winning candidate
+into the arrays they were given, so callers gather node ids and hop distances
+vectorised afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import IntArray
+
+__all__ = [
+    "commit_least_loaded_of_sample",
+    "commit_least_loaded_scan",
+    "commit_threshold_hybrid",
+]
+
+
+def commit_least_loaded_of_sample(
+    num_nodes: int,
+    sample_nodes: IntArray,
+    sample_counts: IntArray,
+    sample_indptr: IntArray,
+    tie_uniforms: np.ndarray,
+) -> IntArray:
+    """Strategy II commit: least loaded of each request's sampled candidates.
+
+    Returns the flat index into ``sample_nodes`` of every request's winner.
+    """
+    m = int(sample_counts.size)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    nodes = sample_nodes.tolist()
+    uniforms = tie_uniforms.tolist()
+    loads = [0] * int(num_nodes)
+    out = [0] * m
+
+    if sample_nodes.size == 2 * m and int(sample_counts.min()) == 2:
+        # Fast path: the paper's d = 2 with every candidate set >= 2.
+        for i in range(m):
+            j = 2 * i
+            a = nodes[j]
+            b = nodes[j + 1]
+            load_a = loads[a]
+            load_b = loads[b]
+            if load_a < load_b:
+                winner, pick = a, j
+            elif load_b < load_a:
+                winner, pick = b, j + 1
+            elif uniforms[i] < 0.5:
+                winner, pick = a, j
+            else:
+                winner, pick = b, j + 1
+            loads[winner] += 1
+            out[i] = pick
+        return np.asarray(out, dtype=np.int64)
+
+    indptr = sample_indptr.tolist()
+    for i in range(m):
+        start = indptr[i]
+        end = indptr[i + 1]
+        best = loads[nodes[start]]
+        ties = 1
+        pick = start
+        for j in range(start + 1, end):
+            load = loads[nodes[j]]
+            if load < best:
+                best = load
+                ties = 1
+                pick = j
+            elif load == best:
+                ties += 1
+        if ties > 1:
+            k = int(uniforms[i] * ties)
+            for j in range(start, end):
+                if loads[nodes[j]] == best:
+                    if k == 0:
+                        pick = j
+                        break
+                    k -= 1
+        winner = nodes[pick]
+        loads[winner] += 1
+        out[i] = pick
+    return np.asarray(out, dtype=np.int64)
+
+
+def commit_least_loaded_scan(
+    num_nodes: int,
+    cand_nodes: IntArray,
+    cand_dists: IntArray,
+    request_starts: IntArray,
+    request_counts: IntArray,
+    tie_uniforms: np.ndarray,
+) -> IntArray:
+    """Omniscient commit: scan every candidate, pick the least loaded.
+
+    Ties on load prefer the smaller hop distance; residual ties resolve via
+    the pre-drawn uniforms.  Returns flat indices into ``cand_nodes``.
+    """
+    m = int(request_starts.size)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    nodes = cand_nodes.tolist()
+    dists = cand_dists.tolist()
+    starts = request_starts.tolist()
+    counts = request_counts.tolist()
+    uniforms = tie_uniforms.tolist()
+    loads = [0] * int(num_nodes)
+    out = [0] * m
+
+    for i in range(m):
+        start = starts[i]
+        end = start + counts[i]
+        best_load = loads[nodes[start]]
+        best_dist = dists[start]
+        ties = 1
+        pick = start
+        for j in range(start + 1, end):
+            load = loads[nodes[j]]
+            if load < best_load:
+                best_load = load
+                best_dist = dists[j]
+                ties = 1
+                pick = j
+            elif load == best_load:
+                dist = dists[j]
+                if dist < best_dist:
+                    best_dist = dist
+                    ties = 1
+                    pick = j
+                elif dist == best_dist:
+                    ties += 1
+        if ties > 1:
+            k = int(uniforms[i] * ties)
+            for j in range(start, end):
+                if loads[nodes[j]] == best_load and dists[j] == best_dist:
+                    if k == 0:
+                        pick = j
+                        break
+                    k -= 1
+        winner = nodes[pick]
+        loads[winner] += 1
+        out[i] = pick
+    return np.asarray(out, dtype=np.int64)
+
+
+def commit_threshold_hybrid(
+    num_nodes: int,
+    sample_nodes: IntArray,
+    sample_dists: IntArray,
+    sample_indptr: IntArray,
+    threshold: float,
+    tie_uniforms: np.ndarray,
+) -> IntArray:
+    """Hybrid commit: closest sampled candidate within the load threshold.
+
+    A candidate is eligible when its load is at most ``min sampled load +
+    threshold``; the closest eligible candidate wins, residual distance ties
+    resolve via the pre-drawn uniforms.  Returns flat indices into
+    ``sample_nodes``.
+    """
+    m = int(sample_indptr.size) - 1
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    nodes = sample_nodes.tolist()
+    dists = sample_dists.tolist()
+    indptr = sample_indptr.tolist()
+    uniforms = tie_uniforms.tolist()
+    loads = [0] * int(num_nodes)
+    out = [0] * m
+
+    for i in range(m):
+        start = indptr[i]
+        end = indptr[i + 1]
+        min_load = loads[nodes[start]]
+        for j in range(start + 1, end):
+            load = loads[nodes[j]]
+            if load < min_load:
+                min_load = load
+        limit = min_load + threshold
+        best_dist = None
+        ties = 0
+        pick = start
+        for j in range(start, end):
+            if loads[nodes[j]] <= limit:
+                dist = dists[j]
+                if best_dist is None or dist < best_dist:
+                    best_dist = dist
+                    ties = 1
+                    pick = j
+                elif dist == best_dist:
+                    ties += 1
+        if ties > 1:
+            k = int(uniforms[i] * ties)
+            for j in range(start, end):
+                if loads[nodes[j]] <= limit and dists[j] == best_dist:
+                    if k == 0:
+                        pick = j
+                        break
+                    k -= 1
+        winner = nodes[pick]
+        loads[winner] += 1
+        out[i] = pick
+    return np.asarray(out, dtype=np.int64)

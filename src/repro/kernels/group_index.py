@@ -1,0 +1,292 @@
+"""The CSR request-group index — the precompute phase's data backbone.
+
+Sequential strategies repeat the exact same candidate computation for every
+request with the same ``(origin, file)`` pair: the replica set of the file,
+the distances from the origin, the in-ball filter and (rarely) the fallback
+resolution are all independent of the evolving load vector.  The group index
+factors that work out of the per-request loop:
+
+1. requests are grouped by ``(origin, file)`` (``np.unique`` on a packed key);
+2. for every *file*, one batched :meth:`~repro.topology.base.Topology.
+   pairwise_distances` call serves all groups requesting it (chunked to bound
+   peak memory);
+3. in-ball filtering, fallback resolution (NEAREST / EXPAND / ERROR) and the
+   fallback bookkeeping happen group-wise, producing a CSR layout
+   ``(starts, counts, nodes[, dists])`` of candidate sets.
+
+When the radius is unconstrained and candidate distances are not needed up
+front (Strategy II resolves chosen-replica distances *after* the commit loop),
+the index borrows the :class:`~repro.placement.cache.CacheState` file→nodes
+CSR wholesale instead of materialising per-group copies — candidate sets then
+alias the cache's own arrays via per-group ``starts``/``counts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NoReplicaError, StrategyError
+from repro.placement.cache import CacheState
+from repro.strategies.base import FallbackPolicy
+from repro.topology.base import Topology
+from repro.types import IntArray
+from repro.workload.request import RequestBatch
+
+__all__ = [
+    "GroupIndex",
+    "build_group_index",
+    "group_requests",
+    "iter_file_segments",
+    "csr_scatter_destinations",
+    "segmented_arange",
+]
+
+
+def segmented_arange(counts: IntArray) -> IntArray:
+    """Concatenated ``arange(c)`` for every ``c`` in ``counts``.
+
+    ``segmented_arange([2, 0, 3]) == [0, 1, 0, 1, 2]`` — the within-segment
+    offsets of a CSR layout with the given segment sizes.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+def group_requests(requests: RequestBatch) -> tuple[IntArray, IntArray, IntArray]:
+    """Group requests by their packed ``(origin, file)`` key.
+
+    Returns ``(origins, files, request_group)``: per-group origin and file
+    (ascending packed-key order) plus the ``(m,)`` map from request position
+    to group id.  ``origin * K + file`` fits int64 for any realistic system
+    (``n * K < 2**63``).
+    """
+    num_files = int(requests.num_files)
+    keys = requests.origins * num_files + requests.files
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    origins = (uniq // num_files).astype(np.int64)
+    files = (uniq % num_files).astype(np.int64)
+    return origins, files, inverse.astype(np.int64)
+
+
+def iter_file_segments(group_files: IntArray):
+    """Yield arrays of group ids sharing one file (each batch-distance unit)."""
+    order = np.argsort(group_files, kind="stable")
+    if order.size == 0:
+        return
+    boundaries = np.flatnonzero(np.diff(group_files[order])) + 1
+    yield from np.split(order, boundaries)
+
+
+def csr_scatter_destinations(
+    indptr: IntArray, gids: IntArray, counts: IntArray
+) -> IntArray:
+    """Flat destination offsets for scattering per-group rows into a CSR.
+
+    ``counts[i]`` consecutive slots starting at ``indptr[gids[i]]`` — the
+    row-major layout ``np.nonzero`` produces for a per-group boolean mask.
+    """
+    return np.repeat(indptr[gids], counts) + segmented_arange(counts)
+
+
+@dataclass(frozen=True)
+class GroupIndex:
+    """Candidate sets of all distinct ``(origin, file)`` request groups.
+
+    Attributes
+    ----------
+    origins, files:
+        Per-group origin node and requested file, shape ``(G,)``.
+    starts, counts:
+        CSR addressing: group ``g``'s candidates are
+        ``nodes[starts[g]:starts[g] + counts[g]]``.  Segments are contiguous
+        when the index is materialised but may alias the cache's shared
+        file→nodes array (non-contiguous, possibly overlapping) in shared
+        mode — never assume ``starts`` is a cumulative sum.
+    nodes:
+        Flat candidate node ids.
+    dists:
+        Flat candidate hop distances aligned with ``nodes``, or ``None`` in
+        shared mode (distances are then resolved after the commit phase).
+    fallback:
+        Per-group flag: the fallback policy had to be invoked (no in-ball
+        replica).
+    request_group:
+        Shape ``(m,)`` map from request position to its group id.
+    """
+
+    origins: IntArray
+    files: IntArray
+    starts: IntArray
+    counts: IntArray
+    nodes: IntArray
+    dists: IntArray | None
+    fallback: np.ndarray
+    request_group: IntArray
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct ``(origin, file)`` groups ``G``."""
+        return int(self.origins.size)
+
+    def request_counts(self) -> IntArray:
+        """Candidate-set size of every request's group, shape ``(m,)``."""
+        return self.counts[self.request_group]
+
+    def request_starts(self) -> IntArray:
+        """Candidate-set start offset of every request's group, shape ``(m,)``."""
+        return self.starts[self.request_group]
+
+
+def _resolve_fallback_row(
+    policy: FallbackPolicy,
+    radius: float,
+    origin: int,
+    file_id: int,
+    replicas: IntArray,
+    dist_row: IntArray,
+) -> tuple[IntArray, IntArray]:
+    """Candidates and distances for one group whose ball holds no replica."""
+    if policy is FallbackPolicy.ERROR:
+        raise StrategyError(
+            f"no replica of file {file_id} within radius {radius} of node {origin}"
+        )
+    if policy is FallbackPolicy.NEAREST:
+        nearest = int(np.argmin(dist_row))
+        return replicas[nearest : nearest + 1], dist_row[nearest : nearest + 1]
+    # EXPAND: double the radius until at least one replica is inside.
+    expanded = max(radius, 1.0)
+    while True:
+        expanded *= 2.0
+        in_ball = dist_row <= expanded
+        if np.any(in_ball):
+            return replicas[in_ball], dist_row[in_ball]
+
+
+def build_group_index(
+    topology: Topology,
+    cache: CacheState,
+    requests: RequestBatch,
+    *,
+    radius: float = np.inf,
+    fallback: FallbackPolicy = FallbackPolicy.NEAREST,
+    need_dists: bool = True,
+    chunk_size: int = 4096,
+) -> GroupIndex:
+    """Build the CSR candidate index for ``requests`` in batched passes.
+
+    Parameters
+    ----------
+    radius:
+        Proximity constraint; ``inf`` (or anything at least the diameter)
+        disables it.
+    fallback:
+        Policy for groups whose ball contains no replica.
+    need_dists:
+        When false *and* the radius is unconstrained, candidate distances are
+        skipped entirely and the cache's shared file→nodes CSR is aliased
+        instead of materialising per-group candidate arrays.
+    chunk_size:
+        Maximum number of group rows per batched distance matrix.
+
+    Raises
+    ------
+    NoReplicaError:
+        When a requested file is cached nowhere.
+    """
+    g_origins, g_files, request_group = group_requests(requests)
+    num_groups = int(g_origins.size)
+    unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
+
+    fallback_flags = np.zeros(num_groups, dtype=bool)
+
+    if unconstrained and not need_dists:
+        # Shared mode: every group's candidate set IS the file's replica list.
+        indptr, shared_nodes = cache.file_index()
+        starts = indptr[g_files].astype(np.int64)
+        counts = (indptr[g_files + 1] - indptr[g_files]).astype(np.int64)
+        empty = counts == 0
+        if np.any(empty):
+            raise NoReplicaError(int(g_files[np.flatnonzero(empty)[0]]))
+        return GroupIndex(
+            origins=g_origins,
+            files=g_files,
+            starts=starts,
+            counts=counts,
+            nodes=shared_nodes,
+            dists=None,
+            fallback=fallback_flags,
+            request_group=request_group,
+        )
+
+    counts = np.zeros(num_groups, dtype=np.int64)
+    # Pieces of the eventual flat arrays: (group ids, per-group candidate
+    # counts, flat candidate nodes, flat candidate distances) — assembled by
+    # scatter once all counts are known.
+    pieces: list[tuple[IntArray, IntArray, IntArray, IntArray]] = []
+
+    for segment in iter_file_segments(g_files):
+        file_id = int(g_files[segment[0]])
+        replicas = cache.file_nodes(file_id)
+        if replicas.size == 0:
+            raise NoReplicaError(file_id)
+        for start in range(0, segment.size, chunk_size):
+            gids = segment[start : start + chunk_size]
+            matrix = topology.pairwise_distances(g_origins[gids], replicas)
+            if unconstrained:
+                mask = np.ones(matrix.shape, dtype=bool)
+            else:
+                mask = matrix <= radius
+            row_counts = mask.sum(axis=1).astype(np.int64)
+            empty_rows = np.flatnonzero(row_counts == 0)
+            for row in empty_rows:
+                gid = int(gids[row])
+                cand, cand_d = _resolve_fallback_row(
+                    fallback, radius, int(g_origins[gid]), file_id, replicas, matrix[row]
+                )
+                fallback_flags[gid] = True
+                counts[gid] = cand.size
+                pieces.append(
+                    (
+                        np.asarray([gid], dtype=np.int64),
+                        np.asarray([cand.size], dtype=np.int64),
+                        cand.astype(np.int64),
+                        cand_d.astype(np.int64),
+                    )
+                )
+            rows, cols = np.nonzero(mask)  # row-major: groups in gids order
+            counts[gids] = np.where(row_counts > 0, row_counts, counts[gids])
+            if rows.size:
+                pieces.append(
+                    (
+                        gids.astype(np.int64),
+                        row_counts,
+                        replicas[cols],
+                        matrix[rows, cols].astype(np.int64),
+                    )
+                )
+
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    total = int(indptr[-1])
+    nodes = np.empty(total, dtype=np.int64)
+    dists = np.empty(total, dtype=np.int64)
+    for gids, row_counts, flat_nodes, flat_dists in pieces:
+        dest = csr_scatter_destinations(indptr, gids, row_counts)
+        nodes[dest] = flat_nodes
+        dists[dest] = flat_dists
+
+    return GroupIndex(
+        origins=g_origins,
+        files=g_files,
+        starts=indptr[:-1],
+        counts=counts,
+        nodes=nodes,
+        dists=dists,
+        fallback=fallback_flags,
+        request_group=request_group,
+    )

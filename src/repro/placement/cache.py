@@ -71,6 +71,8 @@ class CacheState:
             [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
         )
         self._file_index_nodes = nodes_sorted.astype(np.int64)
+        self._file_index_ptr.setflags(write=False)
+        self._file_index_nodes.setflags(write=False)
         self._replication = counts.astype(np.int64)
 
     # ------------------------------------------------------------- properties
@@ -106,6 +108,16 @@ class CacheState:
         self._check_file(file_id)
         start, stop = self._file_index_ptr[int(file_id)], self._file_index_ptr[int(file_id) + 1]
         return self._file_index_nodes[start:stop]
+
+    def file_index(self) -> tuple[IntArray, IntArray]:
+        """The raw CSR file → caching-nodes index as ``(indptr, nodes)``.
+
+        Row ``f`` is ``nodes[indptr[f]:indptr[f + 1]]`` — the same sorted
+        replica list :meth:`file_nodes` returns, exposed wholesale so the
+        kernel engine can address every replica set without per-file calls.
+        Both arrays are read-only views; do not mutate them.
+        """
+        return self._file_index_ptr, self._file_index_nodes
 
     def replication_counts(self) -> IntArray:
         """Number of distinct servers caching each file (length ``K``)."""

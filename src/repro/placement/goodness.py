@@ -117,11 +117,7 @@ def _sample_pairs(
         v = rng.integers(0, n, size=block)
         mask = u != v
         if topology is not None and radius is not None and np.isfinite(radius):
-            keep = np.zeros(block, dtype=bool)
-            for i in range(block):
-                if mask[i]:
-                    keep[i] = topology.distance(int(u[i]), int(v[i])) <= 2 * radius
-            mask &= keep
+            mask &= topology.distances_between(u, v) <= 2 * radius
         selected = np.count_nonzero(mask)
         pairs[count : count + selected, 0] = u[mask]
         pairs[count : count + selected, 1] = v[mask]
@@ -176,10 +172,8 @@ def check_goodness(
         iu, iv = np.triu_indices(n, k=1)
         pairs = np.stack([iu, iv], axis=1).astype(np.int64)
         if topology is not None and radius is not None and np.isfinite(radius):
-            keep = np.zeros(pairs.shape[0], dtype=bool)
-            for i, (u, v) in enumerate(pairs):
-                keep[i] = topology.distance(int(u), int(v)) <= 2 * radius
-            pairs = pairs[keep]
+            in_range = topology.distances_between(pairs[:, 0], pairs[:, 1]) <= 2 * radius
+            pairs = pairs[in_range]
     else:
         pairs = _sample_pairs(n, max_pairs, rng, topology, radius)
 

@@ -62,6 +62,13 @@ class CacheNetworkSimulation:
         left uncached over the cached files with renormalised popularity;
         ``"error"`` leaves them untouched so the strategy raises
         :class:`~repro.exceptions.NoReplicaError`.
+    assignment_engine:
+        When set, overrides the assignment strategy's execution engine:
+        ``"kernel"`` (the batched precompute/commit implementation in
+        :mod:`repro.kernels`, the default of every strategy) or
+        ``"reference"`` (the scalar per-request loop kept for differential
+        testing).  Both engines are bit-identical for the same seed, so this
+        never changes simulated results — only how fast they are computed.
     """
 
     def __init__(
@@ -73,11 +80,14 @@ class CacheNetworkSimulation:
         workload: WorkloadGenerator,
         description: str = "",
         uncached_policy: str = "resample",
+        assignment_engine: str | None = None,
     ) -> None:
         if uncached_policy not in ("resample", "error"):
             raise ValueError(
                 f"uncached_policy must be 'resample' or 'error', got {uncached_policy!r}"
             )
+        if assignment_engine is not None:
+            strategy = strategy.with_engine(assignment_engine)
         self._topology = topology
         self._library = library
         self._placement = placement
@@ -88,7 +98,9 @@ class CacheNetworkSimulation:
 
     # --------------------------------------------------------------- builders
     @classmethod
-    def from_config(cls, config: SimulationConfig) -> "CacheNetworkSimulation":
+    def from_config(
+        cls, config: SimulationConfig, assignment_engine: str | None = None
+    ) -> "CacheNetworkSimulation":
         """Build a simulation from a declarative configuration."""
         components = config.build()
         return cls(
@@ -99,6 +111,7 @@ class CacheNetworkSimulation:
             workload=components["workload"],
             description=config.describe(),
             uncached_policy=components["uncached_policy"],
+            assignment_engine=assignment_engine,
         )
 
     # -------------------------------------------------------------- accessors
@@ -202,14 +215,19 @@ class CacheNetworkSimulation:
         )
 
 
-def run_single_trial(config: SimulationConfig | dict[str, Any], seed: SeedLike = None) -> SimulationResult:
+def run_single_trial(
+    config: SimulationConfig | dict[str, Any],
+    seed: SeedLike = None,
+    assignment_engine: str | None = None,
+) -> SimulationResult:
     """Convenience function: build a simulation from ``config`` and run one trial.
 
     ``config`` may be a :class:`SimulationConfig` or a plain dictionary (as
     produced by :meth:`SimulationConfig.as_dict`), which makes this function
-    directly usable as a process-pool worker.
+    directly usable as a process-pool worker.  ``assignment_engine`` overrides
+    the strategy's execution engine (see :class:`CacheNetworkSimulation`).
     """
     if isinstance(config, dict):
         config = SimulationConfig.from_dict(config)
-    simulation = CacheNetworkSimulation.from_config(config)
+    simulation = CacheNetworkSimulation.from_config(config, assignment_engine)
     return simulation.run(seed)

@@ -44,6 +44,7 @@ def run_trials(
     seed: SeedLike = None,
     *,
     progress_callback: Callable[[int, SimulationResult], None] | None = None,
+    assignment_engine: str | None = None,
 ) -> MultiRunResult:
     """Run ``num_trials`` independent trials of ``config`` sequentially.
 
@@ -58,10 +59,14 @@ def run_trials(
     progress_callback:
         Optional callable invoked as ``callback(trial_index, result)`` after
         each trial, e.g. for logging long sweeps.
+    assignment_engine:
+        Optional execution-engine override (``"kernel"`` or ``"reference"``)
+        applied to the assignment strategy of every trial; results are
+        bit-identical between engines for the same seed.
     """
     if num_trials <= 0:
         raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
-    simulation = CacheNetworkSimulation.from_config(config)
+    simulation = CacheNetworkSimulation.from_config(config, assignment_engine)
     child_seeds = spawn_seeds(seed, num_trials)
     results: list[SimulationResult] = []
     for index, child in enumerate(child_seeds):

@@ -38,14 +38,14 @@ def default_worker_count() -> int:
 
 
 def _run_trial_worker(
-    payload: tuple[dict[str, Any], Any, Sequence[int]]
+    payload: tuple[dict[str, Any], Any, Sequence[int], str | None]
 ) -> SimulationResult:
     """Process-pool worker: rebuild the config and run one seeded trial."""
-    config_dict, entropy, spawn_key = payload
+    config_dict, entropy, spawn_key, assignment_engine = payload
     import numpy as np
 
     seed = np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))
-    return run_single_trial(config_dict, seed)
+    return run_single_trial(config_dict, seed, assignment_engine)
 
 
 def run_trials_parallel(
@@ -55,6 +55,7 @@ def run_trials_parallel(
     *,
     max_workers: int | None = None,
     chunksize: int = 1,
+    assignment_engine: str | None = None,
 ) -> MultiRunResult:
     """Run ``num_trials`` independent trials of ``config`` across processes.
 
@@ -72,6 +73,10 @@ def run_trials_parallel(
     chunksize:
         Number of trials handed to a worker per task; increase for very short
         trials to reduce inter-process overhead.
+    assignment_engine:
+        Optional execution-engine override (``"kernel"`` or ``"reference"``)
+        applied in every worker, mirroring
+        :func:`repro.simulation.multirun.run_trials`.
     """
     if num_trials <= 0:
         raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
@@ -85,7 +90,10 @@ def run_trials_parallel(
     config_dict = config.as_dict()
     # Ship each child's (entropy, spawn_key) so workers rebuild the exact same
     # SeedSequence the sequential runner would use for that trial index.
-    payloads = [(config_dict, child.entropy, tuple(child.spawn_key)) for child in child_seeds]
+    payloads = [
+        (config_dict, child.entropy, tuple(child.spawn_key), assignment_engine)
+        for child in child_seeds
+    ]
 
     if workers == 1 or num_trials == 1:
         results = [_run_trial_worker(p) for p in payloads]

@@ -15,6 +15,7 @@ the theorem's regime can report it.
 
 from __future__ import annotations
 
+import copy
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -28,7 +29,29 @@ from repro.topology.base import Topology
 from repro.types import FloatArray, IntArray
 from repro.workload.request import RequestBatch
 
-__all__ = ["FallbackPolicy", "AssignmentResult", "AssignmentStrategy"]
+__all__ = [
+    "FallbackPolicy",
+    "AssignmentResult",
+    "AssignmentStrategy",
+    "ENGINES",
+    "validate_engine",
+]
+
+#: Execution engines a strategy can run on.  ``"kernel"`` (the default) is the
+#: batched precompute/commit implementation in :mod:`repro.kernels`;
+#: ``"reference"`` is the scalar per-request loop kept for differential
+#: testing.  Both follow the same RNG-stream contract and produce bit-identical
+#: results for the same seed (see ``repro/kernels/__init__.py``).
+ENGINES = ("kernel", "reference")
+
+
+def validate_engine(engine: str) -> str:
+    """Check that ``engine`` names a known execution engine."""
+    if engine not in ENGINES:
+        raise StrategyError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 class FallbackPolicy(str, enum.Enum):
@@ -166,6 +189,25 @@ class AssignmentStrategy(ABC):
 
     #: Short machine-readable name (set by subclasses).
     name: str = "abstract"
+
+    #: Execution engine; subclasses overwrite this in ``__init__``.
+    _engine: str = "kernel"
+
+    @property
+    def engine(self) -> str:
+        """Execution engine: ``"kernel"`` (batched) or ``"reference"`` (scalar)."""
+        return self._engine
+
+    def with_engine(self, engine: str) -> "AssignmentStrategy":
+        """Return a copy of this strategy running on ``engine``.
+
+        The engine only selects the implementation; results are bit-identical
+        between engines for the same seed, so swapping it never changes the
+        simulated distribution.
+        """
+        clone = copy.copy(self)
+        clone._engine = validate_engine(engine)
+        return clone
 
     @abstractmethod
     def assign(

@@ -14,7 +14,12 @@ from repro.strategies.nearest_replica import NearestReplicaStrategy
 from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
 from repro.strategies.random_replica import RandomReplicaStrategy
 
-__all__ = ["create_strategy", "available_strategies", "register_strategy"]
+__all__ = [
+    "create_strategy",
+    "available_strategies",
+    "register_strategy",
+    "resolve_strategy_name",
+]
 
 _REGISTRY: dict[str, Callable[..., AssignmentStrategy]] = {
     "nearest_replica": NearestReplicaStrategy,
@@ -45,6 +50,16 @@ def register_strategy(name: str, constructor: Callable[..., AssignmentStrategy])
     _REGISTRY[name.lower()] = constructor
 
 
+def resolve_strategy_name(name: str) -> str:
+    """Canonical registered name for ``name`` (resolving case and aliases).
+
+    Unknown names are returned lowercased so callers can fall through to the
+    factory's own error handling.
+    """
+    key = str(name).lower()
+    return _ALIASES.get(key, key)
+
+
 def create_strategy(name: str, **kwargs: Any) -> AssignmentStrategy:
     """Create an assignment strategy from its registered name or alias.
 
@@ -52,8 +67,7 @@ def create_strategy(name: str, **kwargs: Any) -> AssignmentStrategy:
     translated to ``numpy.inf`` so JSON round-trips of strategy descriptions
     work (JSON has no infinity literal).
     """
-    key = str(name).lower()
-    key = _ALIASES.get(key, key)
+    key = resolve_strategy_name(name)
     try:
         constructor = _REGISTRY[key]
     except KeyError as exc:

@@ -20,16 +20,26 @@ sampled load, pick the closest one (ties broken uniformly at random).
 
 The ablation benchmarks use this strategy to show how much communication cost
 the threshold knob recovers while staying near the two-choice load level.
+
+Candidate resolution and sampling run in the batched kernel precompute (see
+:mod:`repro.kernels`); the threshold comparison is the sequential commit loop.
+The scalar loop survives as ``engine="reference"``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NoReplicaError, StrategyError
+from repro.exceptions import StrategyError
+from repro.kernels import threshold_hybrid_kernel, threshold_hybrid_reference
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, as_generator
-from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.rng import SeedLike
+from repro.strategies.base import (
+    AssignmentResult,
+    AssignmentStrategy,
+    FallbackPolicy,
+    validate_engine,
+)
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
 
@@ -51,6 +61,8 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         candidate serves the request.
     fallback:
         Policy when ``B_r(u)`` holds no replica of the requested file.
+    engine:
+        ``"kernel"`` (default) or ``"reference"``; bit-identical results.
     """
 
     name = "threshold_hybrid"
@@ -61,6 +73,7 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         num_choices: int = 2,
         imbalance_threshold: float = 1.0,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+        engine: str = "kernel",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
@@ -74,6 +87,7 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         self._num_choices = int(num_choices)
         self._threshold = float(imbalance_threshold)
         self._fallback = FallbackPolicy(fallback)
+        self._engine = validate_engine(engine)
 
     # -------------------------------------------------------------- properties
     @property
@@ -105,80 +119,21 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        rng = as_generator(seed)
-        m = requests.num_requests
-        n = topology.n
-        servers = np.empty(m, dtype=np.int64)
-        distances = np.empty(m, dtype=np.int64)
-        fallback_mask = np.zeros(m, dtype=bool)
-        loads = np.zeros(n, dtype=np.int64)
-        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
-
-        replica_cache: dict[int, np.ndarray] = {}
-        for file_id in np.unique(requests.files):
-            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
-
-        for i in range(m):
-            origin = int(requests.origins[i])
-            file_id = int(requests.files[i])
-            replicas = replica_cache[file_id]
-            if replicas.size == 0:
-                raise NoReplicaError(file_id)
-
-            dists = topology.distances_from(origin, replicas)
-            if unconstrained:
-                candidates, candidate_dists = replicas, dists
-            else:
-                in_ball = dists <= self._radius
-                if np.any(in_ball):
-                    candidates, candidate_dists = replicas[in_ball], dists[in_ball]
-                elif self._fallback is FallbackPolicy.ERROR:
-                    raise StrategyError(
-                        f"no replica of file {file_id} within radius {self._radius} "
-                        f"of node {origin}"
-                    )
-                elif self._fallback is FallbackPolicy.NEAREST:
-                    nearest = int(np.argmin(dists))
-                    candidates = replicas[nearest : nearest + 1]
-                    candidate_dists = dists[nearest : nearest + 1]
-                    fallback_mask[i] = True
-                else:  # EXPAND
-                    radius = max(self._radius, 1.0)
-                    while True:
-                        radius *= 2.0
-                        in_ball = dists <= radius
-                        if np.any(in_ball):
-                            candidates = replicas[in_ball]
-                            candidate_dists = dists[in_ball]
-                            fallback_mask[i] = True
-                            break
-
-            if candidates.size > self._num_choices:
-                picked_idx = rng.choice(candidates.size, size=self._num_choices, replace=False)
-            else:
-                picked_idx = np.arange(candidates.size)
-            picked = candidates[picked_idx]
-            picked_dists = candidate_dists[picked_idx]
-            picked_loads = loads[picked]
-
-            eligible = picked_loads <= picked_loads.min() + self._threshold
-            eligible_idx = np.flatnonzero(eligible)
-            min_dist = picked_dists[eligible_idx].min()
-            closest = eligible_idx[picked_dists[eligible_idx] == min_dist]
-            pick = int(closest[rng.integers(0, closest.size)]) if closest.size > 1 else int(
-                closest[0]
-            )
-            chosen = int(picked[pick])
-            servers[i] = chosen
-            distances[i] = int(picked_dists[pick])
-            loads[chosen] += 1
-
-        return AssignmentResult(
-            servers=servers,
-            distances=distances,
-            num_nodes=n,
+        run = (
+            threshold_hybrid_kernel
+            if self._engine == "kernel"
+            else threshold_hybrid_reference
+        )
+        return run(
+            topology,
+            cache,
+            requests,
+            seed,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            threshold=self._threshold,
+            fallback=self._fallback,
             strategy_name=self.name,
-            fallback_mask=fallback_mask,
         )
 
     def as_dict(self) -> dict[str, object]:

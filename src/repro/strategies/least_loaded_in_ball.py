@@ -6,16 +6,26 @@ globally least loaded one (ties broken by smaller distance, then uniformly at
 random).  It upper-bounds the load-balancing performance achievable by any
 scheme restricted to the same proximity radius and cache contents, at the cost
 of full load information — a useful reference curve in the trade-off plots.
+
+Candidate sets and their distances come from the batched kernel precompute
+(see :mod:`repro.kernels`); only the load scan itself runs sequentially.  The
+scalar loop survives as ``engine="reference"``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NoReplicaError, StrategyError
+from repro.exceptions import StrategyError
+from repro.kernels import least_loaded_kernel, least_loaded_reference
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, as_generator
-from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.rng import SeedLike
+from repro.strategies.base import (
+    AssignmentResult,
+    AssignmentStrategy,
+    FallbackPolicy,
+    validate_engine,
+)
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
 
@@ -31,11 +41,13 @@ class LeastLoadedInBallStrategy(AssignmentStrategy):
         self,
         radius: float = np.inf,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+        engine: str = "kernel",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
         self._radius = float(radius)
         self._fallback = FallbackPolicy(fallback)
+        self._engine = validate_engine(engine)
 
     @property
     def radius(self) -> float:
@@ -55,67 +67,15 @@ class LeastLoadedInBallStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        rng = as_generator(seed)
-        m = requests.num_requests
-        n = topology.n
-        servers = np.empty(m, dtype=np.int64)
-        distances = np.empty(m, dtype=np.int64)
-        fallback_mask = np.zeros(m, dtype=bool)
-        loads = np.zeros(n, dtype=np.int64)
-        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
-
-        replica_cache: dict[int, np.ndarray] = {}
-        for file_id in np.unique(requests.files):
-            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
-
-        for i in range(m):
-            origin = int(requests.origins[i])
-            file_id = int(requests.files[i])
-            replicas = replica_cache[file_id]
-            if replicas.size == 0:
-                raise NoReplicaError(file_id)
-            dists = topology.distances_from(origin, replicas)
-            if unconstrained:
-                candidates, candidate_dists = replicas, dists
-            else:
-                in_ball = dists <= self._radius
-                if np.any(in_ball):
-                    candidates, candidate_dists = replicas[in_ball], dists[in_ball]
-                elif self._fallback is FallbackPolicy.ERROR:
-                    raise StrategyError(
-                        f"no replica of file {file_id} within radius {self._radius} "
-                        f"of node {origin}"
-                    )
-                else:
-                    nearest = int(np.argmin(dists))
-                    candidates = replicas[nearest : nearest + 1]
-                    candidate_dists = dists[nearest : nearest + 1]
-                    fallback_mask[i] = True
-
-            candidate_loads = loads[candidates]
-            min_load = candidate_loads.min()
-            minimal = np.flatnonzero(candidate_loads == min_load)
-            if minimal.size > 1:
-                # Prefer the closest among the least loaded, then break residual
-                # ties uniformly at random.
-                min_dist = candidate_dists[minimal].min()
-                closest = minimal[candidate_dists[minimal] == min_dist]
-                pick = int(closest[rng.integers(0, closest.size)]) if closest.size > 1 else int(
-                    closest[0]
-                )
-            else:
-                pick = int(minimal[0])
-            chosen = int(candidates[pick])
-            servers[i] = chosen
-            distances[i] = int(candidate_dists[pick])
-            loads[chosen] += 1
-
-        return AssignmentResult(
-            servers=servers,
-            distances=distances,
-            num_nodes=n,
+        run = least_loaded_kernel if self._engine == "kernel" else least_loaded_reference
+        return run(
+            topology,
+            cache,
+            requests,
+            seed,
+            radius=self._radius,
+            fallback=self._fallback,
             strategy_name=self.name,
-            fallback_mask=fallback_mask,
         )
 
     def as_dict(self) -> dict[str, object]:

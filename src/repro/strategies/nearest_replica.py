@@ -7,22 +7,26 @@ Voronoi cell of the tessellation ``V_j`` induced by the replica set of
 ``W_j``.
 
 Because the assignment of one request never depends on previously assigned
-requests, the whole batch can be processed with vectorised NumPy: requests are
-grouped by file, and for every file a single origins-by-replicas distance
-matrix is reduced with ``argmin``.  Random tie-breaking is implemented by
-adding sub-integer uniform noise to the integer distance matrix before the
-``argmin`` — the noise can never flip a strict inequality, only break exact
-ties uniformly.
+requests, the whole batch is one vectorised pass over the kernel group index
+(:mod:`repro.kernels`): per distinct ``(origin, file)`` group the minimum
+distance and its tied replicas are computed with segment reductions, then
+every request picks uniformly among its group's nearest replicas with a single
+pre-drawn uniform — zero Python-level loops.  The scalar per-request loop
+survives as ``engine="reference"`` and is bit-identical for the same seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NoReplicaError
+from repro.kernels import nearest_replica_kernel, nearest_replica_reference
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, as_generator
-from repro.strategies.base import AssignmentResult, AssignmentStrategy
+from repro.rng import SeedLike
+from repro.strategies.base import (
+    AssignmentResult,
+    AssignmentStrategy,
+    validate_engine,
+)
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
 
@@ -41,17 +45,26 @@ class NearestReplicaStrategy(AssignmentStrategy):
         a request raises :class:`~repro.exceptions.NoReplicaError`, matching
         the paper's assumption that every file has at least one replica.
     chunk_size:
-        Maximum number of rows of the per-file distance matrix materialised at
-        once; bounds peak memory to ``chunk_size x max_replication`` integers.
+        Maximum number of group rows of the per-file distance matrix
+        materialised at once; bounds peak memory to roughly
+        ``chunk_size x max_replication`` integers.
+    engine:
+        ``"kernel"`` (default) or ``"reference"``; bit-identical results.
     """
 
     name = "nearest_replica"
 
-    def __init__(self, allow_origin_fallback: bool = False, chunk_size: int = 4096) -> None:
+    def __init__(
+        self,
+        allow_origin_fallback: bool = False,
+        chunk_size: int = 4096,
+        engine: str = "kernel",
+    ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self._allow_origin_fallback = bool(allow_origin_fallback)
         self._chunk_size = int(chunk_size)
+        self._engine = validate_engine(engine)
 
     @property
     def allow_origin_fallback(self) -> bool:
@@ -66,55 +79,23 @@ class NearestReplicaStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        rng = as_generator(seed)
-        m = requests.num_requests
-        servers = np.empty(m, dtype=np.int64)
-        distances = np.empty(m, dtype=np.int64)
-        fallback = np.zeros(m, dtype=bool)
-
-        if m == 0:
-            return AssignmentResult(
-                servers=servers,
-                distances=distances,
-                num_nodes=topology.n,
+        if self._engine == "kernel":
+            return nearest_replica_kernel(
+                topology,
+                cache,
+                requests,
+                seed,
+                allow_origin_fallback=self._allow_origin_fallback,
+                chunk_size=self._chunk_size,
                 strategy_name=self.name,
-                fallback_mask=fallback,
             )
-
-        # Group request indices by requested file so that each file's replica
-        # set is fetched once and distances are computed in one matrix.
-        order = np.argsort(requests.files, kind="stable")
-        sorted_files = requests.files[order]
-        boundaries = np.flatnonzero(np.diff(sorted_files)) + 1
-        groups = np.split(order, boundaries)
-
-        for group in groups:
-            file_id = int(requests.files[group[0]])
-            replicas = cache.file_nodes(file_id)
-            if replicas.size == 0:
-                if not self._allow_origin_fallback:
-                    raise NoReplicaError(file_id)
-                servers[group] = requests.origins[group]
-                distances[group] = topology.diameter
-                fallback[group] = True
-                continue
-            origins = requests.origins[group]
-            for start in range(0, origins.size, self._chunk_size):
-                chunk = slice(start, start + self._chunk_size)
-                idx = group[chunk]
-                dmat = topology.pairwise_distances(origins[chunk], replicas).astype(np.float64)
-                # Sub-integer noise implements uniform random tie-breaking.
-                dmat += rng.random(dmat.shape) * 0.5
-                choice = np.argmin(dmat, axis=1)
-                servers[idx] = replicas[choice]
-                distances[idx] = np.floor(dmat[np.arange(choice.size), choice]).astype(np.int64)
-
-        return AssignmentResult(
-            servers=servers,
-            distances=distances,
-            num_nodes=topology.n,
+        return nearest_replica_reference(
+            topology,
+            cache,
+            requests,
+            seed,
+            allow_origin_fallback=self._allow_origin_fallback,
             strategy_name=self.name,
-            fallback_mask=fallback,
         )
 
     def as_dict(self) -> dict[str, object]:

@@ -8,10 +8,13 @@ For every request born at node ``u`` for file ``W_j``, the strategy
 3. assigns the request to the sampled replica with the smallest current load,
    breaking ties uniformly at random.
 
-Because each assignment depends on the loads created by earlier requests, the
-batch is processed sequentially; all per-request work (distance filtering,
-sampling, load comparison) is vectorised over the replica set of the requested
-file, so the loop body stays small.
+Only step 3 depends on the loads created by earlier requests, so execution is
+split between the batched precompute phase and a minimal sequential commit
+loop (see :mod:`repro.kernels`): candidate sets are resolved once per distinct
+``(origin, file)`` group and all sample draws happen up front, leaving a tight
+loop that only reads and updates the load vector.  The scalar per-request loop
+survives as ``engine="reference"`` and produces bit-identical results for the
+same seed under the kernel RNG-stream contract.
 
 The asymptotic regime of Theorem 4 guarantees ``Θ(M r² / K) = ω(log n)``
 in-ball replicas for every request, so the fallback machinery (see
@@ -23,10 +26,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NoReplicaError, StrategyError
+from repro.exceptions import StrategyError
+from repro.kernels import two_choice_kernel, two_choice_reference
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, as_generator
-from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.rng import SeedLike
+from repro.strategies.base import (
+    AssignmentResult,
+    AssignmentStrategy,
+    FallbackPolicy,
+    validate_engine,
+)
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
 
@@ -50,6 +59,10 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
     fallback:
         Policy applied when no replica lies inside ``B_r(u)``; see
         :class:`~repro.strategies.base.FallbackPolicy`.
+    engine:
+        ``"kernel"`` (default) runs the batched precompute/commit
+        implementation; ``"reference"`` runs the scalar per-request loop.
+        Both produce bit-identical results for the same seed.
     """
 
     name = "proximity_two_choice"
@@ -59,6 +72,7 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         radius: float = np.inf,
         num_choices: int = 2,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+        engine: str = "kernel",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
@@ -67,6 +81,7 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         self._radius = float(radius)
         self._num_choices = int(num_choices)
         self._fallback = FallbackPolicy(fallback)
+        self._engine = validate_engine(engine)
 
     # -------------------------------------------------------------- properties
     @property
@@ -93,112 +108,17 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        rng = as_generator(seed)
-        m = requests.num_requests
-        n = topology.n
-        servers = np.empty(m, dtype=np.int64)
-        distances = np.empty(m, dtype=np.int64)
-        fallback_mask = np.zeros(m, dtype=bool)
-        loads = np.zeros(n, dtype=np.int64)
-
-        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
-
-        # Pre-fetch replica arrays once per distinct requested file: repeated
-        # CacheState lookups inside the request loop would dominate otherwise.
-        replica_cache: dict[int, np.ndarray] = {}
-        for file_id in np.unique(requests.files):
-            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
-
-        origins = requests.origins
-        files = requests.files
-        for i in range(m):
-            origin = int(origins[i])
-            file_id = int(files[i])
-            replicas = replica_cache[file_id]
-            if replicas.size == 0:
-                raise NoReplicaError(file_id)
-
-            if unconstrained:
-                candidates = replicas
-                candidate_dists = None
-                used_fallback = False
-            else:
-                dists = topology.distances_from(origin, replicas)
-                in_ball = dists <= self._radius
-                if np.any(in_ball):
-                    candidates = replicas[in_ball]
-                    candidate_dists = dists[in_ball]
-                    used_fallback = False
-                else:
-                    candidates, candidate_dists, used_fallback = self._apply_fallback(
-                        origin, file_id, replicas, dists
-                    )
-
-            chosen, dist = self._pick(
-                topology, rng, loads, origin, candidates, candidate_dists
-            )
-            servers[i] = chosen
-            distances[i] = dist
-            fallback_mask[i] = used_fallback
-            loads[chosen] += 1
-
-        return AssignmentResult(
-            servers=servers,
-            distances=distances,
-            num_nodes=n,
+        run = two_choice_kernel if self._engine == "kernel" else two_choice_reference
+        return run(
+            topology,
+            cache,
+            requests,
+            seed,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            fallback=self._fallback,
             strategy_name=self.name,
-            fallback_mask=fallback_mask,
         )
-
-    # ----------------------------------------------------------------- helpers
-    def _apply_fallback(
-        self,
-        origin: int,
-        file_id: int,
-        replicas: np.ndarray,
-        dists: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, bool]:
-        """Resolve an empty candidate set according to the configured policy."""
-        if self._fallback is FallbackPolicy.ERROR:
-            raise StrategyError(
-                f"no replica of file {file_id} within radius {self._radius} of node {origin}"
-            )
-        if self._fallback is FallbackPolicy.NEAREST:
-            nearest = int(np.argmin(dists))
-            return replicas[nearest : nearest + 1], dists[nearest : nearest + 1], True
-        # EXPAND: double the radius until at least one replica is inside.
-        radius = max(self._radius, 1.0)
-        while True:
-            radius *= 2.0
-            in_ball = dists <= radius
-            if np.any(in_ball):
-                return replicas[in_ball], dists[in_ball], True
-
-    def _pick(
-        self,
-        topology: Topology,
-        rng: np.random.Generator,
-        loads: np.ndarray,
-        origin: int,
-        candidates: np.ndarray,
-        candidate_dists: np.ndarray | None,
-    ) -> tuple[int, int]:
-        """Sample ``d`` candidates and return the least loaded one with its distance."""
-        if candidates.size > self._num_choices:
-            sampled_idx = rng.choice(candidates.size, size=self._num_choices, replace=False)
-        else:
-            sampled_idx = np.arange(candidates.size)
-        sampled = candidates[sampled_idx]
-        sampled_loads = loads[sampled]
-        min_load = sampled_loads.min()
-        minimal = np.flatnonzero(sampled_loads == min_load)
-        winner_pos = minimal[rng.integers(0, minimal.size)] if minimal.size > 1 else minimal[0]
-        chosen = int(sampled[winner_pos])
-        if candidate_dists is not None:
-            dist = int(candidate_dists[sampled_idx[winner_pos]])
-        else:
-            dist = int(topology.distances_from(origin, np.asarray([chosen]))[0])
-        return chosen, dist
 
     def as_dict(self) -> dict[str, object]:
         return {

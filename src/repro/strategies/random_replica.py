@@ -6,16 +6,27 @@ to it without looking at any load information.  Classical balls-into-bins
 theory predicts a maximum load of ``Θ(log n / log log n)`` for this process
 (versus ``Θ(log log n)`` with two choices), and the benchmark harness uses the
 pair to visualise that gap in the cache-network setting.
+
+Being load-independent, the whole batch reduces to one vectorised pass over
+the kernel group index — candidate resolution per distinct ``(origin, file)``
+group, one uniform per request, one gather, zero Python loops.  The scalar
+loop survives as ``engine="reference"``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NoReplicaError, StrategyError
+from repro.exceptions import StrategyError
+from repro.kernels import random_replica_kernel, random_replica_reference
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, as_generator
-from repro.strategies.base import AssignmentResult, AssignmentStrategy, FallbackPolicy
+from repro.rng import SeedLike
+from repro.strategies.base import (
+    AssignmentResult,
+    AssignmentStrategy,
+    FallbackPolicy,
+    validate_engine,
+)
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
 
@@ -35,11 +46,13 @@ class RandomReplicaStrategy(AssignmentStrategy):
         self,
         radius: float = np.inf,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
+        engine: str = "kernel",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
         self._radius = float(radius)
         self._fallback = FallbackPolicy(fallback)
+        self._engine = validate_engine(engine)
 
     @property
     def radius(self) -> float:
@@ -59,65 +72,19 @@ class RandomReplicaStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        rng = as_generator(seed)
-        m = requests.num_requests
-        servers = np.empty(m, dtype=np.int64)
-        distances = np.empty(m, dtype=np.int64)
-        fallback_mask = np.zeros(m, dtype=bool)
-        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
-
-        replica_cache: dict[int, np.ndarray] = {}
-        for file_id in np.unique(requests.files):
-            replica_cache[int(file_id)] = cache.file_nodes(int(file_id))
-
-        for i in range(m):
-            origin = int(requests.origins[i])
-            file_id = int(requests.files[i])
-            replicas = replica_cache[file_id]
-            if replicas.size == 0:
-                raise NoReplicaError(file_id)
-            if unconstrained:
-                pick = int(rng.integers(0, replicas.size))
-                chosen = int(replicas[pick])
-                dist = int(topology.distances_from(origin, np.asarray([chosen]))[0])
-            else:
-                dists = topology.distances_from(origin, replicas)
-                in_ball = dists <= self._radius
-                if np.any(in_ball):
-                    candidates = replicas[in_ball]
-                    candidate_dists = dists[in_ball]
-                elif self._fallback is FallbackPolicy.ERROR:
-                    raise StrategyError(
-                        f"no replica of file {file_id} within radius {self._radius} "
-                        f"of node {origin}"
-                    )
-                elif self._fallback is FallbackPolicy.NEAREST:
-                    nearest = int(np.argmin(dists))
-                    candidates = replicas[nearest : nearest + 1]
-                    candidate_dists = dists[nearest : nearest + 1]
-                    fallback_mask[i] = True
-                else:  # EXPAND
-                    radius = max(self._radius, 1.0)
-                    while True:
-                        radius *= 2.0
-                        in_ball = dists <= radius
-                        if np.any(in_ball):
-                            candidates = replicas[in_ball]
-                            candidate_dists = dists[in_ball]
-                            fallback_mask[i] = True
-                            break
-                pick = int(rng.integers(0, candidates.size))
-                chosen = int(candidates[pick])
-                dist = int(candidate_dists[pick])
-            servers[i] = chosen
-            distances[i] = dist
-
-        return AssignmentResult(
-            servers=servers,
-            distances=distances,
-            num_nodes=topology.n,
+        run = (
+            random_replica_kernel
+            if self._engine == "kernel"
+            else random_replica_reference
+        )
+        return run(
+            topology,
+            cache,
+            requests,
+            seed,
+            radius=self._radius,
+            fallback=self._fallback,
             strategy_name=self.name,
-            fallback_mask=fallback_mask,
         )
 
     def as_dict(self) -> dict[str, object]:

@@ -41,6 +41,12 @@ class CompleteTopology(Topology):
         nodes_b = self.validate_nodes(nodes_b).reshape(1, -1)
         return (nodes_a != nodes_b).astype(np.int64)
 
+    def distances_between(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        nodes_a = self.validate_nodes(nodes_a)
+        nodes_b = self.validate_nodes(nodes_b)
+        self._check_equal_shapes(nodes_a, nodes_b)
+        return (nodes_a != nodes_b).astype(np.int64)
+
     def ball(self, node: int, radius: float) -> IntArray:
         self.validate_nodes(node)
         if radius < 0:

@@ -88,6 +88,12 @@ class Grid2D(Topology):
         nodes_b = self.validate_nodes(nodes_b)
         return grid_l1_matrix(self._x[nodes_a], self._y[nodes_a], self._x[nodes_b], self._y[nodes_b])
 
+    def distances_between(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        nodes_a = self.validate_nodes(nodes_a)
+        nodes_b = self.validate_nodes(nodes_b)
+        self._check_equal_shapes(nodes_a, nodes_b)
+        return grid_l1(self._x[nodes_a], self._y[nodes_a], self._x[nodes_b], self._y[nodes_b])
+
     def neighbors(self, node: int) -> IntArray:
         self.validate_nodes(node)
         x, y = int(self._x[node]), int(self._y[node])

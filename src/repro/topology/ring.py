@@ -43,6 +43,12 @@ class Ring(Topology):
         nodes_b = self.validate_nodes(nodes_b).reshape(1, -1)
         return ring_distance(nodes_a, nodes_b, self._n)
 
+    def distances_between(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        nodes_a = self.validate_nodes(nodes_a)
+        nodes_b = self.validate_nodes(nodes_b)
+        self._check_equal_shapes(nodes_a, nodes_b)
+        return ring_distance(nodes_a, nodes_b, self._n)
+
     def ball(self, node: int, radius: float) -> IntArray:
         self.validate_nodes(node)
         if radius < 0:

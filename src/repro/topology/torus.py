@@ -97,6 +97,14 @@ class Torus2D(Topology):
             self._x[nodes_a], self._y[nodes_a], self._x[nodes_b], self._y[nodes_b], self._side
         )
 
+    def distances_between(self, nodes_a: IntArray, nodes_b: IntArray) -> IntArray:
+        nodes_a = self.validate_nodes(nodes_a)
+        nodes_b = self.validate_nodes(nodes_b)
+        self._check_equal_shapes(nodes_a, nodes_b)
+        return torus_l1(
+            self._x[nodes_a], self._y[nodes_a], self._x[nodes_b], self._y[nodes_b], self._side
+        )
+
     # ------------------------------------------------------------------ balls
     def ball(self, node: int, radius: float) -> IntArray:
         """L1 ball around ``node``; overridden for speed on large tori.

@@ -1,0 +1,194 @@
+"""Unit tests of the kernel precompute building blocks.
+
+Covers the CSR request-group index (candidate sets, fallback resolution,
+shared vs materialised mode), the batched sampling pass, and the new batched
+topology APIs (``balls``, ``distances_from_many``, ``distances_between`` and
+the LRU distance-row cache).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import NoReplicaError, TopologyError
+from repro.kernels import build_group_index, draw_sample_positions, segmented_arange
+from repro.placement.cache import CacheState
+from repro.placement.proportional import ProportionalPlacement
+from repro.strategies.base import FallbackPolicy
+from repro.topology.complete import CompleteTopology
+from repro.topology.grid import Grid2D
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+from repro.workload.request import RequestBatch
+
+
+def _system(topology, num_files=15, cache_size=3, num_requests=120):
+    library = FileLibrary(num_files)
+    cache = ProportionalPlacement(cache_size).place(topology, library, seed=2)
+    requests = UniformOriginWorkload(num_requests).generate(topology, library, seed=3)
+    return cache, requests
+
+
+class TestSegmentedArange:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            segmented_arange(np.asarray([2, 0, 3])), [0, 1, 0, 1, 2]
+        )
+
+    def test_empty(self):
+        assert segmented_arange(np.asarray([], dtype=np.int64)).size == 0
+
+
+class TestGroupIndex:
+    @pytest.mark.parametrize(
+        "topology", [Torus2D(49), Grid2D(49), Ring(40), CompleteTopology(30)],
+        ids=lambda t: t.name,
+    )
+    def test_candidates_match_scalar_queries(self, topology):
+        cache, requests = _system(topology)
+        radius = 2
+        index = build_group_index(
+            topology, cache, requests, radius=radius, fallback=FallbackPolicy.NEAREST
+        )
+        assert index.request_group.size == requests.num_requests
+        for g in range(index.num_groups):
+            origin = int(index.origins[g])
+            file_id = int(index.files[g])
+            replicas = cache.file_nodes(file_id)
+            dists = topology.distances_from(origin, replicas)
+            in_ball = dists <= radius
+            start, count = int(index.starts[g]), int(index.counts[g])
+            got_nodes = index.nodes[start : start + count]
+            got_dists = index.dists[start : start + count]
+            if np.any(in_ball):
+                assert not index.fallback[g]
+                np.testing.assert_array_equal(got_nodes, replicas[in_ball])
+                np.testing.assert_array_equal(got_dists, dists[in_ball])
+            else:
+                assert index.fallback[g]
+                nearest = int(np.argmin(dists))
+                np.testing.assert_array_equal(got_nodes, replicas[nearest : nearest + 1])
+
+    def test_shared_mode_aliases_cache_index(self):
+        torus = Torus2D(49)
+        cache, requests = _system(torus)
+        index = build_group_index(torus, cache, requests, radius=np.inf, need_dists=False)
+        indptr, nodes = cache.file_index()
+        assert index.nodes is nodes
+        assert index.dists is None
+        for g in range(index.num_groups):
+            file_id = int(index.files[g])
+            assert index.starts[g] == indptr[file_id]
+            assert index.counts[g] == indptr[file_id + 1] - indptr[file_id]
+
+    def test_request_group_maps_back(self):
+        torus = Torus2D(49)
+        cache, requests = _system(torus)
+        index = build_group_index(torus, cache, requests, radius=np.inf, need_dists=False)
+        np.testing.assert_array_equal(
+            index.origins[index.request_group], requests.origins
+        )
+        np.testing.assert_array_equal(index.files[index.request_group], requests.files)
+
+    def test_missing_file_raises(self):
+        torus = Torus2D(25)
+        slots = np.zeros((25, 1), dtype=np.int64)
+        cache = CacheState(slots, num_files=2)
+        requests = RequestBatch(
+            origins=np.asarray([1, 2], dtype=np.int64),
+            files=np.asarray([1, 0], dtype=np.int64),
+            num_nodes=25,
+            num_files=2,
+        )
+        for need_dists in (True, False):
+            with pytest.raises(NoReplicaError):
+                build_group_index(
+                    torus, cache, requests, radius=np.inf, need_dists=need_dists
+                )
+
+
+class TestSampling:
+    def test_small_sets_take_all_in_order(self):
+        rng = np.random.default_rng(0)
+        counts = np.asarray([1, 2, 2], dtype=np.int64)
+        positions, sample_counts, indptr = draw_sample_positions(counts, 2, rng)
+        np.testing.assert_array_equal(sample_counts, counts)
+        np.testing.assert_array_equal(positions, [0, 0, 1, 0, 1])
+        # No candidate set exceeds d, so no sampling randomness was consumed.
+        np.testing.assert_array_equal(rng.random(1), np.random.default_rng(0).random(1))
+
+    def test_positions_valid_and_distinct(self):
+        rng = np.random.default_rng(1)
+        counts = np.asarray([5, 3, 17, 100, 2], dtype=np.int64)
+        positions, sample_counts, indptr = draw_sample_positions(counts, 2, rng)
+        for i, c in enumerate(counts):
+            chunk = positions[indptr[i] : indptr[i + 1]]
+            assert chunk.size == min(int(c), 2)
+            assert len(set(chunk.tolist())) == chunk.size
+            assert np.all((chunk >= 0) & (chunk < c))
+
+    def test_uniform_subset_distribution(self):
+        # Sampling d=2 of c=4 must hit each unordered pair ~uniformly.
+        rng = np.random.default_rng(2)
+        counts = np.full(6000, 4, dtype=np.int64)
+        positions, _, indptr = draw_sample_positions(counts, 2, rng)
+        pairs = positions.reshape(-1, 2)
+        keys = np.sort(pairs, axis=1)
+        _, freq = np.unique(keys[:, 0] * 4 + keys[:, 1], return_counts=True)
+        assert freq.size == 6  # all C(4, 2) pairs occur
+        assert freq.min() > 6000 / 6 * 0.8
+
+
+class TestBatchedTopologyAPI:
+    @pytest.mark.parametrize(
+        "topology", [Torus2D(49), Grid2D(49), Ring(40), CompleteTopology(30)],
+        ids=lambda t: t.name,
+    )
+    def test_balls_match_scalar_ball(self, topology):
+        nodes = np.asarray([0, 3, topology.n - 1], dtype=np.int64)
+        indptr, members, dists = topology.balls(nodes, 2)
+        for i, node in enumerate(nodes):
+            got = members[indptr[i] : indptr[i + 1]]
+            np.testing.assert_array_equal(np.sort(got), topology.ball(int(node), 2))
+            expected = topology.distances_from(int(node), got)
+            np.testing.assert_array_equal(dists[indptr[i] : indptr[i + 1]], expected)
+
+    @pytest.mark.parametrize(
+        "topology", [Torus2D(49), Grid2D(49), Ring(40), CompleteTopology(30)],
+        ids=lambda t: t.name,
+    )
+    def test_distances_between_elementwise(self, topology):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, topology.n, size=200)
+        b = rng.integers(0, topology.n, size=200)
+        got = topology.distances_between(a, b)
+        expected = [topology.distance(int(u), int(v)) for u, v in zip(a, b)]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_distances_between_shape_mismatch(self):
+        torus = Torus2D(25)
+        with pytest.raises(TopologyError):
+            # The generic implementation validates shapes; lattice overrides
+            # would broadcast, so check the base class directly.
+            Ring(10).distances_between(np.asarray([1, 2]), np.asarray([3]))
+
+    def test_distances_from_many_matches_rows(self):
+        torus = Torus2D(49)
+        nodes = np.asarray([5, 11], dtype=np.int64)
+        matrix = torus.distances_from_many(nodes)
+        for i, node in enumerate(nodes):
+            np.testing.assert_array_equal(matrix[i], torus.distances_from(int(node)))
+
+    def test_distance_row_cache_hits_and_evicts(self):
+        torus = Torus2D(49)
+        row = torus.distance_row(7)
+        assert torus.distance_row(7) is row  # cached
+        assert not row.flags.writeable
+        torus._row_cache_size = 2
+        torus.distance_row(8)
+        torus.distance_row(9)  # evicts node 7
+        assert 7 not in torus._row_cache
+        np.testing.assert_array_equal(torus.distance_row(7), row)
