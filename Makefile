@@ -2,18 +2,21 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
+# What the GitHub Actions workflow runs (.github/workflows/ci.yml).
+ci: test bench-smoke
+
 # Full benchmark suite with pytest-benchmark timing enabled.
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-# Fast smoke pass over the kernel micro-benches: exercises the batched
-# group-index / sampling / commit code paths (and the kernel-vs-reference
-# speedup gate) without benchmark calibration overhead.
+# Fast smoke pass over the kernel and session micro-benches: exercises the
+# batched group-index / sampling / commit code paths, the session artifact
+# reuse, and their speedup gates without benchmark calibration overhead.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/test_bench_kernels.py -m bench_smoke -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_bench_kernels.py benchmarks/test_bench_sessions.py -m bench_smoke -q -s --benchmark-disable

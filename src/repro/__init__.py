@@ -45,6 +45,13 @@ from repro.placement import (
     FullReplicationPlacement,
     create_placement,
 )
+from repro.session import (
+    ArtifactCache,
+    CacheNetworkSession,
+    SessionSnapshot,
+    WindowResult,
+    open_session,
+)
 from repro.simulation import (
     SimulationConfig,
     CacheNetworkSimulation,
@@ -94,6 +101,12 @@ __all__ = [
     "UniformDistinctPlacement",
     "FullReplicationPlacement",
     "create_placement",
+    # session
+    "ArtifactCache",
+    "CacheNetworkSession",
+    "SessionSnapshot",
+    "WindowResult",
+    "open_session",
     # simulation
     "SimulationConfig",
     "CacheNetworkSimulation",

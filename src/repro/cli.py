@@ -15,6 +15,13 @@ Three subcommands cover the common workflows without writing Python:
     Produce the theorem-check tables (TAB-T1, TAB-T3, TAB-T4, TAB-H, TAB-BB of
     DESIGN.md).
 
+``repro stream``
+    Open a persistent session (topology + placement + kernel group index
+    built once) and serve a continuous stream of request windows against it,
+    reporting cumulative load/cost metrics per window — the dynamic,
+    supermarket-style view of the same system ``repro simulate`` measures in
+    one shot.
+
 The CLI is also installed as the ``repro`` console script.
 """
 
@@ -36,6 +43,7 @@ from repro.experiments.tables import (
     theorem3_table,
     theorem4_table,
 )
+from repro.session import open_session
 from repro.simulation.config import SimulationConfig
 from repro.simulation.multirun import run_trials
 from repro.simulation.parallel import run_trials_parallel
@@ -98,6 +106,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument("--no-plot", action="store_true", help="omit the ASCII plots")
 
+    stream = subparsers.add_parser(
+        "stream", help="serve a windowed request stream over one persistent session"
+    )
+    stream.add_argument("--nodes", type=int, required=True, help="number of servers n")
+    stream.add_argument("--files", type=int, required=True, help="library size K")
+    stream.add_argument("--cache", type=int, required=True, help="cache slots per server M")
+    stream.add_argument(
+        "--strategy",
+        default="proximity_two_choice",
+        help="assignment strategy name or alias (default: proximity_two_choice)",
+    )
+    stream.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="proximity radius r for Strategy II (default: unconstrained)",
+    )
+    stream.add_argument("--choices", type=int, default=2, help="number of choices d")
+    stream.add_argument("--topology", default="torus", help="topology name (default: torus)")
+    stream.add_argument(
+        "--popularity", default="uniform", help="popularity family (uniform or zipf)"
+    )
+    stream.add_argument("--gamma", type=float, default=None, help="Zipf exponent")
+    stream.add_argument(
+        "--placement", default="proportional", help="placement name (default: proportional)"
+    )
+    stream.add_argument(
+        "--window", type=int, default=None, help="requests per window (default: n)"
+    )
+    stream.add_argument("--windows", type=int, default=10, help="number of windows")
+    stream.add_argument("--seed", type=int, default=0, help="random seed")
+
     tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
     tables.add_argument(
         "--tables",
@@ -113,29 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    strategy_params: dict[str, object] = {}
-    strategy = resolve_strategy_name(args.strategy)
-    if strategy != "nearest_replica":
-        strategy_params["radius"] = args.radius
-        # Only the d-choice strategies accept a number of choices.
-        if strategy in ("proximity_two_choice", "threshold_hybrid"):
-            strategy_params["num_choices"] = args.choices
-    popularity_params: dict[str, object] = {}
-    if args.popularity == "zipf":
-        if args.gamma is None:
-            print("error: --gamma is required with --popularity zipf", file=sys.stderr)
-            return 2
-        popularity_params = {"gamma": args.gamma}
-    config = SimulationConfig(
-        num_nodes=args.nodes,
-        num_files=args.files,
-        cache_size=args.cache,
-        topology=args.topology,
-        popularity=args.popularity,
-        popularity_params=popularity_params,
-        strategy=args.strategy,
-        strategy_params=strategy_params,
-    )
+    config = _build_point_config(args)
+    if config is None:
+        return 2
     runner = run_trials_parallel if args.parallel else run_trials
     result = runner(config, args.trials, seed=args.seed)
     prediction = predict(config)
@@ -158,6 +178,66 @@ def _command_simulate(args: argparse.Namespace) -> int:
     ]
     print(render_comparison_table(rows, title=config.describe()))
     print(f"\n{prediction.notes}")
+    return 0
+
+
+def _build_point_config(args: argparse.Namespace) -> SimulationConfig | None:
+    """Shared config assembly of the ``simulate`` and ``stream`` subcommands."""
+    strategy_params: dict[str, object] = {}
+    strategy = resolve_strategy_name(args.strategy)
+    if strategy != "nearest_replica":
+        strategy_params["radius"] = args.radius
+        # Only the d-choice strategies accept a number of choices.
+        if strategy in ("proximity_two_choice", "threshold_hybrid"):
+            strategy_params["num_choices"] = args.choices
+    popularity_params: dict[str, object] = {}
+    if args.popularity == "zipf":
+        if args.gamma is None:
+            print("error: --gamma is required with --popularity zipf", file=sys.stderr)
+            return None
+        popularity_params = {"gamma": args.gamma}
+    return SimulationConfig(
+        num_nodes=args.nodes,
+        num_files=args.files,
+        cache_size=args.cache,
+        topology=args.topology,
+        popularity=args.popularity,
+        popularity_params=popularity_params,
+        placement=getattr(args, "placement", "proportional"),
+        strategy=args.strategy,
+        strategy_params=strategy_params,
+        num_requests=getattr(args, "window", None),
+    )
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    if args.windows <= 0:
+        print("error: --windows must be positive", file=sys.stderr)
+        return 2
+    if args.window is not None and args.window <= 0:
+        print("error: --window must be positive", file=sys.stderr)
+        return 2
+    config = _build_point_config(args)
+    if config is None:
+        return 2
+    session = open_session(config, seed=args.seed)
+    print(f"streaming {args.windows} windows over: {config.describe()}")
+    header = f"{'window':>6} {'m':>8} {'served':>10} {'L':>6} {'C':>8} {'fallback':>9}"
+    print(header)
+    print("-" * len(header))
+    for window in session.serve_stream(session.workload_stream(num_windows=args.windows)):
+        print(
+            f"{window.window_index:>6} {window.num_requests:>8} "
+            f"{window.cumulative_requests:>10} {window.cumulative_max_load:>6} "
+            f"{window.communication_cost:>8.3f} {window.fallback_rate:>9.4f}"
+        )
+    snapshot = session.snapshot()
+    print(
+        f"\nfinal: served {snapshot.num_requests} requests in "
+        f"{snapshot.num_windows} windows; max load L={snapshot.max_load}, "
+        f"communication cost C={snapshot.communication_cost:.3f}, "
+        f"fallback rate {snapshot.fallback_rate:.4f}"
+    )
     return 0
 
 
@@ -213,6 +293,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "figures":
         return _command_figures(args)
     if args.command == "tables":

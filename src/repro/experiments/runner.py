@@ -10,6 +10,7 @@ import numpy as np
 from repro.exceptions import ExperimentError
 from repro.experiments.spec import ExperimentSpec
 from repro.rng import SeedLike, spawn_seeds
+from repro.session.artifacts import ArtifactCache
 from repro.simulation.multirun import run_trials
 from repro.simulation.parallel import run_trials_parallel
 from repro.simulation.results import MultiRunResult
@@ -210,6 +211,12 @@ def run_experiment(
     point_seeds = spawn_seeds(seed, spec.num_points)
     seed_iter = iter(point_seeds)
     series_results: list[SeriesResult] = []
+    # Sweep points frequently share (topology, placement) while varying the
+    # strategy or seed; one artifact cache across the whole experiment lets
+    # those points reuse placements and kernel group-index precompute.  The
+    # parallel path rebuilds per worker batch instead (caches don't cross
+    # process boundaries).
+    artifacts = ArtifactCache()
     with Timer() as timer:
         for series in spec.series:
             point_results: list[PointResult] = []
@@ -220,7 +227,9 @@ def run_experiment(
                         point.config, spec.trials, child, max_workers=max_workers
                     )
                 else:
-                    multirun = run_trials(point.config, spec.trials, child)
+                    multirun = run_trials(
+                        point.config, spec.trials, child, artifacts=artifacts
+                    )
                 result = _point_result(point.x, multirun, point.config)
                 point_results.append(result)
                 _LOGGER.debug(

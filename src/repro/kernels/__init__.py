@@ -48,6 +48,13 @@ AssignmentResult` arrays for any seed (enforced by
 When the engines disagree, the reference engine
 (:mod:`repro.kernels.reference`) is authoritative: it is the direct scalar
 transcription of the paper's process definitions.
+
+Because both streams are consumed strictly per request, the contract extends
+to *windowed* serving for free: carrying the same ``(rng_sample, rng_tie)``
+pair and a persistent load vector across successive request windows (the
+``streams`` / ``loads`` keyword arguments of every kernel entry point, used by
+:mod:`repro.session`) reproduces the one-shot run over the concatenated
+windows bit for bit.
 """
 
 from repro.kernels.commit import (
@@ -64,6 +71,7 @@ from repro.kernels.engine import (
 )
 from repro.kernels.group_index import (
     GroupIndex,
+    GroupStore,
     build_group_index,
     csr_scatter_destinations,
     group_requests,
@@ -81,6 +89,7 @@ from repro.kernels.sampling import draw_sample_positions, shifted_uniform_sample
 
 __all__ = [
     "GroupIndex",
+    "GroupStore",
     "build_group_index",
     "group_requests",
     "iter_file_segments",

@@ -37,17 +37,21 @@ def commit_least_loaded_of_sample(
     sample_counts: IntArray,
     sample_indptr: IntArray,
     tie_uniforms: np.ndarray,
+    initial_loads: IntArray | None = None,
 ) -> IntArray:
     """Strategy II commit: least loaded of each request's sampled candidates.
 
     Returns the flat index into ``sample_nodes`` of every request's winner.
+    ``initial_loads``, when given, seeds the load vector and receives the
+    updated values in place — the mechanism behind incremental (session)
+    serving, where the loads persist across request windows.
     """
     m = int(sample_counts.size)
     if m == 0:
         return np.empty(0, dtype=np.int64)
     nodes = sample_nodes.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes)
+    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
     out = [0] * m
 
     if sample_nodes.size == 2 * m and int(sample_counts.min()) == 2:
@@ -68,6 +72,8 @@ def commit_least_loaded_of_sample(
                 winner, pick = b, j + 1
             loads[winner] += 1
             out[i] = pick
+        if initial_loads is not None:
+            initial_loads[:] = loads
         return np.asarray(out, dtype=np.int64)
 
     indptr = sample_indptr.tolist()
@@ -96,6 +102,8 @@ def commit_least_loaded_of_sample(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
+    if initial_loads is not None:
+        initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)
 
 
@@ -106,11 +114,14 @@ def commit_least_loaded_scan(
     request_starts: IntArray,
     request_counts: IntArray,
     tie_uniforms: np.ndarray,
+    initial_loads: IntArray | None = None,
 ) -> IntArray:
     """Omniscient commit: scan every candidate, pick the least loaded.
 
     Ties on load prefer the smaller hop distance; residual ties resolve via
     the pre-drawn uniforms.  Returns flat indices into ``cand_nodes``.
+    ``initial_loads`` seeds (and receives back) the persistent load vector,
+    as in :func:`commit_least_loaded_of_sample`.
     """
     m = int(request_starts.size)
     if m == 0:
@@ -120,7 +131,7 @@ def commit_least_loaded_scan(
     starts = request_starts.tolist()
     counts = request_counts.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes)
+    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
     out = [0] * m
 
     for i in range(m):
@@ -156,6 +167,8 @@ def commit_least_loaded_scan(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
+    if initial_loads is not None:
+        initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)
 
 
@@ -166,13 +179,15 @@ def commit_threshold_hybrid(
     sample_indptr: IntArray,
     threshold: float,
     tie_uniforms: np.ndarray,
+    initial_loads: IntArray | None = None,
 ) -> IntArray:
     """Hybrid commit: closest sampled candidate within the load threshold.
 
     A candidate is eligible when its load is at most ``min sampled load +
     threshold``; the closest eligible candidate wins, residual distance ties
     resolve via the pre-drawn uniforms.  Returns flat indices into
-    ``sample_nodes``.
+    ``sample_nodes``.  ``initial_loads`` seeds (and receives back) the
+    persistent load vector, as in :func:`commit_least_loaded_of_sample`.
     """
     m = int(sample_indptr.size) - 1
     if m == 0:
@@ -181,7 +196,7 @@ def commit_threshold_hybrid(
     dists = sample_dists.tolist()
     indptr = sample_indptr.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes)
+    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
     out = [0] * m
 
     for i in range(m):
@@ -216,4 +231,6 @@ def commit_threshold_hybrid(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
+    if initial_loads is not None:
+        initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)

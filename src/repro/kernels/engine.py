@@ -17,6 +17,28 @@ Every entry point here follows the same shape:
 The scalar implementations of the same contract live in
 :mod:`repro.kernels.reference`; for any seed the two produce bit-identical
 :class:`~repro.strategies.base.AssignmentResult` arrays.
+
+Incremental (session) serving
+-----------------------------
+
+Every entry point also accepts three optional keyword arguments used by the
+session layer (:mod:`repro.session`) to serve a request *stream* window by
+window:
+
+* ``streams`` — a pre-spawned ``(rng_sample, rng_tie)`` pair used instead of
+  deriving fresh streams from ``seed``.  Because the contract consumes
+  randomness strictly per request, carrying the same generator pair across
+  windows makes the windowed run consume exactly the one-shot stream.
+* ``loads`` — a persistent int64 load vector (length ``n``) seeding the commit
+  loop and updated in place, so window ``w + 1`` observes the loads created by
+  windows ``0 .. w``.  Load-independent strategies also add their assignments
+  to it, keeping the session's cumulative metrics uniform.
+* ``store`` — a :class:`~repro.kernels.group_index.GroupStore` memoising
+  materialised candidate rows across windows (the group index depends only on
+  ``(topology, cache, radius, fallback)``, never on the loads).
+
+Serving any partition of a request batch through these hooks is bit-identical
+to the one-shot call — the property enforced by ``tests/test_session_stream.py``.
 """
 
 from __future__ import annotations
@@ -30,6 +52,7 @@ from repro.kernels.commit import (
 )
 from repro.exceptions import NoReplicaError
 from repro.kernels.group_index import (
+    GroupStore,
     build_group_index,
     csr_scatter_destinations,
     group_requests,
@@ -83,6 +106,9 @@ def two_choice_kernel(
     num_choices: int,
     fallback: FallbackPolicy,
     strategy_name: str,
+    streams: tuple[np.random.Generator, np.random.Generator] | None = None,
+    loads: IntArray | None = None,
+    store: GroupStore | None = None,
 ) -> AssignmentResult:
     """Batched Strategy II (proximity-aware ``d``-choice assignment)."""
     m = requests.num_requests
@@ -97,15 +123,16 @@ def two_choice_kernel(
         radius=radius,
         fallback=fallback,
         need_dists=not unconstrained,
+        store=store,
     )
-    rng_sample, rng_tie = spawn_generators(seed, 2)
+    rng_sample, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     positions, sample_counts, sample_indptr = draw_sample_positions(
         index.request_counts(), num_choices, rng_sample
     )
     tie_uniforms = rng_tie.random(m)
     sample_nodes, sample_dists = _gather_sample(index, positions, sample_counts)
     winners = commit_least_loaded_of_sample(
-        n, sample_nodes, sample_counts, sample_indptr, tie_uniforms
+        n, sample_nodes, sample_counts, sample_indptr, tie_uniforms, loads
     )
     servers = sample_nodes[winners]
     if sample_dists is not None:
@@ -130,6 +157,9 @@ def least_loaded_kernel(
     radius: float,
     fallback: FallbackPolicy,
     strategy_name: str,
+    streams: tuple[np.random.Generator, np.random.Generator] | None = None,
+    loads: IntArray | None = None,
+    store: GroupStore | None = None,
 ) -> AssignmentResult:
     """Batched omniscient baseline: least loaded replica in the ball."""
     m = requests.num_requests
@@ -137,9 +167,15 @@ def least_loaded_kernel(
     if m == 0:
         return _empty_result(n, strategy_name)
     index = build_group_index(
-        topology, cache, requests, radius=radius, fallback=fallback, need_dists=True
+        topology,
+        cache,
+        requests,
+        radius=radius,
+        fallback=fallback,
+        need_dists=True,
+        store=store,
     )
-    _, rng_tie = spawn_generators(seed, 2)
+    _, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     tie_uniforms = rng_tie.random(m)
     winners = commit_least_loaded_scan(
         n,
@@ -148,6 +184,7 @@ def least_loaded_kernel(
         index.request_starts(),
         index.request_counts(),
         tie_uniforms,
+        loads,
     )
     return AssignmentResult(
         servers=index.nodes[winners],
@@ -169,6 +206,9 @@ def threshold_hybrid_kernel(
     threshold: float,
     fallback: FallbackPolicy,
     strategy_name: str,
+    streams: tuple[np.random.Generator, np.random.Generator] | None = None,
+    loads: IntArray | None = None,
+    store: GroupStore | None = None,
 ) -> AssignmentResult:
     """Batched threshold hybrid: closest sampled candidate within the slack."""
     m = requests.num_requests
@@ -178,16 +218,22 @@ def threshold_hybrid_kernel(
     # The hybrid rule compares candidate distances, so they are materialised
     # even without a radius constraint.
     index = build_group_index(
-        topology, cache, requests, radius=radius, fallback=fallback, need_dists=True
+        topology,
+        cache,
+        requests,
+        radius=radius,
+        fallback=fallback,
+        need_dists=True,
+        store=store,
     )
-    rng_sample, rng_tie = spawn_generators(seed, 2)
+    rng_sample, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     positions, sample_counts, sample_indptr = draw_sample_positions(
         index.request_counts(), num_choices, rng_sample
     )
     tie_uniforms = rng_tie.random(m)
     sample_nodes, sample_dists = _gather_sample(index, positions, sample_counts)
     winners = commit_threshold_hybrid(
-        n, sample_nodes, sample_dists, sample_indptr, threshold, tie_uniforms
+        n, sample_nodes, sample_dists, sample_indptr, threshold, tie_uniforms, loads
     )
     return AssignmentResult(
         servers=sample_nodes[winners],
@@ -207,6 +253,9 @@ def random_replica_kernel(
     radius: float,
     fallback: FallbackPolicy,
     strategy_name: str,
+    streams: tuple[np.random.Generator, np.random.Generator] | None = None,
+    loads: IntArray | None = None,
+    store: GroupStore | None = None,
 ) -> AssignmentResult:
     """One-choice baseline as a single vectorised pass (no Python loop)."""
     m = requests.num_requests
@@ -221,13 +270,16 @@ def random_replica_kernel(
         radius=radius,
         fallback=fallback,
         need_dists=not unconstrained,
+        store=store,
     )
-    _, rng_tie = spawn_generators(seed, 2)
+    _, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     uniforms = rng_tie.random(m)
     counts = index.request_counts()
     picks = (uniforms * counts).astype(np.int64)
     flat = index.request_starts() + picks
     servers = index.nodes[flat]
+    if loads is not None:
+        loads += np.bincount(servers, minlength=n)
     if index.dists is not None:
         distances = index.dists[flat]
     else:
@@ -250,6 +302,9 @@ def nearest_replica_kernel(
     allow_origin_fallback: bool,
     chunk_size: int,
     strategy_name: str,
+    streams: tuple[np.random.Generator, np.random.Generator] | None = None,
+    loads: IntArray | None = None,
+    store: GroupStore | None = None,
 ) -> AssignmentResult:
     """Strategy I as a single vectorised pass over grouped requests.
 
@@ -296,7 +351,7 @@ def nearest_replica_kernel(
     for gids, row_ties, flat_nodes in pieces:
         tie_nodes[csr_scatter_destinations(tie_indptr, gids, row_ties)] = flat_nodes
 
-    _, rng_tie = spawn_generators(seed, 2)
+    _, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     uniforms = rng_tie.random(m)
     servers = np.empty(m, dtype=np.int64)
     distances = np.empty(m, dtype=np.int64)
@@ -310,6 +365,8 @@ def nearest_replica_kernel(
     if np.any(fallback_mask):
         servers[fallback_mask] = requests.origins[fallback_mask]
         distances[fallback_mask] = topology.diameter
+    if loads is not None:
+        loads += np.bincount(servers, minlength=n)
     return AssignmentResult(
         servers=servers,
         distances=distances,

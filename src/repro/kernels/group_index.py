@@ -36,6 +36,7 @@ from repro.workload.request import RequestBatch
 
 __all__ = [
     "GroupIndex",
+    "GroupStore",
     "build_group_index",
     "group_requests",
     "iter_file_segments",
@@ -143,6 +144,54 @@ class GroupIndex:
         return self.starts[self.request_group]
 
 
+class GroupStore:
+    """Memo of materialised candidate rows, one ``(origin, file)`` group each.
+
+    A store is only valid for one combination of cache state, topology,
+    ``radius``, ``fallback`` and ``need_dists`` — callers (the session layer's
+    :class:`~repro.session.artifacts.ArtifactCache`) key stores accordingly and
+    hand the right one to :func:`build_group_index`, which then materialises
+    only the groups it has never seen.  Across the windows of a request stream
+    (or the trials of a multi-run) recurring ``(origin, file)`` pairs skip
+    their distance computation entirely.
+
+    Entries are capped at ``max_groups``; once full, new rows are still
+    computed but no longer retained.
+    """
+
+    __slots__ = ("_rows", "_max_groups", "hits", "misses")
+
+    def __init__(self, max_groups: int = 1 << 20) -> None:
+        if max_groups <= 0:
+            raise ValueError(f"max_groups must be positive, got {max_groups}")
+        self._rows: dict[int, tuple[IntArray, IntArray | None, bool]] = {}
+        self._max_groups = int(max_groups)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def max_groups(self) -> int:
+        """Maximum number of retained group rows."""
+        return self._max_groups
+
+    def get(self, key: int) -> tuple[IntArray, IntArray | None, bool] | None:
+        """The ``(nodes, dists, fallback)`` row of packed group ``key``, if seen."""
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return row
+
+    def put(self, key: int, nodes: IntArray, dists: IntArray | None, fallback: bool) -> None:
+        """Retain a materialised group row (no-op once the store is full)."""
+        if len(self._rows) < self._max_groups:
+            self._rows[key] = (nodes, dists, fallback)
+
+
 def _resolve_fallback_row(
     policy: FallbackPolicy,
     radius: float,
@@ -168,6 +217,61 @@ def _resolve_fallback_row(
             return replicas[in_ball], dist_row[in_ball]
 
 
+def _materialise_group_rows(
+    topology: Topology,
+    cache: CacheState,
+    g_origins: IntArray,
+    g_files: IntArray,
+    gids: IntArray,
+    *,
+    radius: float,
+    fallback: FallbackPolicy,
+    unconstrained: bool,
+    chunk_size: int,
+) -> dict[int, tuple[IntArray, IntArray, bool]]:
+    """Per-group ``(nodes, dists, fallback)`` rows for the groups in ``gids``.
+
+    Used by the store-backed build to fill in groups the store has not seen.
+    Per chunk, one vectorised ``np.nonzero`` pass splits into per-group views
+    (each chunk's flat arrays back exactly the rows cut from them, so the
+    views waste no memory); only fallback rows (rare) take a scalar path.
+    """
+    rows: dict[int, tuple[IntArray, IntArray, bool]] = {}
+    for segment in iter_file_segments(g_files[gids]):
+        seg_gids = gids[segment]
+        file_id = int(g_files[seg_gids[0]])
+        replicas = cache.file_nodes(file_id)
+        if replicas.size == 0:
+            raise NoReplicaError(file_id)
+        for start in range(0, seg_gids.size, chunk_size):
+            chunk = seg_gids[start : start + chunk_size]
+            matrix = topology.pairwise_distances(g_origins[chunk], replicas)
+            if unconstrained:
+                mask = np.ones(matrix.shape, dtype=bool)
+            else:
+                mask = matrix <= radius
+            row_counts = mask.sum(axis=1)
+            row_idx, cols = np.nonzero(mask)  # row-major: chunk order
+            flat_nodes = replicas[cols]
+            flat_dists = matrix[row_idx, cols].astype(np.int64)
+            bounds = np.cumsum(row_counts)[:-1]
+            node_parts = np.split(flat_nodes, bounds)
+            dist_parts = np.split(flat_dists, bounds)
+            for row, gid in enumerate(chunk):
+                if row_counts[row]:
+                    rows[int(gid)] = (node_parts[row], dist_parts[row], False)
+                else:
+                    cand, cand_d = _resolve_fallback_row(
+                        fallback, radius, int(g_origins[gid]), file_id, replicas, matrix[row]
+                    )
+                    rows[int(gid)] = (
+                        cand.astype(np.int64),
+                        cand_d.astype(np.int64),
+                        True,
+                    )
+    return rows
+
+
 def build_group_index(
     topology: Topology,
     cache: CacheState,
@@ -177,6 +281,7 @@ def build_group_index(
     fallback: FallbackPolicy = FallbackPolicy.NEAREST,
     need_dists: bool = True,
     chunk_size: int = 4096,
+    store: GroupStore | None = None,
 ) -> GroupIndex:
     """Build the CSR candidate index for ``requests`` in batched passes.
 
@@ -193,6 +298,13 @@ def build_group_index(
         instead of materialising per-group candidate arrays.
     chunk_size:
         Maximum number of group rows per batched distance matrix.
+    store:
+        Optional :class:`GroupStore` memoising materialised candidate rows
+        across calls.  The caller is responsible for handing over a store that
+        was only ever used with this exact ``(topology, cache, radius,
+        fallback)`` combination; groups already present in the store skip their
+        distance computation.  Ignored in shared (aliasing) mode, which does no
+        per-group work to begin with.
 
     Raises
     ------
@@ -223,6 +335,61 @@ def build_group_index(
             fallback=fallback_flags,
             request_group=request_group,
         )
+
+    keys: IntArray | None = None
+    if store is not None:
+        keys = g_origins * np.int64(requests.num_files) + g_files
+        rows: list[tuple[IntArray, IntArray, bool] | None] = [
+            store.get(int(key)) for key in keys
+        ]
+        if all(row is None for row in rows):
+            # Fully cold store (first window of a stream, or a placement whose
+            # fingerprint will never repeat): fall through to the vectorised
+            # scatter build below — exactly the no-store cost — and populate
+            # the store from the finished CSR (per-group views share the CSR
+            # arrays, which the stored rows cover in full, so no copies).
+            pass
+        else:
+            missing = np.asarray(
+                [gid for gid, row in enumerate(rows) if row is None], dtype=np.int64
+            )
+            if missing.size:
+                fresh = _materialise_group_rows(
+                    topology,
+                    cache,
+                    g_origins,
+                    g_files,
+                    missing,
+                    radius=radius,
+                    fallback=fallback,
+                    unconstrained=unconstrained,
+                    chunk_size=chunk_size,
+                )
+                for gid, row in fresh.items():
+                    store.put(int(keys[gid]), *row)
+                    rows[gid] = row
+            counts = np.fromiter(
+                (row[0].size for row in rows), dtype=np.int64, count=num_groups
+            )
+            for gid, row in enumerate(rows):
+                fallback_flags[gid] = row[2]
+            indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+            if num_groups:
+                nodes = np.concatenate([row[0] for row in rows])
+                dists = np.concatenate([row[1] for row in rows])
+            else:
+                nodes = np.empty(0, dtype=np.int64)
+                dists = np.empty(0, dtype=np.int64)
+            return GroupIndex(
+                origins=g_origins,
+                files=g_files,
+                starts=indptr[:-1],
+                counts=counts,
+                nodes=nodes,
+                dists=dists,
+                fallback=fallback_flags,
+                request_group=request_group,
+            )
 
     counts = np.zeros(num_groups, dtype=np.int64)
     # Pieces of the eventual flat arrays: (group ids, per-group candidate
@@ -279,6 +446,16 @@ def build_group_index(
         dest = csr_scatter_destinations(indptr, gids, row_counts)
         nodes[dest] = flat_nodes
         dists[dest] = flat_dists
+
+    if store is not None and keys is not None:
+        for gid in range(num_groups):
+            start, stop = int(indptr[gid]), int(indptr[gid + 1])
+            store.put(
+                int(keys[gid]),
+                nodes[start:stop],
+                dists[start:stop],
+                bool(fallback_flags[gid]),
+            )
 
     return GroupIndex(
         origins=g_origins,

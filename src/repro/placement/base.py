@@ -25,6 +25,12 @@ class PlacementStrategy(ABC):
     #: Short machine-readable name (set by subclasses).
     name: str = "abstract"
 
+    #: Whether :meth:`place` ignores its seed (the placement is a pure function
+    #: of ``(topology, library)``).  Deterministic placements can be memoised
+    #: across differently-seeded trials by the session layer's
+    #: :class:`~repro.session.artifacts.ArtifactCache`.
+    deterministic: bool = False
+
     def __init__(self, cache_size: int) -> None:
         if cache_size <= 0:
             raise PlacementError(f"cache_size must be positive, got {cache_size}")

@@ -14,6 +14,8 @@ the two directions of the index are both precomputed:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.exceptions import PlacementError
@@ -52,6 +54,7 @@ class CacheState:
         self._slots.setflags(write=False)
         self._num_files = int(num_files)
         self._n, self._cache_size = slots.shape
+        self._fingerprint: str | None = None
         self._build_file_index()
 
     # ------------------------------------------------------------------ index
@@ -108,6 +111,23 @@ class CacheState:
         self._check_file(file_id)
         start, stop = self._file_index_ptr[int(file_id)], self._file_index_ptr[int(file_id) + 1]
         return self._file_index_nodes[start:stop]
+
+    def fingerprint(self) -> str:
+        """Stable content digest of this cache state (lazy, then cached).
+
+        Two states with identical ``(n, M, K)`` shape and slot contents share
+        a fingerprint; the session layer keys memoised group-index precompute
+        on it (plus the strategy's candidate parameters), so artifacts are
+        reused exactly when the placements are byte-identical.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                f"{self._n},{self._cache_size},{self._num_files}:".encode()
+            )
+            digest.update(self._slots.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def file_index(self) -> tuple[IntArray, IntArray]:
         """The raw CSR file → caching-nodes index as ``(indptr, nodes)``.

@@ -27,6 +27,7 @@ class FullReplicationPlacement(PlacementStrategy):
     """
 
     name = "full_replication"
+    deterministic = True
 
     def __init__(self, cache_size: int | None = None) -> None:
         # Defer the K == M check to place(); use a placeholder for the base class.

@@ -33,6 +33,7 @@ class PartitionPlacement(PlacementStrategy):
     """
 
     name = "partition"
+    deterministic = True
 
     def place(
         self, topology: Topology, library: FileLibrary, seed: SeedLike = None

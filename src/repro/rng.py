@@ -20,6 +20,7 @@ __all__ = [
     "spawn_generators",
     "spawn_seeds",
     "derive_generator",
+    "seed_provenance",
 ]
 
 #: Anything accepted as a seed by the helpers in this module.
@@ -71,6 +72,34 @@ def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``."""
     return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
+
+
+def seed_provenance(seed: SeedLike) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """``(entropy, spawn_key)`` provenance of ``seed``, for result records.
+
+    Every :data:`SeedLike` form maps to the two integer tuples sufficient to
+    reconstruct the randomness it denotes via
+    ``SeedSequence(entropy, spawn_key=spawn_key)``: an integer to
+    ``((seed,), ())``, a sequence of integers to ``(tuple(seed), ())``, a
+    :class:`~numpy.random.SeedSequence` (or a generator backed by one) to its
+    entropy and spawn key, and ``None`` (fresh OS entropy) to ``((), ())``.
+    Keeping the two components separate matters: ``SeedSequence((5, 6))`` and
+    ``SeedSequence(5, spawn_key=(6,))`` are different streams.
+    """
+    if seed is None:
+        return (), ()
+    if isinstance(seed, np.random.Generator):
+        seed = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(seed, np.random.SeedSequence):  # pragma: no cover - defensive
+            return (), ()
+    if isinstance(seed, np.random.SeedSequence):
+        entropy: tuple[int, ...] = ()
+        if seed.entropy is not None:
+            entropy = tuple(int(e) for e in np.atleast_1d(seed.entropy))
+        return entropy, tuple(int(k) for k in seed.spawn_key)
+    if isinstance(seed, (int, np.integer)):
+        return (int(seed),), ()
+    return tuple(int(s) for s in seed), ()
 
 
 def derive_generator(seed: SeedLike, *keys: Iterable[int] | int) -> np.random.Generator:

@@ -1,0 +1,36 @@
+"""Persistent, streaming cache-network sessions.
+
+The session API factors one simulation point into *build once* (topology,
+placement, kernel group index) and *serve incrementally* (request windows
+against a persistent load vector and persistent RNG streams):
+
+* :func:`~repro.session.core.open_session` /
+  :class:`~repro.session.core.CacheNetworkSession` — the stateful surface:
+  ``serve(batch)``, ``serve_stream(windows)``, ``snapshot()``, ``reset()``.
+* :class:`~repro.session.artifacts.ArtifactCache` — LRU-bounded memo of
+  placements and group-index precompute, shared across trials, windows and
+  sweep points.
+
+The one-shot simulation engine
+(:class:`~repro.simulation.engine.CacheNetworkSimulation`) is a thin consumer
+of this API; the RNG contract keeps a streamed run bit-identical to the
+one-shot run over the concatenated windows (see :mod:`repro.session.core`).
+"""
+
+from repro.session.artifacts import ArtifactCache
+from repro.session.core import (
+    CacheNetworkSession,
+    SessionSnapshot,
+    WindowResult,
+    apply_uncached_policy,
+    open_session,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheNetworkSession",
+    "SessionSnapshot",
+    "WindowResult",
+    "apply_uncached_policy",
+    "open_session",
+]

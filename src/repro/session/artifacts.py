@@ -1,0 +1,172 @@
+"""Memoised build artifacts shared across trials, windows and sweep points.
+
+A cache-network simulation point is rebuilt surprisingly often: every trial of
+a multi-run re-places the caches, and every request window of a stream would
+naively re-derive the kernel group index.  Both artifacts are pure functions
+of inputs that frequently repeat:
+
+* a **placement** depends on ``(placement strategy, topology, library, seed)``
+  — and for deterministic placements (partition, full replication) not even on
+  the seed, so all trials of a multi-run share one
+  :class:`~repro.placement.cache.CacheState`;
+* the **group-index precompute** depends on ``(topology, cache state, radius,
+  fallback)`` — never on the evolving load vector — so its per-``(origin,
+  file)`` candidate rows can be memoised in a
+  :class:`~repro.kernels.group_index.GroupStore` keyed on the cache state's
+  content fingerprint plus the strategy's candidate parameters.
+
+The :class:`ArtifactCache` owns both memos with small LRU bounds: reuse is
+free when inputs repeat (deterministic placements, same-seed replays, sweep
+points sharing a placement) and memory stays bounded when they do not (random
+placements under fresh seeds churn through the LRU).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from repro.catalog.library import FileLibrary
+from repro.kernels.group_index import GroupStore
+from repro.placement.base import PlacementStrategy
+from repro.placement.cache import CacheState
+from repro.rng import as_generator
+from repro.topology.base import Topology
+
+__all__ = ["ArtifactCache"]
+
+
+def _topology_key(topology: Topology) -> tuple:
+    return (type(topology).__name__, topology.n)
+
+
+def _library_key(library: FileLibrary) -> tuple:
+    digest = hashlib.blake2b(
+        library.popularity_vector().tobytes(), digest_size=16
+    ).hexdigest()
+    return (library.num_files, digest)
+
+
+def _placement_key(placement: PlacementStrategy) -> tuple:
+    return tuple(sorted((k, v) for k, v in placement.as_dict().items()))
+
+
+def _seed_key(seed: np.random.SeedSequence) -> tuple:
+    entropy: tuple[int, ...] = ()
+    if seed.entropy is not None:
+        entropy = tuple(int(e) for e in np.atleast_1d(seed.entropy))
+    return (entropy, tuple(int(k) for k in seed.spawn_key))
+
+
+class ArtifactCache:
+    """LRU-bounded memo of placements and group-index precompute.
+
+    Parameters
+    ----------
+    max_placements:
+        Retained :class:`~repro.placement.cache.CacheState` objects.
+    max_stores:
+        Retained :class:`~repro.kernels.group_index.GroupStore` objects (one
+        per distinct ``(topology, cache fingerprint, candidate signature)``).
+    max_groups_per_store:
+        Entry cap of each group store (see :class:`GroupStore`).
+    """
+
+    def __init__(
+        self,
+        max_placements: int = 16,
+        max_stores: int = 8,
+        max_groups_per_store: int = 1 << 20,
+    ) -> None:
+        if max_placements <= 0:
+            raise ValueError(f"max_placements must be positive, got {max_placements}")
+        if max_stores <= 0:
+            raise ValueError(f"max_stores must be positive, got {max_stores}")
+        self._max_placements = int(max_placements)
+        self._max_stores = int(max_stores)
+        self._max_groups_per_store = int(max_groups_per_store)
+        self._placements: OrderedDict[Hashable, CacheState] = OrderedDict()
+        self._stores: OrderedDict[Hashable, GroupStore] = OrderedDict()
+        self.placement_hits = 0
+        self.placement_misses = 0
+
+    # -------------------------------------------------------------- placements
+    def placement(
+        self,
+        placement: PlacementStrategy,
+        topology: Topology,
+        library: FileLibrary,
+        seed: np.random.SeedSequence,
+    ) -> CacheState:
+        """The memoised result of ``placement.place(topology, library, seed)``.
+
+        Deterministic placements (``placement.deterministic``) are keyed
+        without the seed, so every trial of a multi-run — each with its own
+        child seed — shares one placed state.  Randomised placements include
+        the seed's ``(entropy, spawn_key)`` in the key and therefore only hit
+        on exact same-seed replays.
+        """
+        key: tuple = (
+            _placement_key(placement),
+            _topology_key(topology),
+            _library_key(library),
+        )
+        if not placement.deterministic:
+            key = key + (_seed_key(seed),)
+        cached = self._placements.get(key)
+        if cached is not None:
+            self._placements.move_to_end(key)
+            self.placement_hits += 1
+            return cached
+        self.placement_misses += 1
+        state = placement.place(topology, library, as_generator(seed))
+        self._placements[key] = state
+        while len(self._placements) > self._max_placements:
+            self._placements.popitem(last=False)
+        return state
+
+    # ------------------------------------------------------------ group stores
+    def group_store(
+        self, topology: Topology, cache: CacheState, signature: tuple
+    ) -> GroupStore:
+        """The shared :class:`GroupStore` for one candidate-set structure.
+
+        ``signature`` comes from
+        :meth:`~repro.strategies.base.AssignmentStrategy.store_signature` and
+        pins the parameters the candidate rows depend on (radius, fallback
+        policy, distance materialisation); the cache state contributes its
+        content fingerprint, the topology its identity.
+        """
+        key = (_topology_key(topology), cache.fingerprint(), signature)
+        store = self._stores.get(key)
+        if store is not None:
+            self._stores.move_to_end(key)
+            return store
+        store = GroupStore(self._max_groups_per_store)
+        self._stores[key] = store
+        while len(self._stores) > self._max_stores:
+            self._stores.popitem(last=False)
+        return store
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> dict[str, int]:
+        """Counters for diagnostics and tests."""
+        return {
+            "placements": len(self._placements),
+            "placement_hits": self.placement_hits,
+            "placement_misses": self.placement_misses,
+            "stores": len(self._stores),
+            "group_rows": sum(len(s) for s in self._stores.values()),
+            "group_hits": sum(s.hits for s in self._stores.values()),
+            "group_misses": sum(s.misses for s in self._stores.values()),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ArtifactCache(placements={stats['placements']}, "
+            f"stores={stats['stores']}, group_rows={stats['group_rows']})"
+        )

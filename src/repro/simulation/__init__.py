@@ -11,6 +11,10 @@
   parallel across processes (:mod:`~repro.simulation.parallel`).
 * :mod:`~repro.simulation.queueing` — the continuous-time supermarket-model
   extension discussed in the paper's final section.
+
+The engine, multirun and parallel layers are thin consumers of the session
+API (:mod:`repro.session`), which owns the persistent state: placements,
+group-index precompute and streaming request service.
 """
 
 from repro.simulation.config import SimulationConfig

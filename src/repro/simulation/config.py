@@ -176,14 +176,25 @@ class SimulationConfig:
         radius = self.strategy_params.get("radius")
         if radius is not None:
             strategy += f"(r={radius})"
+        requests = self.num_requests if self.num_requests is not None else "n"
         return (
             f"n={self.num_nodes} K={self.num_files} M={self.cache_size} "
-            f"{self.topology}/{self.popularity} {self.placement} {strategy}"
+            f"{self.topology}/{self.popularity} {self.placement} {strategy} "
+            f"{self.workload}[m={requests}]"
         )
 
     def __hash__(self) -> int:
-        def freeze(d: Mapping[str, Any]) -> tuple:
-            return tuple(sorted((k, v) for k, v in d.items()))
+        def freeze(value: Any) -> Any:
+            # Parameter dictionaries may carry nested containers (e.g. a list
+            # of hotspot centres or a nested options dict); recurse so every
+            # value becomes hashable instead of raising TypeError.
+            if isinstance(value, Mapping):
+                return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+            if isinstance(value, (list, tuple)):
+                return tuple(freeze(v) for v in value)
+            if isinstance(value, (set, frozenset)):
+                return frozenset(freeze(v) for v in value)
+            return value
 
         return hash(
             (

@@ -11,6 +11,15 @@ The engine accepts either live components or a declarative
 :class:`~repro.simulation.config.SimulationConfig` (via :meth:`from_config`),
 and derives all per-phase randomness from a single seed so a trial is exactly
 reproducible from ``(config, seed)``.
+
+Since the session redesign the engine is a thin consumer of
+:class:`~repro.session.core.CacheNetworkSession`: each :meth:`run` opens a
+session for its seed and serves the whole workload as a single window, which
+is bit-identical to the pre-session per-trial pipeline.  One
+:class:`~repro.session.artifacts.ArtifactCache` is shared across all trials
+run through the same engine instance, so same-config trials reuse memoised
+placements (deterministic placements always, randomised ones on same-seed
+replays) and group-index precompute.
 """
 
 from __future__ import annotations
@@ -22,7 +31,9 @@ import numpy as np
 from repro.catalog.library import FileLibrary
 from repro.placement.base import PlacementStrategy
 from repro.placement.cache import CacheState
-from repro.rng import SeedLike, spawn_generators
+from repro.rng import SeedLike
+from repro.session.artifacts import ArtifactCache
+from repro.session.core import CacheNetworkSession
 from repro.simulation.config import SimulationConfig
 from repro.simulation.results import SimulationResult
 from repro.strategies.base import AssignmentStrategy
@@ -69,6 +80,9 @@ class CacheNetworkSimulation:
         ``"reference"`` (the scalar per-request loop kept for differential
         testing).  Both engines are bit-identical for the same seed, so this
         never changes simulated results — only how fast they are computed.
+    artifacts:
+        Optional shared :class:`~repro.session.artifacts.ArtifactCache`; by
+        default each engine instance owns one, reused across all its trials.
     """
 
     def __init__(
@@ -81,6 +95,7 @@ class CacheNetworkSimulation:
         description: str = "",
         uncached_policy: str = "resample",
         assignment_engine: str | None = None,
+        artifacts: ArtifactCache | None = None,
     ) -> None:
         if uncached_policy not in ("resample", "error"):
             raise ValueError(
@@ -95,11 +110,15 @@ class CacheNetworkSimulation:
         self._workload = workload
         self._description = description
         self._uncached_policy = uncached_policy
+        self._artifacts = artifacts if artifacts is not None else ArtifactCache()
 
     # --------------------------------------------------------------- builders
     @classmethod
     def from_config(
-        cls, config: SimulationConfig, assignment_engine: str | None = None
+        cls,
+        config: SimulationConfig,
+        assignment_engine: str | None = None,
+        artifacts: ArtifactCache | None = None,
     ) -> "CacheNetworkSimulation":
         """Build a simulation from a declarative configuration."""
         components = config.build()
@@ -112,6 +131,7 @@ class CacheNetworkSimulation:
             description=config.describe(),
             uncached_policy=components["uncached_policy"],
             assignment_engine=assignment_engine,
+            artifacts=artifacts,
         )
 
     # -------------------------------------------------------------- accessors
@@ -135,62 +155,49 @@ class CacheNetworkSimulation:
         """Human-readable description attached to results."""
         return self._description
 
-    # ---------------------------------------------------------------- helpers
-    def _resolve_uncached(
-        self, cache: CacheState, requests: RequestBatch, rng: np.random.Generator
-    ) -> tuple[RequestBatch, int]:
-        """Apply the uncached-file policy; return the batch and remap count."""
-        if self._uncached_policy == "error":
-            return requests, 0
-        uncached = cache.uncached_files()
-        if uncached.size == 0:
-            return requests, 0
-        uncached_set = np.isin(requests.files, uncached)
-        remapped = int(np.count_nonzero(uncached_set))
-        if remapped == 0:
-            return requests, 0
-        pmf = self._library.popularity_vector()
-        pmf[uncached] = 0.0
-        total = pmf.sum()
-        if total <= 0:
-            # Nothing is cached at all; leave the batch alone so the strategy
-            # raises a descriptive NoReplicaError.
-            return requests, 0
-        pmf /= total
-        files = requests.files.copy()
-        files[uncached_set] = rng.choice(self._library.num_files, size=remapped, p=pmf)
-        return (
-            RequestBatch(
-                origins=requests.origins,
-                files=files,
-                num_nodes=requests.num_nodes,
-                num_files=requests.num_files,
-            ),
-            remapped,
+    @property
+    def artifacts(self) -> ArtifactCache:
+        """The artifact cache shared by this engine's trials."""
+        return self._artifacts
+
+    # ---------------------------------------------------------------- sessions
+    def open_session(self, seed: SeedLike = None) -> CacheNetworkSession:
+        """Open a streaming session over this engine's components.
+
+        The session shares the engine's artifact cache; a one-window serve of
+        the session's workload reproduces :meth:`run` for the same seed.
+        """
+        return CacheNetworkSession(
+            topology=self._topology,
+            library=self._library,
+            placement=self._placement,
+            strategy=self._strategy,
+            workload=self._workload,
+            seed=seed,
+            uncached_policy=self._uncached_policy,
+            artifacts=self._artifacts,
+            description=self._description,
         )
 
     def _run_phases(
         self, seed: SeedLike
     ) -> tuple[SimulationResult, CacheState, RequestBatch]:
-        rng_placement, rng_workload, rng_strategy = spawn_generators(seed, 3)
         with Timer() as timer:
-            cache = self._placement.place(self._topology, self._library, rng_placement)
-            requests = self._workload.generate(self._topology, self._library, rng_workload)
-            requests, remapped = self._resolve_uncached(cache, requests, rng_workload)
-            assignment = self._strategy.assign(self._topology, cache, requests, rng_strategy)
-        stats = _placement_stats(cache)
-        stats["remapped_requests"] = float(remapped)
-        entropy: tuple[int, ...] = ()
-        if isinstance(seed, (int, np.integer)):
-            entropy = (int(seed),)
+            session = self.open_session(seed)
+            requests = session.generate_workload()
+            window = session.serve(requests, resolve_uncached=False)
+        stats = _placement_stats(session.cache)
+        stats["remapped_requests"] = float(session.total_remapped)
+        entropy, spawn_key = session.seed_provenance
         result = SimulationResult(
-            assignment=assignment,
+            assignment=window.assignment,
             config_description=self._description,
             placement_stats=stats,
             elapsed_seconds=timer.elapsed,
             seed_entropy=entropy,
+            seed_spawn_key=spawn_key,
         )
-        return result, cache, requests
+        return result, session.cache, requests
 
     # ------------------------------------------------------------------- run
     def run(self, seed: SeedLike = None) -> SimulationResult:
@@ -226,6 +233,11 @@ def run_single_trial(
     produced by :meth:`SimulationConfig.as_dict`), which makes this function
     directly usable as a process-pool worker.  ``assignment_engine`` overrides
     the strategy's execution engine (see :class:`CacheNetworkSimulation`).
+
+    Everything — components, placement, group-index precompute — is rebuilt
+    from scratch; use :func:`repro.simulation.multirun.run_trials` (or a
+    long-lived :class:`CacheNetworkSimulation`) when running several trials of
+    one configuration, so artifacts are reused across them.
     """
     if isinstance(config, dict):
         config = SimulationConfig.from_dict(config)

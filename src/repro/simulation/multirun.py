@@ -5,7 +5,9 @@ The paper averages every simulation point over hundreds to thousands of runs;
 variant lives in :mod:`repro.simulation.parallel`).  Seeds for individual
 trials are spawned from a single parent seed, so the whole aggregate is
 reproducible from ``(config, seed, num_trials)`` regardless of execution
-order.
+order.  Trials run as thin session consumers over one component build and a
+shared :class:`~repro.session.artifacts.ArtifactCache`, so placements and
+group-index precompute are reused wherever the inputs repeat.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.rng import SeedLike, spawn_seeds
+from repro.session.artifacts import ArtifactCache
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import CacheNetworkSimulation
 from repro.simulation.results import MultiRunResult, SimulationResult
@@ -45,8 +48,16 @@ def run_trials(
     *,
     progress_callback: Callable[[int, SimulationResult], None] | None = None,
     assignment_engine: str | None = None,
+    artifacts: "ArtifactCache | None" = None,
 ) -> MultiRunResult:
     """Run ``num_trials`` independent trials of ``config`` sequentially.
+
+    The components are built **once** and every trial runs as a session over
+    them, sharing one :class:`~repro.session.artifacts.ArtifactCache`:
+    deterministic placements are placed a single time, and the kernel
+    group-index precompute accumulates across trials whose placements are
+    byte-identical.  ``benchmarks/test_bench_sessions.py`` gates the speedup
+    of this path over rebuilding everything per trial.
 
     Parameters
     ----------
@@ -63,10 +74,13 @@ def run_trials(
         Optional execution-engine override (``"kernel"`` or ``"reference"``)
         applied to the assignment strategy of every trial; results are
         bit-identical between engines for the same seed.
+    artifacts:
+        Optional artifact cache shared beyond this multi-run (e.g. across the
+        sweep points of an experiment, which often repeat a placement).
     """
     if num_trials <= 0:
         raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
-    simulation = CacheNetworkSimulation.from_config(config, assignment_engine)
+    simulation = CacheNetworkSimulation.from_config(config, assignment_engine, artifacts)
     child_seeds = spawn_seeds(seed, num_trials)
     results: list[SimulationResult] = []
     for index, child in enumerate(child_seeds):

@@ -1,15 +1,21 @@
 """Process-pool parallel execution of independent simulation trials.
 
-Monte-Carlo trials are embarrassingly parallel, so the only engineering
-concerns are (a) shipping the work description cheaply to workers — solved by
-the picklable :class:`~repro.simulation.config.SimulationConfig` — and (b)
-keeping trials statistically independent and reproducible — solved by spawning
+Monte-Carlo trials are embarrassingly parallel, so the engineering concerns
+are (a) shipping the work description cheaply to workers — solved by the
+picklable :class:`~repro.simulation.config.SimulationConfig` — (b) keeping
+trials statistically independent and reproducible — solved by spawning
 per-trial :class:`numpy.random.SeedSequence` children in the parent and
-sending the entropy to workers.
+sending the entropy to workers — and (c) not paying the component build per
+trial now that the kernel engine made individual trials cheap.  The last
+point is why workers receive *batches* of trials: each worker task builds the
+components once (a :class:`~repro.simulation.engine.CacheNetworkSimulation`
+with its own :class:`~repro.session.artifacts.ArtifactCache`) and runs its
+whole slice of seeds over that shared build, mirroring the artifact reuse of
+the sequential :func:`~repro.simulation.multirun.run_trials`.
 
 The results are aggregated in submission order (not completion order) so the
-parallel runner returns bit-identical aggregates to the sequential
-:func:`repro.simulation.multirun.run_trials` given the same parent seed.
+parallel runner returns bit-identical aggregates to the sequential runner
+given the same parent seed.
 
 An MPI backend would slot in behind the same interface (each rank running a
 slice of the trial list); it is not provided because ``mpi4py`` is not part of
@@ -18,6 +24,7 @@ the offline dependency set.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
@@ -25,7 +32,6 @@ from typing import Any, Sequence
 from repro.exceptions import ConfigurationError
 from repro.rng import SeedLike, spawn_seeds
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import run_single_trial
 from repro.simulation.multirun import aggregate_results
 from repro.simulation.results import MultiRunResult, SimulationResult
 
@@ -37,15 +43,22 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _run_trial_worker(
-    payload: tuple[dict[str, Any], Any, Sequence[int], str | None]
-) -> SimulationResult:
-    """Process-pool worker: rebuild the config and run one seeded trial."""
-    config_dict, entropy, spawn_key, assignment_engine = payload
+def _run_trial_batch_worker(
+    payload: tuple[dict[str, Any], Sequence[tuple[Any, tuple[int, ...]]], str | None]
+) -> list[SimulationResult]:
+    """Process-pool worker: build the components once, run a batch of seeds."""
+    config_dict, seed_payloads, assignment_engine = payload
     import numpy as np
 
-    seed = np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))
-    return run_single_trial(config_dict, seed, assignment_engine)
+    from repro.simulation.engine import CacheNetworkSimulation
+
+    config = SimulationConfig.from_dict(config_dict)
+    simulation = CacheNetworkSimulation.from_config(config, assignment_engine)
+    results: list[SimulationResult] = []
+    for entropy, spawn_key in seed_payloads:
+        seed = np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))
+        results.append(simulation.run(seed))
+    return results
 
 
 def run_trials_parallel(
@@ -54,7 +67,7 @@ def run_trials_parallel(
     seed: SeedLike = None,
     *,
     max_workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
     assignment_engine: str | None = None,
 ) -> MultiRunResult:
     """Run ``num_trials`` independent trials of ``config`` across processes.
@@ -71,8 +84,11 @@ def run_trials_parallel(
     max_workers:
         Worker process count (default: CPU count minus one).
     chunksize:
-        Number of trials handed to a worker per task; increase for very short
-        trials to reduce inter-process overhead.
+        Trials per worker task.  Each task builds the simulation components
+        once and shares placement / group-index artifacts across its trials,
+        so larger chunks amortise more build work; the default spreads the
+        trials evenly over the workers in a single wave
+        (``ceil(num_trials / max_workers)``).
     assignment_engine:
         Optional execution-engine override (``"kernel"`` or ``"reference"``)
         applied in every worker, mirroring
@@ -80,25 +96,31 @@ def run_trials_parallel(
     """
     if num_trials <= 0:
         raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
-    if chunksize <= 0:
-        raise ConfigurationError(f"chunksize must be positive, got {chunksize}")
     workers = max_workers if max_workers is not None else default_worker_count()
     if workers <= 0:
         raise ConfigurationError(f"max_workers must be positive, got {workers}")
+    if chunksize is None:
+        chunksize = math.ceil(num_trials / workers)
+    if chunksize <= 0:
+        raise ConfigurationError(f"chunksize must be positive, got {chunksize}")
 
     child_seeds = spawn_seeds(seed, num_trials)
     config_dict = config.as_dict()
     # Ship each child's (entropy, spawn_key) so workers rebuild the exact same
     # SeedSequence the sequential runner would use for that trial index.
-    payloads = [
-        (config_dict, child.entropy, tuple(child.spawn_key), assignment_engine)
-        for child in child_seeds
+    seed_payloads = [
+        (child.entropy, tuple(child.spawn_key)) for child in child_seeds
+    ]
+    batches = [
+        (config_dict, seed_payloads[start : start + chunksize], assignment_engine)
+        for start in range(0, num_trials, chunksize)
     ]
 
-    if workers == 1 or num_trials == 1:
-        results = [_run_trial_worker(p) for p in payloads]
+    if workers == 1 or len(batches) == 1:
+        nested = [_run_trial_batch_worker(batch) for batch in batches]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_trial_worker, payloads, chunksize=chunksize))
+            nested = list(pool.map(_run_trial_batch_worker, batches))
 
+    results = [result for batch in nested for result in batch]
     return aggregate_results(results, config.describe())

@@ -14,6 +14,16 @@ This module implements that dynamic setting as a discrete-event simulation:
   and enqueues the request at the sampled server with the shortest queue;
 * each server is an M/M/1-style FIFO queue with service rate ``mu``.
 
+Candidate sets come from the session layer's group index rather than
+per-arrival ball queries: all arrivals are grouped by ``(origin, file)`` and
+their in-ball replica sets (with nearest-replica fallback) are resolved in
+one batched :func:`~repro.kernels.group_index.build_group_index` pass before
+the event loop starts — the same load-independent precompute the static
+kernel engine uses, optionally memoised across runs via an
+:class:`~repro.session.artifacts.ArtifactCache`.  The per-arrival dispatch
+randomness is unchanged, so results are identical to the pre-index
+implementation for any seed.
+
 Reported metrics: the maximum queue length ever observed (the dynamic
 analogue of the paper's maximum load), the time-averaged mean queue length,
 mean waiting and sojourn times, and the mean hop distance (communication
@@ -29,11 +39,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.catalog.library import FileLibrary
-from repro.exceptions import ConfigurationError, NoReplicaError
+from repro.exceptions import ConfigurationError
+from repro.kernels.group_index import build_group_index
 from repro.placement.base import PlacementStrategy
 from repro.rng import SeedLike, spawn_generators
+from repro.session.artifacts import ArtifactCache
+from repro.strategies.base import FallbackPolicy
 from repro.topology.base import Topology
 from repro.workload.arrivals import ArrivalProcess
+from repro.workload.request import RequestBatch
 
 __all__ = ["QueueingResult", "QueueingSimulation"]
 
@@ -81,6 +95,10 @@ class QueueingSimulation:
         Proximity constraint ``r`` for candidate replicas (``inf`` = none).
     num_choices:
         Number of candidate replicas compared per arrival (``d``).
+    artifacts:
+        Optional :class:`~repro.session.artifacts.ArtifactCache` memoising
+        the candidate precompute across runs that share a placement (e.g.
+        sweeps over ``mu`` or the arrival rate).
     """
 
     def __init__(
@@ -92,6 +110,7 @@ class QueueingSimulation:
         service_rate: float = 1.0,
         radius: float = np.inf,
         num_choices: int = 2,
+        artifacts: ArtifactCache | None = None,
     ) -> None:
         if service_rate <= 0:
             raise ConfigurationError(f"service_rate must be positive, got {service_rate}")
@@ -106,6 +125,7 @@ class QueueingSimulation:
         self._service_rate = float(service_rate)
         self._radius = float(radius)
         self._num_choices = int(num_choices)
+        self._artifacts = artifacts
 
     # --------------------------------------------------------------------- run
     def run(self, horizon: float, seed: SeedLike = None) -> QueueingResult:
@@ -121,7 +141,32 @@ class QueueingSimulation:
         busy_until = np.zeros(n, dtype=np.float64)
         unconstrained = np.isinf(self._radius) or self._radius >= self._topology.diameter
 
-        replica_cache: dict[int, np.ndarray] = {}
+        # Resolve every arrival's candidate set up front through the group
+        # index (load-independent, like the static kernels' precompute).  The
+        # nearest-replica fallback for empty balls matches the paper's
+        # Strategy II dispatcher; a file cached nowhere raises NoReplicaError
+        # exactly as the per-arrival path did.
+        index = None
+        if requests:
+            batch = RequestBatch(
+                origins=np.asarray([r.origin for r in requests], dtype=np.int64),
+                files=np.asarray([r.file_id for r in requests], dtype=np.int64),
+                num_nodes=n,
+                num_files=self._library.num_files,
+            )
+            store = None
+            if self._artifacts is not None and not unconstrained:
+                signature = (float(self._radius), FallbackPolicy.NEAREST.value, True)
+                store = self._artifacts.group_store(self._topology, cache, signature)
+            index = build_group_index(
+                self._topology,
+                cache,
+                batch,
+                radius=self._radius,
+                fallback=FallbackPolicy.NEAREST,
+                need_dists=not unconstrained,
+                store=store,
+            )
 
         # Event queue holds departure events; arrivals are consumed in order.
         events: list[tuple[float, int, int]] = []  # (time, tiebreak, server)
@@ -148,32 +193,16 @@ class QueueingSimulation:
                 queue_lengths[server] -= 1
                 completed += 1
 
-        for request in requests:
+        for position, request in enumerate(requests):
             now = request.time
             pop_departures(now)
             advance_time(now)
 
-            file_id = request.file_id
-            replicas = replica_cache.get(file_id)
-            if replicas is None:
-                replicas = cache.file_nodes(file_id)
-                replica_cache[file_id] = replicas
-            if replicas.size == 0:
-                raise NoReplicaError(file_id)
-
-            if unconstrained:
-                candidates = replicas
-                dists = None
-            else:
-                dists = self._topology.distances_from(request.origin, replicas)
-                in_ball = dists <= self._radius
-                if np.any(in_ball):
-                    candidates = replicas[in_ball]
-                    dists = dists[in_ball]
-                else:
-                    nearest = int(np.argmin(dists))
-                    candidates = replicas[nearest : nearest + 1]
-                    dists = dists[nearest : nearest + 1]
+            group = int(index.request_group[position])
+            start = int(index.starts[group])
+            count = int(index.counts[group])
+            candidates = index.nodes[start : start + count]
+            dists = None if index.dists is None else index.dists[start : start + count]
 
             if candidates.size > self._num_choices:
                 picked_idx = rng_dispatch.choice(

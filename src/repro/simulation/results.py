@@ -31,7 +31,14 @@ class SimulationResult:
     elapsed_seconds:
         Wall-clock duration of the trial.
     seed_entropy:
-        Entropy of the seed sequence used, for exact reproduction.
+        Entropy of the seed used, for exact reproduction — recorded for every
+        seed form (plain ints, int sequences, ``SeedSequence`` objects,
+        generators).
+    seed_spawn_key:
+        Spawn key of the seed sequence used (empty for non-spawned seeds).
+        Kept separate from ``seed_entropy`` because
+        ``SeedSequence(entropy, spawn_key=spawn_key)`` is the reconstruction
+        recipe and entropy/spawn-key material must not be conflated.
     """
 
     assignment: AssignmentResult
@@ -39,6 +46,7 @@ class SimulationResult:
     placement_stats: dict[str, float] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     seed_entropy: tuple[int, ...] = ()
+    seed_spawn_key: tuple[int, ...] = ()
 
     # --------------------------------------------------------------- shortcuts
     @property

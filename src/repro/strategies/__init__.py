@@ -16,15 +16,25 @@
 
 All strategies consume a topology, a cache state and an ordered request batch
 and return an :class:`~repro.strategies.base.AssignmentResult`.
+
+The concrete strategy classes (and the factory) are exposed lazily via PEP
+562: they depend on :mod:`repro.kernels`, which in turn imports
+:mod:`repro.strategies.base`, so loading them eagerly here would forbid any
+import path that reaches the kernels first (e.g. ``repro.session``).  Only the
+kernel-free ``base`` symbols load with the package.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.strategies.base import AssignmentStrategy, AssignmentResult, FallbackPolicy
-from repro.strategies.nearest_replica import NearestReplicaStrategy
-from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
-from repro.strategies.random_replica import RandomReplicaStrategy
-from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
-from repro.strategies.hybrid import ThresholdHybridStrategy
-from repro.strategies.factory import create_strategy, available_strategies
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.strategies.factory import available_strategies, create_strategy
+    from repro.strategies.hybrid import ThresholdHybridStrategy
+    from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+    from repro.strategies.nearest_replica import NearestReplicaStrategy
+    from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+    from repro.strategies.random_replica import RandomReplicaStrategy
 
 __all__ = [
     "AssignmentStrategy",
@@ -38,3 +48,28 @@ __all__ = [
     "create_strategy",
     "available_strategies",
 ]
+
+_LAZY_EXPORTS = {
+    "NearestReplicaStrategy": "repro.strategies.nearest_replica",
+    "ProximityTwoChoiceStrategy": "repro.strategies.proximity_two_choice",
+    "RandomReplicaStrategy": "repro.strategies.random_replica",
+    "LeastLoadedInBallStrategy": "repro.strategies.least_loaded_in_ball",
+    "ThresholdHybridStrategy": "repro.strategies.hybrid",
+    "create_strategy": "repro.strategies.factory",
+    "available_strategies": "repro.strategies.factory",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

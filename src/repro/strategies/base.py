@@ -19,8 +19,12 @@ import copy
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernels import us)
+    from repro.kernels.group_index import GroupStore
 
 from repro.exceptions import NoReplicaError, StrategyError
 from repro.placement.cache import CacheState
@@ -177,6 +181,28 @@ class AssignmentResult:
             "fallback_rate": self.fallback_rate(),
         }
 
+    @staticmethod
+    def concatenate(results: "Sequence[AssignmentResult]") -> "AssignmentResult":
+        """Merge per-window results into one batch-order result.
+
+        All inputs must describe the same network; the strategy name of the
+        first result is kept.  Used by the session layer to expose the
+        assignment of a served stream as a single result, and by the
+        differential tests comparing windowed and one-shot serving.
+        """
+        if not results:
+            raise StrategyError("cannot concatenate an empty list of results")
+        num_nodes = results[0].num_nodes
+        if any(r.num_nodes != num_nodes for r in results):
+            raise StrategyError("cannot concatenate results over different networks")
+        return AssignmentResult(
+            servers=np.concatenate([r.servers for r in results]),
+            distances=np.concatenate([r.distances for r in results]),
+            num_nodes=num_nodes,
+            strategy_name=results[0].strategy_name,
+            fallback_mask=np.concatenate([r.fallback_mask for r in results]),
+        )
+
     def __repr__(self) -> str:
         return (
             f"AssignmentResult(strategy={self.strategy_name!r}, m={self.num_requests}, "
@@ -219,7 +245,53 @@ class AssignmentStrategy(ABC):
     ) -> AssignmentResult:
         """Assign every request of ``requests`` to a caching server."""
 
+    # -------------------------------------------------------------- incremental
+    def serve(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        *,
+        streams: tuple[np.random.Generator, np.random.Generator],
+        loads: IntArray,
+        store: "GroupStore | None" = None,
+    ) -> AssignmentResult:
+        """Assign one *window* of a request stream (session execution).
+
+        Unlike :meth:`assign`, which derives fresh RNG streams from its seed
+        and starts from an empty network, ``serve`` consumes the caller's
+        persistent ``(rng_sample, rng_tie)`` pair and commits against (and
+        updates) the caller's persistent ``loads`` vector, so successive calls
+        reproduce the one-shot assignment of the concatenated windows bit for
+        bit.  ``store`` optionally memoises group-index precompute across
+        windows.  Only the kernel engine supports incremental serving; the
+        scalar reference engine exists for one-shot differential testing.
+        """
+        raise StrategyError(
+            f"strategy {self.name!r} does not support incremental serving"
+        )
+
+    def store_signature(self, topology: Topology) -> tuple | None:
+        """Key identifying this strategy's group-index precompute, or ``None``.
+
+        Two strategies with the same signature build identical candidate
+        structures for a given ``(topology, cache)`` pair and may share one
+        :class:`~repro.kernels.group_index.GroupStore`.  ``None`` means the
+        strategy performs no cacheable group-index precompute (shared-CSR
+        aliasing mode, or no group index at all).
+        """
+        return None
+
     # ------------------------------------------------------------ shared utils
+    def _require_kernel_engine(self) -> None:
+        """Guard for :meth:`serve`: only the kernel engine serves incrementally."""
+        if self._engine != "kernel":
+            raise StrategyError(
+                f"incremental serving requires engine='kernel', but this strategy "
+                f"runs on engine={self._engine!r}; the reference engine only "
+                "supports one-shot assignment"
+            )
+
     @staticmethod
     def _check_compatibility(
         topology: Topology, cache: CacheState, requests: RequestBatch

@@ -136,6 +136,37 @@ class ThresholdHybridStrategy(AssignmentStrategy):
             strategy_name=self.name,
         )
 
+    def serve(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        *,
+        streams,
+        loads,
+        store=None,
+    ) -> AssignmentResult:
+        self._require_kernel_engine()
+        self._check_compatibility(topology, cache, requests)
+        return threshold_hybrid_kernel(
+            topology,
+            cache,
+            requests,
+            None,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            threshold=self._threshold,
+            fallback=self._fallback,
+            strategy_name=self.name,
+            streams=streams,
+            loads=loads,
+            store=store,
+        )
+
+    def store_signature(self, topology: Topology) -> tuple | None:
+        # The hybrid rule always materialises candidate distances.
+        return (float(self._radius), self._fallback.value, True)
+
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,

@@ -98,6 +98,31 @@ class NearestReplicaStrategy(AssignmentStrategy):
             strategy_name=self.name,
         )
 
+    def serve(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        *,
+        streams,
+        loads,
+        store=None,
+    ) -> AssignmentResult:
+        self._require_kernel_engine()
+        self._check_compatibility(topology, cache, requests)
+        return nearest_replica_kernel(
+            topology,
+            cache,
+            requests,
+            None,
+            allow_origin_fallback=self._allow_origin_fallback,
+            chunk_size=self._chunk_size,
+            strategy_name=self.name,
+            streams=streams,
+            loads=loads,
+            store=store,
+        )
+
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,

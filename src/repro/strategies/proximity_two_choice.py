@@ -120,6 +120,39 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
             strategy_name=self.name,
         )
 
+    def serve(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        *,
+        streams,
+        loads,
+        store=None,
+    ) -> AssignmentResult:
+        self._require_kernel_engine()
+        self._check_compatibility(topology, cache, requests)
+        return two_choice_kernel(
+            topology,
+            cache,
+            requests,
+            None,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            fallback=self._fallback,
+            strategy_name=self.name,
+            streams=streams,
+            loads=loads,
+            store=store,
+        )
+
+    def store_signature(self, topology: Topology) -> tuple | None:
+        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
+        if unconstrained:
+            # Shared-CSR aliasing mode: nothing to memoise.
+            return None
+        return (float(self._radius), self._fallback.value, True)
+
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,

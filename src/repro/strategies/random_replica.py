@@ -87,6 +87,38 @@ class RandomReplicaStrategy(AssignmentStrategy):
             strategy_name=self.name,
         )
 
+    def serve(
+        self,
+        topology: Topology,
+        cache: CacheState,
+        requests: RequestBatch,
+        *,
+        streams,
+        loads,
+        store=None,
+    ) -> AssignmentResult:
+        self._require_kernel_engine()
+        self._check_compatibility(topology, cache, requests)
+        return random_replica_kernel(
+            topology,
+            cache,
+            requests,
+            None,
+            radius=self._radius,
+            fallback=self._fallback,
+            strategy_name=self.name,
+            streams=streams,
+            loads=loads,
+            store=store,
+        )
+
+    def store_signature(self, topology: Topology) -> tuple | None:
+        unconstrained = np.isinf(self._radius) or self._radius >= topology.diameter
+        if unconstrained:
+            # Shared-CSR aliasing mode: nothing to memoise.
+            return None
+        return (float(self._radius), self._fallback.value, True)
+
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,

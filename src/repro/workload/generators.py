@@ -18,6 +18,7 @@ Three generators are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterator
 
 import numpy as np
 
@@ -47,6 +48,51 @@ class WorkloadGenerator(ABC):
         self, topology: Topology, library: FileLibrary, seed: SeedLike = None
     ) -> RequestBatch:
         """Generate an ordered request batch for the given network and library."""
+
+    def iter_windows(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        seed: SeedLike = None,
+        *,
+        window_size: int | None = None,
+        num_windows: int | None = None,
+    ) -> Iterator[RequestBatch]:
+        """Yield the workload as a stream of request windows.
+
+        Two modes cover the streaming protocol for every generator:
+
+        * **Sliced** (``window_size`` given): one :meth:`generate` batch is
+          materialised and yielded as contiguous windows of ``window_size``
+          requests (the last window may be shorter).  Concatenating the
+          windows reproduces the one-shot batch *bit for bit*, so a session
+          serving this stream is exactly equivalent to the one-shot run.
+          ``num_windows`` optionally caps the number of windows.
+        * **Continuous** (``window_size`` omitted): fresh batches are drawn
+          from one persistent generator, each :meth:`generate` call producing
+          one window of the generator's natural size — i.i.d. traffic with no
+          one-shot equivalent.  ``num_windows`` bounds the stream; ``None``
+          streams forever (callers must bound consumption themselves).
+        """
+        if window_size is not None and window_size <= 0:
+            raise WorkloadError(f"window_size must be positive, got {window_size}")
+        if num_windows is not None and num_windows < 0:
+            raise WorkloadError(f"num_windows must be non-negative, got {num_windows}")
+        if window_size is None:
+            rng = as_generator(seed)
+            emitted = 0
+            while num_windows is None or emitted < num_windows:
+                yield self.generate(topology, library, rng)
+                emitted += 1
+            return
+        batch = self.generate(topology, library, seed)
+        emitted = 0
+        for start in range(0, batch.num_requests, window_size):
+            if num_windows is not None and emitted >= num_windows:
+                return
+            stop = min(start + window_size, batch.num_requests)
+            yield batch.subset(np.arange(start, stop, dtype=np.int64))
+            emitted += 1
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serialisable description (used by the experiment harness)."""

@@ -95,6 +95,77 @@ class TestSimulateCommand:
         assert code == 0
 
 
+class TestStreamCommand:
+    def test_stream_reports_windows_and_summary(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--nodes", "100",
+                "--files", "40",
+                "--cache", "4",
+                "--radius", "4",
+                "--window", "150",
+                "--windows", "3",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming 3 windows" in out
+        assert "served 450 requests in 3 windows" in out
+        # One line per window plus header/summary.
+        assert out.count("\n") >= 6
+
+    def test_stream_is_deterministic_given_seed(self, capsys):
+        argv = [
+            "stream",
+            "--nodes", "100",
+            "--files", "40",
+            "--cache", "4",
+            "--window", "100",
+            "--windows", "2",
+            "--seed", "5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_stream_rejects_non_positive_windows(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--nodes", "100",
+                "--files", "40",
+                "--cache", "4",
+                "--windows", "0",
+            ]
+        )
+        assert code == 2
+        assert "--windows" in capsys.readouterr().err
+
+    def test_stream_rejects_non_positive_window_size(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--nodes", "100",
+                "--files", "40",
+                "--cache", "4",
+                "--window", "0",
+            ]
+        )
+        assert code == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(
+            ["stream", "--nodes", "100", "--files", "40", "--cache", "4"]
+        )
+        assert args.command == "stream"
+        assert args.windows == 10
+        assert args.window is None
+
+
 class TestFiguresCommand:
     def test_single_figure_artifacts(self, tmp_path, capsys):
         code = main(

@@ -36,11 +36,17 @@ class TestExamplesImportable:
             "radius_tradeoff_study.py",
             "supermarket_queueing.py",
             "reproduce_figures.py",
+            "streaming_session.py",
         ],
     )
     def test_importable_and_has_main(self, name):
         module = _load_example(name)
         assert callable(getattr(module, "main"))
+
+    def test_streaming_session_partition_invariance(self):
+        module = _load_example("streaming_session.py")
+        # The demo asserts bit-identical sliced vs one-shot serving itself.
+        module.partition_invariance_demo(seed=3)
 
     def test_examples_directory_complete(self):
         names = {p.name for p in EXAMPLES_DIR.glob("*.py")}

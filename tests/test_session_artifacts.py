@@ -1,0 +1,193 @@
+"""Tests for the session artifact cache and the group-store memoisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.kernels.group_index import GroupStore, build_group_index
+from repro.placement.cache import CacheState
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.session import ArtifactCache
+from repro.strategies.base import FallbackPolicy
+from repro.strategies.least_loaded_in_ball import LeastLoadedInBallStrategy
+from repro.strategies.nearest_replica import NearestReplicaStrategy
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+
+def _system(num_requests=200, seed=0):
+    topology = Torus2D(49)
+    library = FileLibrary(20)
+    cache = ProportionalPlacement(3).place(topology, library, seed=seed)
+    requests = UniformOriginWorkload(num_requests).generate(topology, library, seed=1)
+    return topology, library, cache, requests
+
+
+class TestCacheFingerprint:
+    def test_identical_contents_share_a_fingerprint(self):
+        slots = np.arange(12, dtype=np.int64).reshape(4, 3) % 5
+        a = CacheState(slots, num_files=5)
+        b = CacheState(slots.copy(), num_files=5)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_contents_differ(self):
+        slots = np.arange(12, dtype=np.int64).reshape(4, 3) % 5
+        other = slots.copy()
+        other[0, 0] = (other[0, 0] + 1) % 5
+        assert (
+            CacheState(slots, num_files=5).fingerprint()
+            != CacheState(other, num_files=5).fingerprint()
+        )
+
+    def test_fingerprint_is_cached(self):
+        slots = np.zeros((3, 2), dtype=np.int64)
+        state = CacheState(slots, num_files=2)
+        assert state.fingerprint() is state.fingerprint()
+
+
+class TestPlacementMemo:
+    def test_deterministic_placement_shared_across_seeds(self):
+        topology, library = Torus2D(49), FileLibrary(20)
+        artifacts = ArtifactCache()
+        placement = PartitionPlacement(3)
+        a = artifacts.placement(placement, topology, library, np.random.SeedSequence(1))
+        b = artifacts.placement(placement, topology, library, np.random.SeedSequence(2))
+        assert a is b
+        assert artifacts.placement_hits == 1
+        assert artifacts.placement_misses == 1
+
+    def test_random_placement_keyed_by_seed(self):
+        topology, library = Torus2D(49), FileLibrary(20)
+        artifacts = ArtifactCache()
+        placement = ProportionalPlacement(3)
+        a = artifacts.placement(placement, topology, library, np.random.SeedSequence(1))
+        b = artifacts.placement(placement, topology, library, np.random.SeedSequence(2))
+        same = artifacts.placement(placement, topology, library, np.random.SeedSequence(1))
+        assert a is not b
+        assert same is a
+        assert artifacts.placement_hits == 1
+
+    def test_memoised_placement_matches_direct_place(self):
+        topology, library = Torus2D(49), FileLibrary(20)
+        artifacts = ArtifactCache()
+        seed = np.random.SeedSequence(7)
+        memoised = artifacts.placement(ProportionalPlacement(3), topology, library, seed)
+        direct = ProportionalPlacement(3).place(
+            topology, library, np.random.default_rng(np.random.SeedSequence(7))
+        )
+        np.testing.assert_array_equal(memoised.slots, direct.slots)
+
+    def test_lru_eviction_bounds_memory(self):
+        topology, library = Torus2D(49), FileLibrary(20)
+        artifacts = ArtifactCache(max_placements=2)
+        placement = ProportionalPlacement(3)
+        for seed in range(4):
+            artifacts.placement(placement, topology, library, np.random.SeedSequence(seed))
+        assert artifacts.stats()["placements"] == 2
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_placements=0)
+        with pytest.raises(ValueError):
+            ArtifactCache(max_stores=0)
+
+
+class TestGroupStore:
+    def test_cached_index_identical_to_uncached(self):
+        topology, library, cache, requests = _system()
+        kwargs = dict(radius=3.0, fallback=FallbackPolicy.NEAREST, need_dists=True)
+        plain = build_group_index(topology, cache, requests, **kwargs)
+        store = GroupStore()
+        cold = build_group_index(topology, cache, requests, store=store, **kwargs)
+        warm = build_group_index(topology, cache, requests, store=store, **kwargs)
+        for built in (cold, warm):
+            np.testing.assert_array_equal(built.counts, plain.counts)
+            np.testing.assert_array_equal(built.nodes, plain.nodes)
+            np.testing.assert_array_equal(built.dists, plain.dists)
+            np.testing.assert_array_equal(built.fallback, plain.fallback)
+            np.testing.assert_array_equal(built.request_group, plain.request_group)
+        assert store.misses == plain.num_groups
+        assert store.hits == plain.num_groups  # the warm pass hit every group
+
+    def test_partial_overlap_only_computes_missing_groups(self):
+        topology, library, cache, requests = _system(num_requests=300)
+        first = requests.subset(np.arange(0, 150))
+        second = requests.subset(np.arange(100, 300))
+        store = GroupStore()
+        kwargs = dict(radius=3.0, fallback=FallbackPolicy.NEAREST, need_dists=True)
+        build_group_index(topology, cache, first, store=store, **kwargs)
+        size_after_first = len(store)
+        warm = build_group_index(topology, cache, second, store=store, **kwargs)
+        plain = build_group_index(topology, cache, second, **kwargs)
+        np.testing.assert_array_equal(warm.nodes, plain.nodes)
+        np.testing.assert_array_equal(warm.dists, plain.dists)
+        assert store.hits > 0
+        assert len(store) >= size_after_first
+
+    def test_full_store_stops_retaining(self):
+        topology, library, cache, requests = _system()
+        store = GroupStore(max_groups=5)
+        build_group_index(
+            topology,
+            cache,
+            requests,
+            radius=3.0,
+            fallback=FallbackPolicy.NEAREST,
+            need_dists=True,
+            store=store,
+        )
+        assert len(store) == 5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GroupStore(max_groups=0)
+
+
+class TestGroupStoreRegistry:
+    def test_same_key_returns_same_store(self):
+        topology, library, cache, _ = _system()
+        artifacts = ArtifactCache()
+        signature = (3.0, "nearest", True)
+        assert artifacts.group_store(topology, cache, signature) is artifacts.group_store(
+            topology, cache, signature
+        )
+
+    def test_distinct_signatures_get_distinct_stores(self):
+        topology, library, cache, _ = _system()
+        artifacts = ArtifactCache()
+        a = artifacts.group_store(topology, cache, (3.0, "nearest", True))
+        b = artifacts.group_store(topology, cache, (4.0, "nearest", True))
+        assert a is not b
+
+    def test_distinct_placements_get_distinct_stores(self):
+        topology, library, cache, _ = _system(seed=0)
+        _, _, other, _ = _system(seed=5)
+        artifacts = ArtifactCache()
+        signature = (3.0, "nearest", True)
+        assert artifacts.group_store(topology, cache, signature) is not (
+            artifacts.group_store(topology, other, signature)
+        )
+
+
+class TestStoreSignatures:
+    def test_constrained_strategies_expose_signatures(self):
+        topology = Torus2D(49)
+        assert ProximityTwoChoiceStrategy(radius=3).store_signature(topology) == (
+            3.0,
+            "nearest",
+            True,
+        )
+        assert LeastLoadedInBallStrategy(radius=np.inf).store_signature(topology) == (
+            np.inf,
+            "nearest",
+            True,
+        )
+
+    def test_shared_mode_and_no_index_strategies_return_none(self):
+        topology = Torus2D(49)
+        assert ProximityTwoChoiceStrategy(radius=np.inf).store_signature(topology) is None
+        assert NearestReplicaStrategy().store_signature(topology) is None

@@ -133,3 +133,38 @@ class TestSerialisation:
     def test_describe_mentions_sizes(self):
         description = base_config().describe()
         assert "n=100" in description and "K=50" in description and "M=5" in description
+
+    def test_describe_mentions_workload_and_requests(self):
+        default = base_config().describe()
+        assert "uniform_origin[m=n]" in default
+        custom = base_config(
+            workload="poisson_demand", workload_params={"rate": 2.0}
+        ).describe()
+        assert "poisson_demand" in custom
+        sized = base_config(num_requests=5000).describe()
+        assert "[m=5000]" in sized
+
+    def test_describe_distinguishes_workloads(self):
+        a = base_config(workload="uniform_origin").describe()
+        b = base_config(workload="poisson_demand").describe()
+        c = base_config(num_requests=123).describe()
+        assert len({a, b, c}) == 3
+
+    def test_hashable_with_nested_param_containers(self):
+        nested = dict(
+            strategy_params={"radius": 3, "options": {"weights": [1, 2, 3]}},
+            workload_params={"centers": [4, 5], "profile": {"kind": ["a", "b"]}},
+        )
+        a = base_config(**nested)
+        b = base_config(**nested)
+        assert hash(a) == hash(b)
+        assert a == b
+        different = base_config(
+            strategy_params={"radius": 3, "options": {"weights": [1, 2, 4]}},
+            workload_params=nested["workload_params"],
+        )
+        assert hash(a) != hash(different)
+
+    def test_hashable_with_set_valued_params(self):
+        config = base_config(strategy_params={"tags": {"x", "y"}})
+        assert isinstance(hash(config), int)

@@ -54,6 +54,44 @@ class TestRun:
         result = small_simulation().run(seed=7)
         assert result.seed_entropy == (7,)
 
+    def test_seed_entropy_recorded_for_seed_sequence(self):
+        result = small_simulation().run(seed=np.random.SeedSequence(1234))
+        assert result.seed_entropy == (1234,)
+        assert result.seed_spawn_key == ()
+
+    def test_seed_entropy_recorded_for_spawned_seed_sequence(self):
+        child = np.random.SeedSequence(1234).spawn(2)[1]
+        result = small_simulation().run(seed=child)
+        assert result.seed_entropy == (1234,)
+        assert result.seed_spawn_key == (1,)
+
+    def test_seed_entropy_recorded_for_sequence_of_ints(self):
+        result = small_simulation().run(seed=[5, 6])
+        assert result.seed_entropy == (5, 6)
+        assert result.seed_spawn_key == ()
+
+    def test_seed_provenance_distinguishes_entropy_from_spawn_key(self):
+        # SeedSequence((5, 6)) and SeedSequence(5, spawn_key=(6,)) are
+        # different streams; their records must differ.
+        sim = small_simulation()
+        flat = sim.run(seed=[5, 6])
+        spawned = sim.run(seed=np.random.SeedSequence(5, spawn_key=(6,)))
+        assert (flat.seed_entropy, flat.seed_spawn_key) != (
+            spawned.seed_entropy,
+            spawned.seed_spawn_key,
+        )
+
+    def test_seed_provenance_reconstructs_the_trial(self):
+        sim = small_simulation()
+        first = sim.run(seed=np.random.SeedSequence(77).spawn(1)[0])
+        rebuilt_seed = np.random.SeedSequence(
+            entropy=first.seed_entropy, spawn_key=first.seed_spawn_key
+        )
+        second = sim.run(seed=rebuilt_seed)
+        np.testing.assert_array_equal(
+            first.assignment.servers, second.assignment.servers
+        )
+
     def test_run_with_components(self):
         result, cache, requests = small_simulation().run_with_components(seed=3)
         assert cache.num_nodes == 100
@@ -111,6 +149,99 @@ class TestUncachedPolicy:
                 workload=UniformOriginWorkload(),
                 uncached_policy="drop",
             )
+
+
+class TestApplyUncachedPolicyEdges:
+    """Edge branches of the uncached-request resolution helper."""
+
+    def _scarce_system(self):
+        # One slot per server, every server caching file 0 of a 4-file
+        # library: files 1..3 are uncached everywhere.
+        from repro.placement.cache import CacheState
+        from repro.workload.request import RequestBatch
+
+        topology = Torus2D(25)
+        cache = CacheState(np.zeros((25, 1), dtype=np.int64), num_files=4)
+        requests = RequestBatch(
+            origins=np.arange(4, dtype=np.int64),
+            files=np.asarray([0, 1, 2, 3], dtype=np.int64),
+            num_nodes=25,
+            num_files=4,
+        )
+        return topology, cache, requests
+
+    def test_error_policy_leaves_batch_untouched(self):
+        from repro.session import apply_uncached_policy
+
+        _, cache, requests = self._scarce_system()
+        resolved, remapped = apply_uncached_policy(
+            cache, requests, FileLibrary(4), np.random.default_rng(0), policy="error"
+        )
+        assert resolved is requests
+        assert remapped == 0
+
+    def test_error_policy_ends_in_no_replica_error(self):
+        from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+
+        topology, cache, requests = self._scarce_system()
+        with pytest.raises(NoReplicaError):
+            ProximityTwoChoiceStrategy().assign(topology, cache, requests, seed=0)
+
+    def test_nothing_cached_with_positive_popularity_returns_early(self):
+        from repro.catalog.popularity import CustomPopularity
+        from repro.session import apply_uncached_policy
+
+        _, cache, requests = self._scarce_system()
+        # The only cached file (0) has zero popularity, so the renormalised
+        # pmf over cached files sums to zero and resampling is impossible:
+        # the batch must come back untouched for the strategy to raise on.
+        library = FileLibrary(4, CustomPopularity([0.0, 0.5, 0.3, 0.2]))
+        resolved, remapped = apply_uncached_policy(
+            cache, requests, library, np.random.default_rng(0), policy="resample"
+        )
+        assert resolved is requests
+        assert remapped == 0
+
+    def test_no_uncached_files_short_circuits(self):
+        from repro.session import apply_uncached_policy
+        from repro.placement.cache import CacheState
+        from repro.workload.request import RequestBatch
+
+        cache = CacheState(
+            np.arange(4, dtype=np.int64).reshape(2, 2), num_files=4
+        )
+        requests = RequestBatch(
+            origins=np.zeros(3, dtype=np.int64),
+            files=np.asarray([0, 1, 2], dtype=np.int64),
+            num_nodes=2,
+            num_files=4,
+        )
+        resolved, remapped = apply_uncached_policy(
+            cache, requests, FileLibrary(4), np.random.default_rng(0)
+        )
+        assert resolved is requests
+        assert remapped == 0
+
+    def test_uncached_but_unrequested_files_do_not_remap(self):
+        from repro.session import apply_uncached_policy
+        from repro.placement.cache import CacheState
+        from repro.workload.request import RequestBatch
+
+        # File 3 is uncached but nobody asks for it.
+        cache = CacheState(
+            np.asarray([[0, 1], [1, 2]], dtype=np.int64), num_files=4
+        )
+        requests = RequestBatch(
+            origins=np.zeros(3, dtype=np.int64),
+            files=np.asarray([0, 1, 2], dtype=np.int64),
+            num_nodes=2,
+            num_files=4,
+        )
+        resolved, remapped = apply_uncached_policy(
+            cache, requests, FileLibrary(4), np.random.default_rng(0)
+        )
+        assert resolved is requests
+        assert remapped == 0
 
 
 class TestFromConfig:

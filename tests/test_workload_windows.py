@@ -1,0 +1,118 @@
+"""Tests for the workload streaming protocol (WorkloadGenerator.iter_windows)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.exceptions import WorkloadError
+from repro.topology.torus import Torus2D
+from repro.workload.generators import (
+    HotspotOriginWorkload,
+    PoissonDemandWorkload,
+    UniformOriginWorkload,
+)
+from repro.workload.request import RequestBatch
+
+
+@pytest.fixture
+def system():
+    return Torus2D(49), FileLibrary(20)
+
+
+def _concatenate(windows):
+    merged = windows[0]
+    for window in windows[1:]:
+        merged = merged.concatenate(window)
+    return merged
+
+
+GENERATORS = {
+    "uniform_origin": lambda: UniformOriginWorkload(130),
+    "poisson_demand": lambda: PoissonDemandWorkload(rate=2.0),
+    "hotspot_origin": lambda: HotspotOriginWorkload(130, hotspot_fraction=0.4),
+}
+
+
+@pytest.mark.parametrize("factory", GENERATORS.values(), ids=GENERATORS.keys())
+class TestSlicedMode:
+    def test_concatenation_is_bit_identical_to_one_shot(self, system, factory):
+        topology, library = system
+        workload = factory()
+        one_shot = workload.generate(topology, library, seed=3)
+        windows = list(
+            workload.iter_windows(topology, library, seed=3, window_size=37)
+        )
+        merged = _concatenate(windows)
+        np.testing.assert_array_equal(merged.origins, one_shot.origins)
+        np.testing.assert_array_equal(merged.files, one_shot.files)
+        assert all(w.num_requests <= 37 for w in windows)
+
+    def test_num_windows_caps_the_slices(self, system, factory):
+        topology, library = system
+        windows = list(
+            factory().iter_windows(
+                topology, library, seed=3, window_size=10, num_windows=3
+            )
+        )
+        assert len(windows) == 3
+        assert all(w.num_requests == 10 for w in windows)
+
+
+class TestContinuousMode:
+    def test_yields_independent_batches_of_natural_size(self, system):
+        topology, library = system
+        workload = UniformOriginWorkload(40)
+        windows = list(
+            workload.iter_windows(topology, library, seed=5, num_windows=4)
+        )
+        assert len(windows) == 4
+        assert all(w.num_requests == 40 for w in windows)
+        assert all(isinstance(w, RequestBatch) for w in windows)
+        # Windows are draws from one persistent stream, so they differ.
+        assert not np.array_equal(windows[0].files, windows[1].files)
+
+    def test_deterministic_given_seed(self, system):
+        topology, library = system
+        workload = UniformOriginWorkload(25)
+        a = list(workload.iter_windows(topology, library, seed=9, num_windows=3))
+        b = list(workload.iter_windows(topology, library, seed=9, num_windows=3))
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(wa.origins, wb.origins)
+            np.testing.assert_array_equal(wa.files, wb.files)
+
+    def test_unbounded_stream_is_lazy(self, system):
+        topology, library = system
+        stream = UniformOriginWorkload(10).iter_windows(topology, library, seed=1)
+        taken = list(itertools.islice(stream, 5))
+        assert len(taken) == 5
+
+    def test_num_windows_zero_yields_nothing(self, system):
+        topology, library = system
+        stream = UniformOriginWorkload(10).iter_windows(
+            topology, library, seed=1, num_windows=0
+        )
+        assert list(stream) == []
+
+
+class TestValidation:
+    def test_invalid_window_size(self, system):
+        topology, library = system
+        with pytest.raises(WorkloadError):
+            list(
+                UniformOriginWorkload(10).iter_windows(
+                    topology, library, seed=1, window_size=0
+                )
+            )
+
+    def test_invalid_num_windows(self, system):
+        topology, library = system
+        with pytest.raises(WorkloadError):
+            list(
+                UniformOriginWorkload(10).iter_windows(
+                    topology, library, seed=1, num_windows=-1
+                )
+            )
