@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench bench-smoke ci
+.PHONY: test bench bench-smoke bench-queueing ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -15,8 +15,14 @@ ci: test bench-smoke
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-# Fast smoke pass over the kernel and session micro-benches: exercises the
-# batched group-index / sampling / commit code paths, the session artifact
-# reuse, and their speedup gates without benchmark calibration overhead.
+# Fast smoke pass over the kernel, session and queueing micro-benches:
+# exercises the batched group-index / sampling / commit code paths, the
+# session artifact reuse, the event-batched queueing engine, and their
+# speedup gates without benchmark calibration overhead.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/test_bench_kernels.py benchmarks/test_bench_sessions.py -m bench_smoke -q -s --benchmark-disable
+	$(PYTHON) -m pytest benchmarks/test_bench_kernels.py benchmarks/test_bench_sessions.py benchmarks/test_bench_queueing.py -m bench_smoke -q -s --benchmark-disable
+
+# Queueing (supermarket model) benches alone, including the kernel-vs-
+# reference speedup gate; writes benchmarks/results/queueing_speedup.txt.
+bench-queueing:
+	$(PYTHON) -m pytest benchmarks/test_bench_queueing.py -m bench_smoke -q -s --benchmark-disable

@@ -4,15 +4,20 @@
 The paper analyses a static block of requests and conjectures (Section VI)
 that the same load-balancing behaviour carries over to the dynamic setting in
 which requests arrive as a Poisson process and each server works through a
-queue.  This example runs that dynamic system with the discrete-event
-simulator in :mod:`repro.simulation.queueing` and compares
+queue.  This example runs that dynamic system on the **event-batched queueing
+kernel** (``engine="kernel"``, bit-identical to the scalar reference engine
+but ~10× faster) and demonstrates the two surfaces added for it:
 
-* one random in-ball replica (d = 1), versus
-* the proximity-aware two-choice dispatcher (d = 2),
+1. :func:`repro.experiments.run_queueing_experiment` — a figure-scale sweep
+   over the per-server arrival rate and the number of choices ``d``, sharing
+   one placement and one memoised candidate precompute across all points;
+2. :func:`repro.session.open_queueing_session` — a persistent
+   :class:`~repro.session.queueing.QueueingSession` serving the timeline in
+   windows (queue state, busy-until vector and RNG streams persist, so the
+   windowed run is bit-identical to a one-shot run over the same horizon).
 
-at increasing arrival rates.  The headline quantity is the maximum queue
-length ever observed (the dynamic analogue of the paper's maximum load) and
-the mean sojourn time.
+The headline quantity is the maximum queue length ever observed (the dynamic
+analogue of the paper's maximum load) and the mean sojourn time.
 
 Run with ``python examples/supermarket_queueing.py``.
 """
@@ -20,57 +25,71 @@ Run with ``python examples/supermarket_queueing.py``.
 from __future__ import annotations
 
 from repro import FileLibrary, ProportionalPlacement, Torus2D
-from repro.experiments import render_comparison_table
+from repro.experiments import render_comparison_table, run_queueing_experiment
+from repro.session import open_queueing_session
 from repro.simulation import QueueingSimulation
 from repro.workload import PoissonArrivalProcess
 
 
-def main() -> None:
+def sweep_demo() -> None:
+    """Arrival-rate × d sweep on the event-batched kernel."""
     num_nodes = 400
-    num_files = 200
-    cache_size = 20
-    radius = 6
-    horizon = 60.0
-    service_rate = 1.0
-    arrival_rates = [0.5, 0.7, 0.9]
-
-    torus = Torus2D(num_nodes)
-    library = FileLibrary(num_files)
-    placement = ProportionalPlacement(cache_size)
-
-    rows = []
-    for rate in arrival_rates:
-        for num_choices in (1, 2):
-            simulation = QueueingSimulation(
-                topology=torus,
-                library=library,
-                placement=placement,
-                arrivals=PoissonArrivalProcess(rate_per_node=rate),
-                service_rate=service_rate,
-                radius=radius,
-                num_choices=num_choices,
-            )
-            result = simulation.run(horizon=horizon, seed=99)
-            rows.append(
-                {
-                    "arrival rate / server": rate,
-                    "choices d": num_choices,
-                    "max queue length": result.max_queue_length,
-                    "mean queue length": result.mean_queue_length / num_nodes,
-                    "mean sojourn time": result.mean_sojourn_time,
-                    "avg hops": result.communication_cost,
-                }
-            )
-
+    rows = run_queueing_experiment(
+        num_nodes=num_nodes,
+        num_files=200,
+        cache_size=20,
+        radius=6,
+        arrival_rates=(0.5, 0.7, 0.9),
+        choices=(1, 2),
+        horizon=60.0,
+        seed=99,
+    )
     print(
         render_comparison_table(
             rows,
             title=(
-                f"Supermarket model on n={num_nodes}, K={num_files}, M={cache_size}, "
-                f"r={radius}, mu={service_rate}, horizon={horizon}"
+                f"Supermarket model on n={num_nodes}, K=200, M=20, r=6, "
+                "mu=1, horizon=60 (engine=kernel)"
             ),
         )
     )
+
+
+def windowed_session_demo(seed: int = 99) -> None:
+    """Serve one point in time windows and check it matches the one-shot run."""
+    torus = Torus2D(400)
+    library = FileLibrary(200)
+    placement = ProportionalPlacement(20)
+    arrivals = PoissonArrivalProcess(rate_per_node=0.9)
+
+    session = open_queueing_session(
+        torus, library, placement, arrivals, seed=seed, radius=6, num_choices=2
+    )
+    print("\nwindowed serving (same point, rate=0.9, d=2):")
+    for window in session.serve_windows(window=15.0, num_windows=4):
+        cumulative = window.result
+        print(
+            f"  window {window.window_index}: t<{window.window_end:g} "
+            f"arrivals={cumulative.num_arrivals} "
+            f"max queue={cumulative.max_queue_length} "
+            f"mean sojourn={cumulative.mean_sojourn_time:.3f}"
+        )
+
+    one_shot = QueueingSimulation(
+        topology=torus,
+        library=library,
+        placement=placement,
+        arrivals=arrivals,
+        radius=6,
+        num_choices=2,
+    ).run(horizon=60.0, seed=seed)
+    assert session.result() == one_shot, "windowed serving must be bit-identical"
+    print("  windowed result is bit-identical to the one-shot run.")
+
+
+def main() -> None:
+    sweep_demo()
+    windowed_session_demo()
     print(
         "\nAs the arrival rate approaches the service rate, the single-choice "
         "dispatcher develops long queues at unlucky servers while the two-choice "

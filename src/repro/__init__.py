@@ -48,8 +48,10 @@ from repro.placement import (
 from repro.session import (
     ArtifactCache,
     CacheNetworkSession,
+    QueueingSession,
     SessionSnapshot,
     WindowResult,
+    open_queueing_session,
     open_session,
 )
 from repro.simulation import (
@@ -107,6 +109,8 @@ __all__ = [
     "SessionSnapshot",
     "WindowResult",
     "open_session",
+    "QueueingSession",
+    "open_queueing_session",
     # simulation
     "SimulationConfig",
     "CacheNetworkSimulation",

@@ -22,6 +22,13 @@ Three subcommands cover the common workflows without writing Python:
     supermarket-style view of the same system ``repro simulate`` measures in
     one shot.
 
+``repro supermarket``
+    Run the continuous-time queueing (supermarket-model) sweep on the
+    event-batched queueing kernel: a grid over the per-server arrival rate
+    and the number of choices ``d``, or — with ``--stream-windows`` — one
+    persistent :class:`~repro.session.queueing.QueueingSession` served
+    window by window with per-window statistics.
+
 The CLI is also installed as the ``repro`` console script.
 """
 
@@ -32,9 +39,12 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.experiments.figures import all_figure_specs
 from repro.experiments.io import result_to_csv, save_experiment_result
 from repro.experiments.report import render_comparison_table, render_experiment
+from repro.experiments.queueing import run_queueing_experiment
 from repro.experiments.runner import run_experiment
 from repro.experiments.tables import (
     ballsbins_table,
@@ -137,6 +147,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--windows", type=int, default=10, help="number of windows")
     stream.add_argument("--seed", type=int, default=0, help="random seed")
+
+    supermarket = subparsers.add_parser(
+        "supermarket",
+        help="run the continuous-time queueing (supermarket model) sweep",
+    )
+    supermarket.add_argument("--nodes", type=int, required=True, help="number of servers n")
+    supermarket.add_argument("--files", type=int, required=True, help="library size K")
+    supermarket.add_argument("--cache", type=int, required=True, help="cache slots per server M")
+    supermarket.add_argument(
+        "--topology", default="torus", help="topology name (default: torus)"
+    )
+    supermarket.add_argument(
+        "--popularity", default="uniform", help="popularity family (uniform or zipf)"
+    )
+    supermarket.add_argument("--gamma", type=float, default=None, help="Zipf exponent")
+    supermarket.add_argument(
+        "--placement", default="proportional", help="placement name (default: proportional)"
+    )
+    supermarket.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="proximity radius r for candidate replicas (default: unconstrained)",
+    )
+    supermarket.add_argument(
+        "--choices",
+        nargs="+",
+        type=int,
+        default=[1, 2],
+        help="numbers of choices d to sweep (default: 1 2)",
+    )
+    supermarket.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=[0.5, 0.7, 0.9],
+        help="per-server arrival rates to sweep (default: 0.5 0.7 0.9)",
+    )
+    supermarket.add_argument(
+        "--mu", type=float, default=1.0, help="per-server service rate (default: 1.0)"
+    )
+    supermarket.add_argument(
+        "--horizon", type=float, default=60.0, help="simulated time horizon (default: 60)"
+    )
+    supermarket.add_argument(
+        "--weights",
+        default="uniform",
+        choices=["uniform", "popularity"],
+        help="candidate sampling bias (default: uniform)",
+    )
+    supermarket.add_argument(
+        "--engine",
+        default="kernel",
+        choices=["kernel", "reference"],
+        help="execution engine (default: kernel; results are bit-identical)",
+    )
+    supermarket.add_argument(
+        "--stream-windows",
+        type=int,
+        default=None,
+        help="serve one session in this many equal windows instead of sweeping",
+    )
+    supermarket.add_argument("--seed", type=int, default=0, help="random seed")
 
     tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
     tables.add_argument(
@@ -241,6 +314,88 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_supermarket(args: argparse.Namespace) -> int:
+    popularity_params: dict[str, object] = {}
+    if args.popularity == "zipf":
+        if args.gamma is None:
+            print("error: --gamma is required with --popularity zipf", file=sys.stderr)
+            return 2
+        popularity_params = {"gamma": args.gamma}
+    radius_label = "inf" if args.radius is None else f"{args.radius:g}"
+    title = (
+        f"supermarket model on {args.topology} n={args.nodes}, K={args.files}, "
+        f"M={args.cache}, r={radius_label}, mu={args.mu:g}, "
+        f"horizon={args.horizon:g}, engine={args.engine}"
+    )
+    if args.stream_windows is not None:
+        if args.stream_windows <= 0:
+            print("error: --stream-windows must be positive", file=sys.stderr)
+            return 2
+        from repro.catalog.library import FileLibrary
+        from repro.catalog.popularity import create_popularity
+        from repro.placement.factory import create_placement
+        from repro.session import open_queueing_session
+        from repro.topology.factory import create_topology
+        from repro.workload import PoissonArrivalProcess
+
+        session = open_queueing_session(
+            create_topology(args.topology, args.nodes),
+            FileLibrary(
+                args.files,
+                create_popularity(args.popularity, args.files, **popularity_params),
+            ),
+            create_placement(args.placement, args.cache),
+            PoissonArrivalProcess(rate_per_node=args.rates[0]),
+            seed=args.seed,
+            service_rate=args.mu,
+            radius=np.inf if args.radius is None else args.radius,
+            num_choices=args.choices[0],
+            candidate_weights=args.weights,
+            engine=args.engine,
+        )
+        print(
+            f"streaming {args.stream_windows} windows at rate {args.rates[0]:g}, "
+            f"d={args.choices[0]} over: {title}"
+        )
+        header = (
+            f"{'window':>6} {'t':>8} {'arrivals':>9} {'done':>9} "
+            f"{'Qmax':>6} {'meanQ':>8} {'W':>8} {'C':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        width = args.horizon / args.stream_windows
+        for result in session.serve_windows(width, args.stream_windows):
+            cumulative = result.result
+            print(
+                f"{result.window_index:>6} {result.window_end:>8.2f} "
+                f"{cumulative.num_arrivals:>9} {cumulative.num_completed:>9} "
+                f"{cumulative.max_queue_length:>6} "
+                f"{cumulative.mean_queue_length / args.nodes:>8.4f} "
+                f"{cumulative.mean_waiting_time:>8.4f} "
+                f"{cumulative.communication_cost:>8.3f}"
+            )
+        return 0
+    rows = run_queueing_experiment(
+        num_nodes=args.nodes,
+        num_files=args.files,
+        cache_size=args.cache,
+        topology=args.topology,
+        popularity=args.popularity,
+        popularity_params=popularity_params,
+        placement=args.placement,
+        arrival_rates=args.rates,
+        choices=args.choices,
+        radius=args.radius,
+        service_rate=args.mu,
+        horizon=args.horizon,
+        candidate_weights=args.weights,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    print(render_comparison_table(rows, title=title))
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     specs = all_figure_specs(trials=args.trials)
     wanted = {f"FIG{number}" for number in args.figures}
@@ -295,6 +450,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_simulate(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "supermarket":
+        return _command_supermarket(args)
     if args.command == "figures":
         return _command_figures(args)
     if args.command == "tables":

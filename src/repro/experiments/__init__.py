@@ -9,7 +9,9 @@ series, which :mod:`repro.experiments.report` renders as text tables and ASCII
 plots and :mod:`repro.experiments.io` persists to JSON/CSV.
 
 Theory-versus-simulation comparison tables (the theorem checks listed in
-DESIGN.md) live in :mod:`repro.experiments.tables`.
+DESIGN.md) live in :mod:`repro.experiments.tables`; dynamic supermarket-model
+sweeps (arrival rate × number of choices, on the event-batched queueing
+kernel) in :mod:`repro.experiments.queueing`.
 """
 
 from repro.experiments.spec import ExperimentSpec, SweepPoint, SeriesSpec
@@ -22,6 +24,7 @@ from repro.experiments.figures import (
     figure5_spec,
     all_figure_specs,
 )
+from repro.experiments.queueing import run_queueing_experiment
 from repro.experiments.runner import ExperimentResult, SeriesResult, run_experiment
 from repro.experiments.report import render_table, render_experiment, render_comparison_table
 from repro.experiments.ascii_plot import ascii_plot
@@ -50,6 +53,7 @@ __all__ = [
     "ExperimentResult",
     "SeriesResult",
     "run_experiment",
+    "run_queueing_experiment",
     "render_table",
     "render_experiment",
     "render_comparison_table",

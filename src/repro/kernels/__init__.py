@@ -55,6 +55,12 @@ pair and a persistent load vector across successive request windows (the
 ``streams`` / ``loads`` keyword arguments of every kernel entry point, used by
 :mod:`repro.session`) reproduces the one-shot run over the concatenated
 windows bit for bit.
+
+The dynamic (supermarket-model) simulation has its own three-stream variant
+of this contract — sample / tie / service, consumed strictly per arrival —
+implemented by the event-batched and scalar engines in
+:mod:`repro.kernels.queueing` and enforced by
+``tests/test_kernels_queueing_differential.py``.
 """
 
 from repro.kernels.commit import (
@@ -85,7 +91,19 @@ from repro.kernels.reference import (
     threshold_hybrid_reference,
     two_choice_reference,
 )
-from repro.kernels.sampling import draw_sample_positions, shifted_uniform_sample
+from repro.kernels.queueing import (
+    QueueingState,
+    drain_departures,
+    finalize_result_fields,
+    queueing_kernel_window,
+    queueing_reference_window,
+)
+from repro.kernels.sampling import (
+    draw_sample_positions,
+    shifted_uniform_sample,
+    weighted_pick_positions,
+    weighted_sample_positions,
+)
 
 __all__ = [
     "GroupIndex",
@@ -97,6 +115,13 @@ __all__ = [
     "segmented_arange",
     "draw_sample_positions",
     "shifted_uniform_sample",
+    "weighted_pick_positions",
+    "weighted_sample_positions",
+    "QueueingState",
+    "drain_departures",
+    "finalize_result_fields",
+    "queueing_kernel_window",
+    "queueing_reference_window",
     "commit_least_loaded_of_sample",
     "commit_least_loaded_scan",
     "commit_threshold_hybrid",

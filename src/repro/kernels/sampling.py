@@ -34,7 +34,12 @@ import numpy as np
 from repro.kernels.group_index import segmented_arange
 from repro.types import IntArray
 
-__all__ = ["draw_sample_positions", "shifted_uniform_sample"]
+__all__ = [
+    "draw_sample_positions",
+    "shifted_uniform_sample",
+    "weighted_pick_positions",
+    "weighted_sample_positions",
+]
 
 
 def shifted_uniform_sample(
@@ -109,4 +114,103 @@ def draw_sample_positions(
         picks = shifted_uniform_sample(counts[rows], uniforms, d)
         dest = sample_indptr[rows][:, None] + np.arange(d, dtype=np.int64)
         positions[dest] = picks
+    return positions, sample_counts, sample_indptr
+
+
+def weighted_pick_positions(weights: list[float], uniforms: list[float]) -> list[int]:
+    """Successive weighted sampling without replacement (one request).
+
+    The ``j``-th pick inverts the CDF of the not-yet-taken candidates in
+    candidate order at ``u_j * (remaining total weight)``; the picked weight
+    is then removed from the total.  The remaining total is maintained by
+    sequential subtraction (and the initial total by sequential addition in
+    candidate order), so the routine is a deterministic function of the float
+    operation order — the property the kernel/reference bit-identity of the
+    queueing engines relies on.
+
+    A candidate set whose total weight is not positive degenerates to the
+    uniform rule (all weights treated as 1).
+    """
+    total = 0.0
+    for w in weights:
+        total += w
+    if not total > 0.0:
+        weights = [1.0] * len(weights)
+        total = float(len(weights))
+    taken: list[int] = []
+    picks: list[int] = []
+    for u in uniforms:
+        target = u * total
+        acc = 0.0
+        pick = -1
+        for pos, w in enumerate(weights):
+            if pos in taken:
+                continue
+            acc += w
+            pick = pos
+            if target < acc:
+                break
+        taken.append(pick)
+        picks.append(pick)
+        total -= weights[pick]
+    return picks
+
+
+def weighted_sample_positions(
+    counts: IntArray,
+    starts: IntArray,
+    flat_weights: np.ndarray,
+    num_choices: int,
+    rng: np.random.Generator,
+) -> tuple[IntArray, IntArray, IntArray]:
+    """Weighted ``d``-choice sampling with the uniform sampler's RNG shape.
+
+    ``counts[i]`` candidates of request ``i`` carry the positive weights
+    ``flat_weights[starts[i] : starts[i] + counts[i]]``; request ``i`` samples
+    ``min(counts[i], d)`` of them without replacement, biased by weight via
+    :func:`weighted_pick_positions`.  The randomness consumption is identical
+    to :func:`draw_sample_positions` — a request consumes exactly ``d``
+    doubles iff it has more than ``d`` candidates — so the two samplers are
+    interchangeable under the queueing RNG-stream contract, and equal weights
+    reproduce the uniform sampler's picks bit for bit.
+
+    Returns the same ``(positions, sample_counts, sample_indptr)`` CSR layout
+    as :func:`draw_sample_positions`.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    m = counts.size
+    d = int(num_choices)
+    need = counts > d
+
+    sample_counts = np.minimum(counts, d)
+    sample_indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(sample_counts)]
+    )
+    positions = np.empty(int(sample_indptr[-1]), dtype=np.int64)
+    if m == 0:
+        return positions, sample_counts, sample_indptr
+
+    take_all = ~need
+    if np.any(take_all):
+        reps = sample_counts[take_all]
+        dest = np.repeat(sample_indptr[:-1][take_all], reps) + segmented_arange(reps)
+        positions[dest] = segmented_arange(reps)
+
+    rows = np.flatnonzero(need)
+    if rows.size:
+        uniforms = rng.random(rows.size * d).reshape(rows.size, d)
+        starts = np.asarray(starts, dtype=np.int64)
+        weights = flat_weights.tolist()
+        starts_list = starts[rows].tolist()
+        counts_list = counts[rows].tolist()
+        dest_base = sample_indptr[rows].tolist()
+        uniform_rows = uniforms.tolist()
+        for row in range(len(starts_list)):
+            lo = starts_list[row]
+            picks = weighted_pick_positions(
+                weights[lo : lo + counts_list[row]], uniform_rows[row]
+            )
+            base = dest_base[row]
+            for j, pick in enumerate(picks):
+                positions[base + j] = pick
     return positions, sample_counts, sample_indptr

@@ -10,6 +10,10 @@ against a persistent load vector and persistent RNG streams):
 * :class:`~repro.session.artifacts.ArtifactCache` — LRU-bounded memo of
   placements and group-index precompute, shared across trials, windows and
   sweep points.
+* :func:`~repro.session.queueing.open_queueing_session` /
+  :class:`~repro.session.queueing.QueueingSession` — the dynamic
+  (supermarket-model) counterpart: serve *time* windows against persistent
+  queue state, busy-until vector and RNG streams.
 
 The one-shot simulation engine
 (:class:`~repro.simulation.engine.CacheNetworkSimulation`) is a thin consumer
@@ -25,6 +29,11 @@ from repro.session.core import (
     apply_uncached_policy,
     open_session,
 )
+from repro.session.queueing import (
+    QueueingSession,
+    QueueingWindowResult,
+    open_queueing_session,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -33,4 +42,7 @@ __all__ = [
     "WindowResult",
     "apply_uncached_policy",
     "open_session",
+    "QueueingSession",
+    "QueueingWindowResult",
+    "open_queueing_session",
 ]

@@ -8,46 +8,54 @@ queue with exponential service times.
 
 This module implements that dynamic setting as a discrete-event simulation:
 
-* arrivals come from an :class:`~repro.workload.arrivals.ArrivalProcess`;
+* arrivals come from an :class:`~repro.workload.arrivals.ArrivalProcess`
+  (streamed incrementally via its
+  :class:`~repro.workload.arrivals.ArrivalStream`);
 * on arrival at origin ``u`` for file ``W_j``, the dispatcher samples ``d``
   replicas of ``W_j`` inside ``B_r(u)`` (same candidate logic as Strategy II)
   and enqueues the request at the sampled server with the shortest queue;
 * each server is an M/M/1-style FIFO queue with service rate ``mu``.
 
-Candidate sets come from the session layer's group index rather than
-per-arrival ball queries: all arrivals are grouped by ``(origin, file)`` and
-their in-ball replica sets (with nearest-replica fallback) are resolved in
-one batched :func:`~repro.kernels.group_index.build_group_index` pass before
-the event loop starts — the same load-independent precompute the static
-kernel engine uses, optionally memoised across runs via an
-:class:`~repro.session.artifacts.ArtifactCache`.  The per-arrival dispatch
-randomness is unchanged, so results are identical to the pre-index
-implementation for any seed.
+Execution engines
+-----------------
+
+``run`` executes on one of two engines implementing the **queueing
+RNG-stream contract** documented in :mod:`repro.kernels.queueing`:
+
+* ``engine="kernel"`` (default) — the event-batched engine: candidate sets
+  resolve through the memoised group index, all sampling / tie-break /
+  service randomness is drawn in three batched calls, and the remaining
+  sequential event loop runs over plain Python ints and floats;
+* ``engine="reference"`` — the scalar per-arrival transcription, kept boring
+  for differential testing.
+
+The two are **bit-identical** for any seed (enforced by
+``tests/test_kernels_queueing_differential.py``); the kernel engine is ~10×
+faster at figure scale.  ``run`` is itself a thin wrapper over
+:class:`~repro.session.queueing.QueueingSession` serving one window, so a
+one-shot run is also bit-identical to any window-partitioned session serving
+of the same horizon.
 
 Reported metrics: the maximum queue length ever observed (the dynamic
 analogue of the paper's maximum load), the time-averaged mean queue length,
 mean waiting and sojourn times, and the mean hop distance (communication
-cost).
+cost) — all maintained as O(1)-memory streaming accumulators.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.catalog.library import FileLibrary
 from repro.exceptions import ConfigurationError
-from repro.kernels.group_index import build_group_index
+from repro.kernels.queueing import validate_queueing_parameters
 from repro.placement.base import PlacementStrategy
-from repro.rng import SeedLike, spawn_generators
+from repro.rng import SeedLike
 from repro.session.artifacts import ArtifactCache
-from repro.strategies.base import FallbackPolicy
 from repro.topology.base import Topology
 from repro.workload.arrivals import ArrivalProcess
-from repro.workload.request import RequestBatch
 
 __all__ = ["QueueingResult", "QueueingSimulation"]
 
@@ -87,18 +95,24 @@ class QueueingSimulation:
     topology, library, placement:
         The cache network components (placement is run once at time zero).
     arrivals:
-        Continuous-time arrival process.
+        Continuous-time arrival process (must support streaming).
     service_rate:
         Per-server exponential service rate ``mu``; stability requires the
-        per-server arrival rate to stay below ``mu``.
+        per-server arrival rate to stay below ``mu`` (a ``UserWarning`` is
+        emitted when it does not).
     radius:
         Proximity constraint ``r`` for candidate replicas (``inf`` = none).
     num_choices:
         Number of candidate replicas compared per arrival (``d``).
+    candidate_weights:
+        ``"uniform"`` (the paper's draw) or ``"popularity"``, which biases
+        the ``d``-choice draw towards servers caching more popularity mass.
+        The static strategies always sample uniformly, matching the paper.
     artifacts:
         Optional :class:`~repro.session.artifacts.ArtifactCache` memoising
-        the candidate precompute across runs that share a placement (e.g.
-        sweeps over ``mu`` or the arrival rate).
+        the placement and the candidate precompute across runs that share a
+        placement (e.g. sweeps over ``mu``, the arrival rate, ``r`` or
+        ``d``) — including unconstrained (``radius=inf``) runs.
     """
 
     def __init__(
@@ -110,14 +124,10 @@ class QueueingSimulation:
         service_rate: float = 1.0,
         radius: float = np.inf,
         num_choices: int = 2,
+        candidate_weights: str = "uniform",
         artifacts: ArtifactCache | None = None,
     ) -> None:
-        if service_rate <= 0:
-            raise ConfigurationError(f"service_rate must be positive, got {service_rate}")
-        if radius < 0:
-            raise ConfigurationError(f"radius must be non-negative, got {radius}")
-        if num_choices < 1:
-            raise ConfigurationError(f"num_choices must be at least 1, got {num_choices}")
+        validate_queueing_parameters(service_rate, radius, num_choices, candidate_weights)
         self._topology = topology
         self._library = library
         self._placement = placement
@@ -125,131 +135,38 @@ class QueueingSimulation:
         self._service_rate = float(service_rate)
         self._radius = float(radius)
         self._num_choices = int(num_choices)
+        self._candidate_weights = candidate_weights
         self._artifacts = artifacts
 
     # --------------------------------------------------------------------- run
-    def run(self, horizon: float, seed: SeedLike = None) -> QueueingResult:
-        """Simulate the system over ``[0, horizon)`` and return its statistics."""
+    def run(
+        self, horizon: float, seed: SeedLike = None, *, engine: str = "kernel"
+    ) -> QueueingResult:
+        """Simulate the system over ``[0, horizon)`` and return its statistics.
+
+        ``engine`` selects the execution engine (``"kernel"`` or
+        ``"reference"``); results are bit-identical between engines for the
+        same seed, so swapping it never changes the science.
+        """
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
-        rng_placement, rng_arrivals, rng_dispatch = spawn_generators(seed, 3)
-        cache = self._placement.place(self._topology, self._library, rng_placement)
-        requests = self._arrivals.generate(self._topology, self._library, horizon, rng_arrivals)
+        from repro.session.queueing import QueueingSession
 
-        n = self._topology.n
-        queue_lengths = np.zeros(n, dtype=np.int64)
-        busy_until = np.zeros(n, dtype=np.float64)
-        unconstrained = np.isinf(self._radius) or self._radius >= self._topology.diameter
-
-        # Resolve every arrival's candidate set up front through the group
-        # index (load-independent, like the static kernels' precompute).  The
-        # nearest-replica fallback for empty balls matches the paper's
-        # Strategy II dispatcher; a file cached nowhere raises NoReplicaError
-        # exactly as the per-arrival path did.
-        index = None
-        if requests:
-            batch = RequestBatch(
-                origins=np.asarray([r.origin for r in requests], dtype=np.int64),
-                files=np.asarray([r.file_id for r in requests], dtype=np.int64),
-                num_nodes=n,
-                num_files=self._library.num_files,
-            )
-            store = None
-            if self._artifacts is not None and not unconstrained:
-                signature = (float(self._radius), FallbackPolicy.NEAREST.value, True)
-                store = self._artifacts.group_store(self._topology, cache, signature)
-            index = build_group_index(
-                self._topology,
-                cache,
-                batch,
-                radius=self._radius,
-                fallback=FallbackPolicy.NEAREST,
-                need_dists=not unconstrained,
-                store=store,
-            )
-
-        # Event queue holds departure events; arrivals are consumed in order.
-        events: list[tuple[float, int, int]] = []  # (time, tiebreak, server)
-        counter = itertools.count()
-
-        max_queue = 0
-        area_queue = 0.0  # integral of total queue length over time
-        last_time = 0.0
-        waiting_times: list[float] = []
-        sojourn_times: list[float] = []
-        hops: list[int] = []
-        completed = 0
-
-        def advance_time(now: float) -> None:
-            nonlocal area_queue, last_time
-            area_queue += float(queue_lengths.sum()) * (now - last_time)
-            last_time = now
-
-        def pop_departures(until: float) -> None:
-            nonlocal completed
-            while events and events[0][0] <= until:
-                time, _, server = heapq.heappop(events)
-                advance_time(time)
-                queue_lengths[server] -= 1
-                completed += 1
-
-        for position, request in enumerate(requests):
-            now = request.time
-            pop_departures(now)
-            advance_time(now)
-
-            group = int(index.request_group[position])
-            start = int(index.starts[group])
-            count = int(index.counts[group])
-            candidates = index.nodes[start : start + count]
-            dists = None if index.dists is None else index.dists[start : start + count]
-
-            if candidates.size > self._num_choices:
-                picked_idx = rng_dispatch.choice(
-                    candidates.size, size=self._num_choices, replace=False
-                )
-            else:
-                picked_idx = np.arange(candidates.size)
-            picked = candidates[picked_idx]
-            picked_queues = queue_lengths[picked]
-            best = np.flatnonzero(picked_queues == picked_queues.min())
-            winner_pos = int(best[rng_dispatch.integers(0, best.size)]) if best.size > 1 else int(
-                best[0]
-            )
-            server = int(picked[winner_pos])
-            if dists is not None:
-                hop = int(dists[picked_idx[winner_pos]])
-            else:
-                hop = int(self._topology.distances_from(request.origin, np.asarray([server]))[0])
-            hops.append(hop)
-
-            # Enqueue: the request starts service when the server frees up.
-            service = float(rng_dispatch.exponential(1.0 / self._service_rate))
-            start = max(now, busy_until[server])
-            finish = start + service
-            busy_until[server] = finish
-            waiting_times.append(start - now)
-            sojourn_times.append(finish - now)
-            queue_lengths[server] += 1
-            max_queue = max(max_queue, int(queue_lengths[server]))
-            heapq.heappush(events, (finish, next(counter), server))
-
-        # Drain remaining departures up to the horizon.
-        pop_departures(horizon)
-        advance_time(horizon)
-
-        num_arrivals = len(requests)
-        mean_queue = area_queue / horizon if horizon > 0 else 0.0
-        return QueueingResult(
-            num_arrivals=num_arrivals,
-            num_completed=completed,
-            max_queue_length=max_queue,
-            mean_queue_length=float(mean_queue),
-            mean_waiting_time=float(np.mean(waiting_times)) if waiting_times else 0.0,
-            mean_sojourn_time=float(np.mean(sojourn_times)) if sojourn_times else 0.0,
-            communication_cost=float(np.mean(hops)) if hops else 0.0,
-            horizon=float(horizon),
+        session = QueueingSession(
+            self._topology,
+            self._library,
+            self._placement,
+            self._arrivals,
+            service_rate=self._service_rate,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            candidate_weights=self._candidate_weights,
+            engine=engine,
+            seed=seed,
+            artifacts=self._artifacts,
         )
+        session.serve(horizon)
+        return session.result()
 
     def __repr__(self) -> str:
         radius = "inf" if np.isinf(self._radius) else f"{self._radius:g}"

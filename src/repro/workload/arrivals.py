@@ -6,6 +6,20 @@ continuous-time *supermarket model* in which requests arrive as a Poisson
 process and occupy a server for an exponentially distributed service time.
 The queueing extension in :mod:`repro.simulation.queueing` consumes the timed
 request streams produced here.
+
+Two generation surfaces exist:
+
+* :meth:`ArrivalProcess.generate` — one-shot: all arrivals in ``[0, horizon)``
+  (kept for trace tooling and direct use).
+* :meth:`ArrivalProcess.stream` — incremental: an :class:`ArrivalStream`
+  whose :meth:`~ArrivalStream.take_until` serves arrivals window by window.
+  The stream's randomness is consumed strictly in arrival order from three
+  dedicated child streams (inter-arrival gaps, origins, files), so the
+  arrival sequence is **independent of how it is windowed**: any partition of
+  ``[0, horizon)`` into ``take_until`` calls yields exactly the arrivals of a
+  single ``take_until(horizon)``.  This is the property the queueing session
+  layer (:mod:`repro.session.queueing`) builds its bit-identical windowed
+  serving on.
 """
 
 from __future__ import annotations
@@ -16,11 +30,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.catalog.library import FileLibrary
-from repro.rng import SeedLike, as_generator
+from repro.exceptions import WorkloadError
+from repro.rng import SeedLike, as_generator, spawn_generators
 from repro.topology.base import Topology
+from repro.types import FloatArray, IntArray
 from repro.utils.validation import check_in_range
 
-__all__ = ["TimedRequest", "ArrivalProcess", "PoissonArrivalProcess"]
+__all__ = [
+    "TimedRequest",
+    "ArrivalProcess",
+    "ArrivalStream",
+    "PoissonArrivalProcess",
+    "PoissonArrivalStream",
+]
 
 
 @dataclass(frozen=True)
@@ -30,6 +52,27 @@ class TimedRequest:
     time: float
     origin: int
     file_id: int
+
+
+class ArrivalStream(ABC):
+    """Stateful, windowable view of one arrival sequence.
+
+    A stream materialises a single infinite arrival sequence lazily.
+    Implementations must consume their randomness strictly in arrival order so
+    that the sequence served is invariant under windowing: for any
+    ``0 < t_1 < ... < t_k``, concatenating ``take_until(t_1) ..
+    take_until(t_k)`` yields exactly the arrivals a fresh stream would return
+    from a single ``take_until(t_k)``.
+    """
+
+    @abstractmethod
+    def take_until(self, until: float) -> tuple[FloatArray, IntArray, IntArray]:
+        """All not-yet-served arrivals with time strictly below ``until``.
+
+        Returns ``(times, origins, files)`` in ascending time order.  ``until``
+        must be non-decreasing across calls; an arrival at exactly ``until``
+        belongs to the next window.
+        """
 
 
 class ArrivalProcess(ABC):
@@ -44,6 +87,14 @@ class ArrivalProcess(ABC):
         seed: SeedLike = None,
     ) -> list[TimedRequest]:
         """Generate all requests arriving in ``[0, horizon)`` sorted by time."""
+
+    def stream(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> ArrivalStream:
+        """Open an incremental :class:`ArrivalStream` over this process."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental streaming"
+        )
 
 
 class PoissonArrivalProcess(ArrivalProcess):
@@ -85,3 +136,89 @@ class PoissonArrivalProcess(ArrivalProcess):
             TimedRequest(time=float(t), origin=int(o), file_id=int(f))
             for t, o, f in zip(times, origins, files)
         ]
+
+    def stream(
+        self, topology: Topology, library: FileLibrary, seed: SeedLike = None
+    ) -> "PoissonArrivalStream":
+        """Open an incremental exponential-gap stream over this process.
+
+        The streamed sequence is a Poisson process of the same total rate as
+        :meth:`generate` (sequential ``Exp(1 / (n * rate))`` inter-arrival
+        gaps instead of the count-then-order-statistics construction), drawn
+        from dedicated child streams so any windowing of ``take_until`` calls
+        reproduces the same arrivals.
+        """
+        return PoissonArrivalStream(topology, library, self._rate, seed)
+
+
+class PoissonArrivalStream(ArrivalStream):
+    """Windowable Poisson arrivals via sequential exponential gaps.
+
+    Randomness is split into three child streams (gaps, origins, files) so
+    each is consumed strictly per arrival:
+
+    * **gap stream** — inter-arrival gaps are drawn in fixed-size batches of
+      :data:`CHUNK` exponentials; over-drawn gaps stay buffered as pending
+      arrival times, so the gap sequence never depends on window boundaries;
+    * **origin stream** — one uniform server id per served arrival;
+    * **file stream** — one popularity draw per served arrival.
+
+    Batch draws split losslessly (numpy ``Generator`` fills arrays with the
+    same sequential scalar routine), which makes the served sequence invariant
+    under the partition of ``take_until`` calls.
+    """
+
+    #: Gap-draw batch size; fixed so the gap stream's consumption pattern is
+    #: a pure function of how many arrivals have been materialised.
+    CHUNK = 256
+
+    def __init__(
+        self,
+        topology: Topology,
+        library: FileLibrary,
+        rate_per_node: float,
+        seed: SeedLike = None,
+    ) -> None:
+        self._num_nodes = topology.n
+        self._library = library
+        self._scale = 1.0 / (
+            check_in_range(rate_per_node, "rate_per_node", 0.0, np.inf, low_inclusive=False)
+            * topology.n
+        )
+        self._rng_gaps, self._rng_origins, self._rng_files = spawn_generators(seed, 3)
+        self._pending = np.empty(0, dtype=np.float64)  # drawn, not yet served
+        self._tail = 0.0  # time of the last drawn arrival
+        self._cursor = 0.0  # high-water mark of take_until
+
+    @property
+    def cursor(self) -> float:
+        """Time up to which arrivals have been served (exclusive)."""
+        return self._cursor
+
+    def take_until(self, until: float) -> tuple[FloatArray, IntArray, IntArray]:
+        """Arrivals in ``[cursor, until)``, advancing the cursor to ``until``."""
+        until = float(until)
+        if not np.isfinite(until):
+            raise WorkloadError(f"until must be finite, got {until}")
+        if until < self._cursor:
+            raise WorkloadError(
+                f"take_until must be non-decreasing, got {until} after {self._cursor}"
+            )
+        if self._tail < until:
+            # Accumulate chunks locally and concatenate once: growing the
+            # pending buffer per chunk would make one-shot generation
+            # quadratic in the number of arrivals.
+            chunks = [self._pending]
+            while self._tail < until:
+                gaps = self._rng_gaps.exponential(self._scale, size=self.CHUNK)
+                times = self._tail + np.cumsum(gaps)
+                self._tail = float(times[-1])
+                chunks.append(times)
+            self._pending = np.concatenate(chunks)
+        count = int(np.searchsorted(self._pending, until, side="left"))
+        times = self._pending[:count].copy()
+        self._pending = self._pending[count:]
+        self._cursor = until
+        origins = self._rng_origins.integers(0, self._num_nodes, size=count).astype(np.int64)
+        files = self._library.sample_files(count, self._rng_files)
+        return times, origins, files

@@ -166,6 +166,63 @@ class TestStreamCommand:
         assert args.window is None
 
 
+class TestSupermarketCommand:
+    BASE = [
+        "supermarket",
+        "--nodes", "64",
+        "--files", "30",
+        "--cache", "4",
+        "--radius", "3",
+        "--horizon", "6",
+        "--seed", "1",
+    ]
+
+    def test_sweep_reports_grid(self, capsys):
+        code = main(self.BASE + ["--rates", "0.5", "0.8", "--choices", "1", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supermarket model" in out
+        assert "max queue length" in out
+        # One row per (rate, d) grid point.
+        assert out.count("\n0.5") + out.count("\n0.8") == 4
+
+    def test_stream_windows_reports_per_window(self, capsys):
+        code = main(
+            self.BASE
+            + ["--rates", "0.6", "--choices", "2", "--stream-windows", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming 3 windows" in out
+        assert "Qmax" in out
+
+    def test_engines_report_identical_tables(self, capsys):
+        main(self.BASE + ["--rates", "0.5", "--engine", "kernel"])
+        kernel_out = capsys.readouterr().out.replace("engine=kernel", "")
+        main(self.BASE + ["--rates", "0.5", "--engine", "reference"])
+        reference_out = capsys.readouterr().out.replace("engine=reference", "")
+        assert kernel_out == reference_out
+
+    def test_rejects_non_positive_stream_windows(self, capsys):
+        code = main(self.BASE + ["--stream-windows", "0"])
+        assert code == 2
+        assert "stream-windows" in capsys.readouterr().err
+
+    def test_zipf_requires_gamma(self, capsys):
+        code = main(self.BASE + ["--popularity", "zipf"])
+        assert code == 2
+        assert "--gamma" in capsys.readouterr().err
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["supermarket", "--nodes", "64", "--files", "30", "--cache", "4"]
+        )
+        assert args.rates == [0.5, 0.7, 0.9]
+        assert args.choices == [1, 2]
+        assert args.engine == "kernel"
+        assert args.weights == "uniform"
+
+
 class TestFiguresCommand:
     def test_single_figure_artifacts(self, tmp_path, capsys):
         code = main(

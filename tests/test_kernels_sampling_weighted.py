@@ -1,0 +1,128 @@
+"""Property tests for the weighted d-choice sampler (ROADMAP starter).
+
+``weighted_sample_positions`` must (a) consume randomness exactly like the
+uniform sampler — ``d`` doubles iff a request has more than ``d`` candidates
+— (b) reduce to the uniform sampler bit-for-bit under equal weights, and
+(c) realise the successive-sampling marginal inclusion probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.sampling import (
+    draw_sample_positions,
+    weighted_pick_positions,
+    weighted_sample_positions,
+)
+
+
+def _flat_layout(counts):
+    starts = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
+    return starts
+
+
+class TestContractShape:
+    def test_consumption_matches_uniform_sampler(self):
+        # Identical RNG consumption: after either sampler the generator must
+        # sit at the same stream position.
+        counts = np.asarray([5, 2, 7, 1, 4, 3], dtype=np.int64)
+        starts = _flat_layout(counts)
+        weights = np.arange(1.0, counts.sum() + 1.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        draw_sample_positions(counts, 2, rng_a)
+        weighted_sample_positions(counts, starts, weights, 2, rng_b)
+        assert rng_a.random() == rng_b.random()
+
+    def test_csr_layout_matches_uniform_sampler(self):
+        counts = np.asarray([5, 2, 7, 1], dtype=np.int64)
+        starts = _flat_layout(counts)
+        weights = np.ones(int(counts.sum()))
+        positions, sample_counts, indptr = weighted_sample_positions(
+            counts, starts, weights, 3, np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(sample_counts, [3, 2, 3, 1])
+        np.testing.assert_array_equal(indptr, [0, 3, 5, 8, 9])
+        for i in range(counts.size):
+            row = positions[indptr[i] : indptr[i + 1]]
+            assert len(set(row.tolist())) == row.size  # without replacement
+            assert row.min() >= 0 and row.max() < counts[i]
+
+    def test_small_sets_take_all_in_order(self):
+        counts = np.asarray([2, 1], dtype=np.int64)
+        positions, _, indptr = weighted_sample_positions(
+            counts, _flat_layout(counts), np.asarray([5.0, 1.0, 9.0]), 3,
+            np.random.default_rng(2),
+        )
+        np.testing.assert_array_equal(positions, [0, 1, 0])
+
+    def test_empty_batch(self):
+        counts = np.empty(0, dtype=np.int64)
+        positions, sample_counts, indptr = weighted_sample_positions(
+            counts, counts, np.empty(0), 2, np.random.default_rng(3)
+        )
+        assert positions.size == 0 and sample_counts.size == 0
+        np.testing.assert_array_equal(indptr, [0])
+
+
+class TestEqualWeightsDegenerate:
+    @pytest.mark.parametrize("num_choices", [1, 2, 3])
+    def test_equal_weights_reproduce_uniform_picks(self, num_choices):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(1, 12, size=200).astype(np.int64)
+        starts = _flat_layout(counts)
+        weights = np.ones(int(counts.sum()))
+        uniform = draw_sample_positions(counts, num_choices, np.random.default_rng(11))
+        weighted = weighted_sample_positions(
+            counts, starts, weights, num_choices, np.random.default_rng(11)
+        )
+        np.testing.assert_array_equal(uniform[0], weighted[0])
+        np.testing.assert_array_equal(uniform[2], weighted[2])
+
+    def test_non_positive_total_degenerates_to_uniform_rule(self):
+        picks = weighted_pick_positions([0.0, 0.0, 0.0, 0.0], [0.6, 0.1])
+        assert picks == [2, 0]  # floor(0.6 * 4) = 2, then floor(0.1 * 3) = 0
+
+
+class TestMarginalInclusion:
+    DRAWS = 40_000
+
+    def _inclusion_frequencies(self, weights, num_choices, seed):
+        weights = np.asarray(weights, dtype=np.float64)
+        c = weights.size
+        counts = np.full(self.DRAWS, c, dtype=np.int64)
+        starts = np.arange(self.DRAWS, dtype=np.int64) * 0  # all rows share w
+        flat = weights  # starts all zero -> every row reads the same slice
+        positions, _, indptr = weighted_sample_positions(
+            counts, starts, flat, num_choices, np.random.default_rng(seed)
+        )
+        hits = np.zeros(c, dtype=np.int64)
+        matrix = positions.reshape(self.DRAWS, num_choices)
+        for pos in range(c):
+            hits[pos] = int(np.count_nonzero(np.any(matrix == pos, axis=1)))
+        return hits / self.DRAWS
+
+    def test_single_choice_marginals_proportional_to_weight(self):
+        weights = np.asarray([1.0, 2.0, 3.0, 4.0])
+        freq = self._inclusion_frequencies(weights, 1, seed=5)
+        expected = weights / weights.sum()
+        np.testing.assert_allclose(freq, expected, atol=0.01)
+
+    def test_two_choice_marginals_match_successive_sampling(self):
+        weights = np.asarray([1.0, 2.0, 3.0, 4.0])
+        total = weights.sum()
+        # P(i in sample) = w_i/W + sum_{j != i} (w_j/W) * w_i/(W - w_j)
+        expected = np.empty(weights.size)
+        for i in range(weights.size):
+            p = weights[i] / total
+            for j in range(weights.size):
+                if j != i:
+                    p += (weights[j] / total) * weights[i] / (total - weights[j])
+            expected[i] = p
+        freq = self._inclusion_frequencies(weights, 2, seed=6)
+        np.testing.assert_allclose(freq, expected, atol=0.015)
+
+    def test_heavier_candidates_sampled_more_often(self):
+        freq = self._inclusion_frequencies([1.0, 1.0, 8.0], 1, seed=8)
+        assert freq[2] > freq[0] and freq[2] > freq[1]

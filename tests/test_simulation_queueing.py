@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.catalog.library import FileLibrary
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NoReplicaError
+from repro.placement.cache import CacheState
 from repro.placement.full_replication import FullReplicationPlacement
 from repro.placement.proportional import ProportionalPlacement
 from repro.simulation.queueing import QueueingResult, QueueingSimulation
@@ -44,6 +45,16 @@ class TestConfiguration:
     def test_invalid_horizon(self):
         with pytest.raises(ConfigurationError):
             build().run(horizon=0.0)
+
+    def test_invalid_candidate_weights(self):
+        with pytest.raises(ConfigurationError):
+            QueueingSimulation(
+                topology=Torus2D(64),
+                library=FileLibrary(30),
+                placement=ProportionalPlacement(4),
+                arrivals=PoissonArrivalProcess(0.5),
+                candidate_weights="distance",
+            )
 
     def test_repr(self):
         assert "d=2" in repr(build())
@@ -105,3 +116,72 @@ class TestRun:
         # must stay well below the unconstrained Theta(sqrt(n)) = 8 scale.
         unconstrained = build(radius=np.inf, rate=0.5).run(horizon=20.0, seed=5)
         assert result.communication_cost < unconstrained.communication_cost
+
+
+class TestEdgeBranches:
+    def test_empty_arrival_horizon(self):
+        # A horizon so short that (almost surely) nothing arrives: all
+        # metrics must come out as clean zeros, on both engines.
+        for engine in ("kernel", "reference"):
+            result = build(rate=0.5).run(horizon=1e-12, seed=0, engine=engine)
+            assert result.num_arrivals == 0
+            assert result.num_completed == 0
+            assert result.max_queue_length == 0
+            assert result.mean_queue_length == 0.0
+            assert result.mean_waiting_time == 0.0
+            assert result.mean_sojourn_time == 0.0
+            assert result.communication_cost == 0.0
+
+    def test_more_choices_than_candidates(self):
+        # d far above any replica count: every candidate is compared and the
+        # sample stream is never consumed; the run must still be well-formed
+        # and engine-identical.
+        simulation = build(num_choices=50, rate=0.4)
+        kernel = simulation.run(horizon=10.0, seed=6)
+        assert kernel == simulation.run(horizon=10.0, seed=6, engine="reference")
+        assert kernel.num_arrivals > 0
+
+    def test_no_replica_error_propagates(self):
+        # File 1 exists in the library but is cached nowhere.
+        class UncoveredPlacement(ProportionalPlacement):
+            def place(self, topology, library, seed=None):
+                return CacheState(
+                    np.zeros((topology.n, 1), dtype=np.int64), num_files=2
+                )
+
+        simulation = QueueingSimulation(
+            topology=Torus2D(64),
+            library=FileLibrary(2),
+            placement=UncoveredPlacement(1),
+            arrivals=PoissonArrivalProcess(0.5),
+            radius=2,
+        )
+        for engine in ("kernel", "reference"):
+            with pytest.raises(NoReplicaError):
+                simulation.run(horizon=10.0, seed=0, engine=engine)
+
+    def test_utilisation_warning_on_saturated_load(self):
+        with pytest.warns(UserWarning, match="utilisation"):
+            build(rate=1.0, service_rate=1.0).run(horizon=2.0, seed=0)
+        with pytest.warns(UserWarning, match="utilisation"):
+            build(rate=1.5, service_rate=1.0).run(horizon=2.0, seed=0)
+
+    def test_no_warning_below_saturation(self, recwarn):
+        build(rate=0.9, service_rate=1.0).run(horizon=2.0, seed=0)
+        assert not [w for w in recwarn if "utilisation" in str(w.message)]
+
+    def test_popularity_weights_run(self):
+        result = build_weighted().run(horizon=10.0, seed=1)
+        assert result.num_arrivals > 0
+        assert result.max_queue_length >= 1
+
+
+def build_weighted():
+    return QueueingSimulation(
+        topology=Torus2D(64),
+        library=FileLibrary(30),
+        placement=ProportionalPlacement(4),
+        arrivals=PoissonArrivalProcess(0.5),
+        radius=3,
+        candidate_weights="popularity",
+    )
