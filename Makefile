@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench bench-smoke bench-queueing ci
+.PHONY: test test-differential bench bench-smoke bench-queueing bench-engines ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -26,3 +26,17 @@ bench-smoke:
 # reference speedup gate; writes benchmarks/results/queueing_speedup.txt.
 bench-queueing:
 	$(PYTHON) -m pytest benchmarks/test_bench_queueing.py -m bench_smoke -q -s --benchmark-disable
+
+# The engine-registry suites alone: both differential suites (parametrised
+# over every engine the registry reports available, numba included where
+# importable), the numba-transcription fallback suite and the registry unit
+# tests.  The CI numba job runs exactly this plus the bench gates.
+test-differential:
+	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
+
+# Cross-engine comparison (reference/kernel/numba where available) on both
+# stacks at n = 4096; writes benchmarks/results/engine_speedup.txt and gates
+# the numba queueing event loop >= 1.5x over the kernel engine when numba is
+# importable.
+bench-engines:
+	$(PYTHON) -m pytest benchmarks/test_bench_engines.py -q -s --benchmark-disable

@@ -4,9 +4,12 @@
 The paper analyses a static block of requests and conjectures (Section VI)
 that the same load-balancing behaviour carries over to the dynamic setting in
 which requests arrive as a Poisson process and each server works through a
-queue.  This example runs that dynamic system on the **event-batched queueing
-kernel** (``engine="kernel"``, bit-identical to the scalar reference engine
-but ~10× faster) and demonstrates the two surfaces added for it:
+queue.  This example runs that dynamic system on the fastest queueing engine
+registered on this machine (``engine="auto"`` resolves through
+``repro.backends`` — the event-batched kernel by default, its
+``@njit``-compiled variant where numba is importable; every engine is
+bit-identical to the scalar reference) and demonstrates the two surfaces
+added for it:
 
 1. :func:`repro.experiments.run_queueing_experiment` — a figure-scale sweep
    over the per-server arrival rate and the number of choices ``d``, sharing
@@ -25,6 +28,7 @@ Run with ``python examples/supermarket_queueing.py``.
 from __future__ import annotations
 
 from repro import FileLibrary, ProportionalPlacement, Torus2D
+from repro.backends import resolve_engine_name
 from repro.experiments import render_comparison_table, run_queueing_experiment
 from repro.session import open_queueing_session
 from repro.simulation import QueueingSimulation
@@ -44,12 +48,13 @@ def sweep_demo() -> None:
         horizon=60.0,
         seed=99,
     )
+    engine = resolve_engine_name("auto", "queueing")
     print(
         render_comparison_table(
             rows,
             title=(
                 f"Supermarket model on n={num_nodes}, K=200, M=20, r=6, "
-                "mu=1, horizon=60 (engine=kernel)"
+                f"mu=1, horizon=60 (engine={engine})"
             ),
         )
     )

@@ -21,6 +21,12 @@ figure-by-figure reproduction harness.
 """
 
 from repro._version import __version__
+from repro.backends import (
+    EngineSpec,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
 from repro.catalog import (
     FileLibrary,
     UniformPopularity,
@@ -35,6 +41,7 @@ from repro.exceptions import (
     PlacementError,
     StrategyError,
     NoReplicaError,
+    UnknownEngineError,
     WorkloadError,
     ExperimentError,
 )
@@ -82,6 +89,11 @@ from repro.workload import (
 
 __all__ = [
     "__version__",
+    # backends
+    "EngineSpec",
+    "available_engines",
+    "register_engine",
+    "resolve_engine",
     # catalog
     "FileLibrary",
     "UniformPopularity",
@@ -95,6 +107,7 @@ __all__ = [
     "PlacementError",
     "StrategyError",
     "NoReplicaError",
+    "UnknownEngineError",
     "WorkloadError",
     "ExperimentError",
     # placement

@@ -29,6 +29,16 @@ Three subcommands cover the common workflows without writing Python:
     persistent :class:`~repro.session.queueing.QueueingSession` served
     window by window with per-window statistics.
 
+``repro engines``
+    List the execution backends registered for each engine family, their
+    ``"auto"`` resolution order, and — for backends that cannot run here —
+    the reason they are skipped (e.g. ``numba: not importable``).
+
+Engine selection is one shared ``--engine`` flag (default ``auto``: the
+fastest available backend), accepted by every simulating subcommand and
+resolved once through :mod:`repro.backends.registry` — the single owner of
+engine names and availability.
+
 The CLI is also installed as the ``repro`` console script.
 """
 
@@ -41,6 +51,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends.registry import (
+    FAMILIES,
+    registered_engines,
+    resolve_engine_name,
+)
 from repro.experiments.figures import all_figure_specs
 from repro.experiments.io import result_to_csv, save_experiment_result
 from repro.experiments.report import render_comparison_table, render_experiment
@@ -71,7 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    simulate = subparsers.add_parser("simulate", help="run one simulation point")
+    # One shared --engine flag for every simulating subcommand; names are
+    # validated by the backend registry at run time (not via argparse
+    # choices), so registering a backend automatically extends the CLI.
+    engine_flag = argparse.ArgumentParser(add_help=False)
+    engine_flag.add_argument(
+        "--engine",
+        default="auto",
+        help=(
+            "execution engine (default: auto = fastest available; "
+            "see 'repro engines' for what is registered)"
+        ),
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one simulation point", parents=[engine_flag]
+    )
     simulate.add_argument("--nodes", type=int, required=True, help="number of servers n")
     simulate.add_argument("--files", type=int, required=True, help="library size K")
     simulate.add_argument("--cache", type=int, required=True, help="cache slots per server M")
@@ -96,7 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
     simulate.add_argument("--parallel", action="store_true", help="run trials in parallel")
 
-    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's figures", parents=[engine_flag]
+    )
     figures.add_argument(
         "--figures",
         nargs="+",
@@ -117,7 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--no-plot", action="store_true", help="omit the ASCII plots")
 
     stream = subparsers.add_parser(
-        "stream", help="serve a windowed request stream over one persistent session"
+        "stream",
+        help="serve a windowed request stream over one persistent session",
+        parents=[engine_flag],
     )
     stream.add_argument("--nodes", type=int, required=True, help="number of servers n")
     stream.add_argument("--files", type=int, required=True, help="library size K")
@@ -151,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     supermarket = subparsers.add_parser(
         "supermarket",
         help="run the continuous-time queueing (supermarket model) sweep",
+        parents=[engine_flag],
     )
     supermarket.add_argument("--nodes", type=int, required=True, help="number of servers n")
     supermarket.add_argument("--files", type=int, required=True, help="library size K")
@@ -198,18 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate sampling bias (default: uniform)",
     )
     supermarket.add_argument(
-        "--engine",
-        default="kernel",
-        choices=["kernel", "reference"],
-        help="execution engine (default: kernel; results are bit-identical)",
-    )
-    supermarket.add_argument(
         "--stream-windows",
         type=int,
         default=None,
         help="serve one session in this many equal windows instead of sweeping",
     )
     supermarket.add_argument("--seed", type=int, default=0, help="random seed")
+
+    engines = subparsers.add_parser(
+        "engines", help="list registered execution backends and their availability"
+    )
+    del engines  # no options; listed for completeness
 
     tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
     tables.add_argument(
@@ -230,7 +264,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if config is None:
         return 2
     runner = run_trials_parallel if args.parallel else run_trials
-    result = runner(config, args.trials, seed=args.seed)
+    result = runner(config, args.trials, seed=args.seed, assignment_engine=args.engine)
     prediction = predict(config)
     rows = [
         {
@@ -249,7 +283,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
             "paper prediction (leading order)": 0.0,
         },
     ]
-    print(render_comparison_table(rows, title=config.describe()))
+    # The multirun description records the engine the trials actually
+    # resolved to (the raw config cannot know about the --engine override).
+    print(render_comparison_table(rows, title=result.config_description))
     print(f"\n{prediction.notes}")
     return 0
 
@@ -293,8 +329,11 @@ def _command_stream(args: argparse.Namespace) -> int:
     config = _build_point_config(args)
     if config is None:
         return 2
-    session = open_session(config, seed=args.seed)
-    print(f"streaming {args.windows} windows over: {config.describe()}")
+    session = open_session(config, seed=args.seed, assignment_engine=args.engine)
+    print(
+        f"streaming {args.windows} windows over: "
+        f"{config.describe(engine=session.strategy.engine)}"
+    )
     header = f"{'window':>6} {'m':>8} {'served':>10} {'L':>6} {'C':>8} {'fallback':>9}"
     print(header)
     print("-" * len(header))
@@ -321,11 +360,12 @@ def _command_supermarket(args: argparse.Namespace) -> int:
             print("error: --gamma is required with --popularity zipf", file=sys.stderr)
             return 2
         popularity_params = {"gamma": args.gamma}
+    engine = resolve_engine_name(args.engine, "queueing")
     radius_label = "inf" if args.radius is None else f"{args.radius:g}"
     title = (
         f"supermarket model on {args.topology} n={args.nodes}, K={args.files}, "
         f"M={args.cache}, r={radius_label}, mu={args.mu:g}, "
-        f"horizon={args.horizon:g}, engine={args.engine}"
+        f"horizon={args.horizon:g}, engine={engine}"
     )
     if args.stream_windows is not None:
         if args.stream_windows <= 0:
@@ -351,7 +391,7 @@ def _command_supermarket(args: argparse.Namespace) -> int:
             radius=np.inf if args.radius is None else args.radius,
             num_choices=args.choices[0],
             candidate_weights=args.weights,
-            engine=args.engine,
+            engine=engine,
         )
         print(
             f"streaming {args.stream_windows} windows at rate {args.rates[0]:g}, "
@@ -389,10 +429,38 @@ def _command_supermarket(args: argparse.Namespace) -> int:
         service_rate=args.mu,
         horizon=args.horizon,
         candidate_weights=args.weights,
-        engine=args.engine,
+        engine=engine,
         seed=args.seed,
     )
     print(render_comparison_table(rows, title=title))
+    return 0
+
+
+def _command_engines(args: argparse.Namespace) -> int:
+    del args
+    for family in FAMILIES:
+        rows = []
+        for order, engine in enumerate(registered_engines(family), start=1):
+            if engine.available:
+                status, note = "yes", engine.description
+            else:
+                status, note = "no", engine.unavailable_reason
+            rows.append(
+                {
+                    "engine": engine.name,
+                    "auto order": order,
+                    "available": status,
+                    "streaming": "yes" if engine.supports_streaming else "no",
+                    "note": note,
+                }
+            )
+        print(render_comparison_table(rows, title=f"{family} engines"))
+        print()
+    print(
+        "engine specs: 'auto' resolves to the first available engine in auto "
+        "order;\nexplicit names select one backend (unavailable ones are "
+        "rejected with the reason above)."
+    )
     return 0
 
 
@@ -403,7 +471,9 @@ def _command_figures(args: argparse.Namespace) -> int:
     for key, spec in specs.items():
         if key not in wanted:
             continue
-        result = run_experiment(spec, seed=args.seed, parallel=args.parallel)
+        result = run_experiment(
+            spec, seed=args.seed, parallel=args.parallel, assignment_engine=args.engine
+        )
         report = render_experiment(result, plot=not args.no_plot)
         print(report)
         print()
@@ -444,20 +514,27 @@ def _command_tables(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.exceptions import UnknownEngineError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "stream":
-        return _command_stream(args)
-    if args.command == "supermarket":
-        return _command_supermarket(args)
-    if args.command == "figures":
-        return _command_figures(args)
-    if args.command == "tables":
-        return _command_tables(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    commands = {
+        "simulate": _command_simulate,
+        "stream": _command_stream,
+        "supermarket": _command_supermarket,
+        "figures": _command_figures,
+        "engines": _command_engines,
+        "tables": _command_tables,
+    }
+    command = commands.get(args.command)
+    if command is None:  # pragma: no cover
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command(args)
+    except UnknownEngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

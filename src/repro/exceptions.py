@@ -14,6 +14,7 @@ __all__ = [
     "PlacementError",
     "StrategyError",
     "NoReplicaError",
+    "UnknownEngineError",
     "WorkloadError",
     "ExperimentError",
 ]
@@ -50,6 +51,18 @@ class NoReplicaError(StrategyError):
     def __init__(self, file_id: int, message: str | None = None) -> None:
         self.file_id = int(file_id)
         super().__init__(message or f"file {file_id} is not cached on any server")
+
+
+class UnknownEngineError(StrategyError):
+    """An execution-engine spec did not resolve to a usable backend.
+
+    Raised by :func:`repro.backends.registry.resolve_engine` both for names
+    that were never registered and for registered backends whose requirements
+    (e.g. ``numba``) are not importable.  The message always lists what *is*
+    registered for the family, so every surface (strategies, sessions, the
+    CLI) reports engine problems uniformly.  Subclasses
+    :class:`StrategyError` so pre-registry callers catching that still work.
+    """
 
 
 class WorkloadError(ReproError, ValueError):

@@ -21,6 +21,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backends.registry import resolve_engine_name
 from repro.catalog.library import FileLibrary
 from repro.catalog.popularity import create_popularity
 from repro.exceptions import ExperimentError
@@ -51,7 +52,7 @@ def run_queueing_experiment(
     service_rate: float = 1.0,
     horizon: float = 60.0,
     candidate_weights: str = "uniform",
-    engine: str = "kernel",
+    engine: str = "auto",
     seed: int = 0,
     artifacts: ArtifactCache | None = None,
 ) -> list[dict[str, Any]]:
@@ -60,7 +61,10 @@ def run_queueing_experiment(
     Every grid point runs one :class:`~repro.simulation.queueing.
     QueueingSimulation` over ``[0, horizon)`` with the same parent seed
     (paired comparison) and a shared artifact cache (placement + candidate
-    precompute reused).  Returns one row dictionary per point, ready for
+    precompute reused).  ``engine`` is resolved through the backend registry
+    **once**, here at the sweep boundary, so every grid point runs the same
+    concrete engine even under ``"auto"``.  Returns one row dictionary per
+    point, ready for
     :func:`~repro.experiments.report.render_comparison_table`.
     """
     if not arrival_rates:
@@ -69,6 +73,7 @@ def run_queueing_experiment(
         raise ExperimentError("choices must be non-empty")
     if horizon <= 0:
         raise ExperimentError(f"horizon must be positive, got {horizon}")
+    engine = resolve_engine_name(engine, "queueing")
     topo = create_topology(topology, num_nodes)
     library = FileLibrary(
         num_files, create_popularity(popularity, num_files, **(popularity_params or {}))

@@ -54,7 +54,11 @@ def render_experiment(result: ExperimentResult, *, plot: bool = True) -> str:
     communication cost on the x axis, matching the paper's presentation.
     """
     parametric = bool(result.extra.get("parametric", False))
-    sections: list[str] = [f"== {result.experiment_id}: {result.title} =="]
+    # The resolved engine name is part of the header so text artifacts are
+    # self-describing about how their numbers were computed.
+    engine = result.extra.get("engine")
+    engine_note = f" [engine={engine}]" if engine else ""
+    sections: list[str] = [f"== {result.experiment_id}: {result.title}{engine_note} =="]
     headers = [
         result.x_label,
         "max load",

@@ -7,6 +7,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro.backends.registry import resolve_engine_name
 from repro.exceptions import ExperimentError
 from repro.experiments.spec import ExperimentSpec
 from repro.rng import SeedLike, spawn_seeds
@@ -188,6 +189,7 @@ def run_experiment(
     *,
     parallel: bool = False,
     max_workers: int | None = None,
+    assignment_engine: str | None = None,
     progress_callback: Callable[[str, float, PointResult], None] | None = None,
 ) -> ExperimentResult:
     """Execute every sweep point of ``spec`` and return the measured curves.
@@ -204,10 +206,21 @@ def run_experiment(
         per-trial cost is large relative to process start-up).
     max_workers:
         Worker count for the parallel path.
+    assignment_engine:
+        Optional execution-engine override for every sweep point — any spec
+        the backend registry resolves.  Resolved **once**, here at the
+        experiment boundary, so all points (and, on the parallel path, all
+        workers) run the same concrete engine; the resolved name is recorded
+        in the result's ``extra["engine"]`` and rendered in report headers.
     progress_callback:
         Optional callable invoked as ``callback(series_label, x, point_result)``
         after every completed sweep point.
     """
+    engine_name = (
+        None
+        if assignment_engine is None
+        else resolve_engine_name(assignment_engine, "assignment")
+    )
     point_seeds = spawn_seeds(seed, spec.num_points)
     seed_iter = iter(point_seeds)
     series_results: list[SeriesResult] = []
@@ -224,11 +237,19 @@ def run_experiment(
                 child = next(seed_iter)
                 if parallel:
                     multirun = run_trials_parallel(
-                        point.config, spec.trials, child, max_workers=max_workers
+                        point.config,
+                        spec.trials,
+                        child,
+                        max_workers=max_workers,
+                        assignment_engine=engine_name,
                     )
                 else:
                     multirun = run_trials(
-                        point.config, spec.trials, child, artifacts=artifacts
+                        point.config,
+                        spec.trials,
+                        child,
+                        artifacts=artifacts,
+                        assignment_engine=engine_name,
                     )
                 result = _point_result(point.x, multirun, point.config)
                 point_results.append(result)
@@ -243,6 +264,20 @@ def run_experiment(
                 if progress_callback is not None:
                     progress_callback(series.label, point.x, result)
             series_results.append(SeriesResult(label=series.label, points=tuple(point_results)))
+    # Record the engine the experiment actually ran on so report headers and
+    # JSON artifacts are self-describing: the override when given, otherwise
+    # what the point configs themselves resolve to on this machine ("mixed"
+    # in the unusual case of points pinning different engines).
+    extra = dict(spec.extra)
+    if engine_name is not None:
+        extra["engine"] = engine_name
+    else:
+        resolved = {
+            point.config.resolved_engine()
+            for series in spec.series
+            for point in series.points
+        }
+        extra["engine"] = resolved.pop() if len(resolved) == 1 else "mixed"
     return ExperimentResult(
         experiment_id=spec.experiment_id,
         title=spec.title,
@@ -252,5 +287,5 @@ def run_experiment(
         series=tuple(series_results),
         trials=spec.trials,
         elapsed_seconds=timer.elapsed,
-        extra=dict(spec.extra),
+        extra=extra,
     )

@@ -61,6 +61,12 @@ of this contract — sample / tie / service, consumed strictly per arrival —
 implemented by the event-batched and scalar engines in
 :mod:`repro.kernels.queueing` and enforced by
 ``tests/test_kernels_queueing_differential.py``.
+
+Engine *selection* lives one layer up, in :mod:`repro.backends`: the
+registry maps engine names (``reference`` / ``kernel`` / ``numba`` / …) to
+the callables in this package, and the batched entry points expose
+``commit=`` hooks so compiled backends reuse the whole precompute while
+swapping only the sequential loops.
 """
 
 from repro.kernels.commit import (
@@ -93,6 +99,7 @@ from repro.kernels.reference import (
 )
 from repro.kernels.queueing import (
     QueueingState,
+    commit_window,
     drain_departures,
     finalize_result_fields,
     queueing_kernel_window,
@@ -118,6 +125,7 @@ __all__ = [
     "weighted_pick_positions",
     "weighted_sample_positions",
     "QueueingState",
+    "commit_window",
     "drain_departures",
     "finalize_result_fields",
     "queueing_kernel_window",

@@ -109,8 +109,16 @@ def two_choice_kernel(
     streams: tuple[np.random.Generator, np.random.Generator] | None = None,
     loads: IntArray | None = None,
     store: GroupStore | None = None,
+    commit=commit_least_loaded_of_sample,
 ) -> AssignmentResult:
-    """Batched Strategy II (proximity-aware ``d``-choice assignment)."""
+    """Batched Strategy II (proximity-aware ``d``-choice assignment).
+
+    ``commit`` swaps the sequential commit-loop implementation (same
+    signature and bit-identical semantics as
+    :func:`~repro.kernels.commit.commit_least_loaded_of_sample`) — the hook
+    compiled backends (:mod:`repro.backends.numba_backend`) plug into while
+    sharing all of this precompute.
+    """
     m = requests.num_requests
     n = topology.n
     if m == 0:
@@ -131,7 +139,7 @@ def two_choice_kernel(
     )
     tie_uniforms = rng_tie.random(m)
     sample_nodes, sample_dists = _gather_sample(index, positions, sample_counts)
-    winners = commit_least_loaded_of_sample(
+    winners = commit(
         n, sample_nodes, sample_counts, sample_indptr, tie_uniforms, loads
     )
     servers = sample_nodes[winners]
@@ -160,8 +168,13 @@ def least_loaded_kernel(
     streams: tuple[np.random.Generator, np.random.Generator] | None = None,
     loads: IntArray | None = None,
     store: GroupStore | None = None,
+    commit=commit_least_loaded_scan,
 ) -> AssignmentResult:
-    """Batched omniscient baseline: least loaded replica in the ball."""
+    """Batched omniscient baseline: least loaded replica in the ball.
+
+    ``commit`` swaps the commit-loop implementation (see
+    :func:`two_choice_kernel`).
+    """
     m = requests.num_requests
     n = topology.n
     if m == 0:
@@ -177,7 +190,7 @@ def least_loaded_kernel(
     )
     _, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
     tie_uniforms = rng_tie.random(m)
-    winners = commit_least_loaded_scan(
+    winners = commit(
         n,
         index.nodes,
         index.dists,
@@ -209,8 +222,13 @@ def threshold_hybrid_kernel(
     streams: tuple[np.random.Generator, np.random.Generator] | None = None,
     loads: IntArray | None = None,
     store: GroupStore | None = None,
+    commit=commit_threshold_hybrid,
 ) -> AssignmentResult:
-    """Batched threshold hybrid: closest sampled candidate within the slack."""
+    """Batched threshold hybrid: closest sampled candidate within the slack.
+
+    ``commit`` swaps the commit-loop implementation (see
+    :func:`two_choice_kernel`).
+    """
     m = requests.num_requests
     n = topology.n
     if m == 0:
@@ -232,7 +250,7 @@ def threshold_hybrid_kernel(
     )
     tie_uniforms = rng_tie.random(m)
     sample_nodes, sample_dists = _gather_sample(index, positions, sample_counts)
-    winners = commit_threshold_hybrid(
+    winners = commit(
         n, sample_nodes, sample_dists, sample_indptr, threshold, tie_uniforms, loads
     )
     return AssignmentResult(

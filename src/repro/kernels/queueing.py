@@ -79,6 +79,7 @@ from repro.workload.request import RequestBatch
 
 __all__ = [
     "QueueingState",
+    "commit_window",
     "drain_departures",
     "finalize_result_fields",
     "queueing_kernel_window",
@@ -188,11 +189,11 @@ def finalize_result_fields(state: QueueingState, until: float) -> dict[str, floa
 
 
 # --------------------------------------------------------------------- kernel
-def _commit_window(
+def commit_window(
     state: QueueingState,
-    times: list[float],
-    services: list[float],
-    tie_uniforms: list[float],
+    times: FloatArray,
+    services: FloatArray,
+    tie_uniforms: FloatArray,
     sample_nodes: IntArray,
     sample_counts: IntArray,
     sample_indptr: IntArray,
@@ -200,10 +201,16 @@ def _commit_window(
     """The sequential event loop over pre-materialised per-arrival arrays.
 
     Returns, per arrival, the flat index of the winning server into
-    ``sample_nodes`` so the caller gathers hop distances vectorised.
+    ``sample_nodes`` so the caller gathers hop distances vectorised.  This is
+    the default ``commit`` implementation of :func:`queueing_kernel_window`;
+    compiled backends (:mod:`repro.backends.numba_backend`) provide
+    bit-identical replacements with the same signature.
     """
-    m = len(times)
+    m = int(times.size)
     out = [0] * m
+    times = times.tolist()
+    services = services.tolist()
+    tie_uniforms = tie_uniforms.tolist()
     nodes = sample_nodes.tolist()
     indptr = sample_indptr.tolist()
     queue = state.queue_lengths
@@ -315,14 +322,18 @@ def queueing_kernel_window(
     window_end: float,
     store: GroupStore | None = None,
     node_weights: np.ndarray | None = None,
+    commit=commit_window,
 ) -> None:
     """Serve one time window ``[state's cursor, window_end)`` batched.
 
     ``requests``/``times`` hold the window's arrivals in time order;
     ``streams`` is the persistent ``(rng_sample, rng_tie, rng_service)``
     triple of the contract; ``node_weights`` (length ``n``) switches the
-    ``d``-choice draw to weighted sampling.  Updates ``state`` in place and
-    finally drains every departure due by ``window_end``.
+    ``d``-choice draw to weighted sampling.  ``commit`` swaps the sequential
+    event-loop implementation (same signature and bit-identical semantics as
+    :func:`commit_window`) — the hook compiled backends plug into while
+    sharing all of this precompute.  Updates ``state`` in place and finally
+    drains every departure due by ``window_end``.
     """
     m = requests.num_requests
     rng_sample, rng_tie, rng_service = streams
@@ -354,11 +365,11 @@ def queueing_kernel_window(
         services = rng_service.exponential(1.0 / service_rate, size=m)
         flat = np.repeat(index.request_starts(), sample_counts) + positions
         sample_nodes = index.nodes[flat]
-        winners = _commit_window(
+        winners = commit(
             state,
-            np.asarray(times, dtype=np.float64).tolist(),
-            services.tolist(),
-            tie_uniforms.tolist(),
+            np.asarray(times, dtype=np.float64),
+            services,
+            tie_uniforms,
             sample_nodes,
             sample_counts,
             sample_indptr,

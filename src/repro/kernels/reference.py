@@ -318,8 +318,15 @@ def nearest_replica_reference(
     *,
     allow_origin_fallback: bool,
     strategy_name: str,
+    chunk_size: int | None = None,
 ) -> AssignmentResult:
-    """Scalar Strategy I under the kernel RNG-stream contract."""
+    """Scalar Strategy I under the kernel RNG-stream contract.
+
+    ``chunk_size`` is accepted for engine-signature parity (the batched
+    engines bound peak memory with it) and ignored — the scalar loop never
+    materialises more than one request's distances.
+    """
+    del chunk_size
     _, rng_tie = spawn_generators(seed, 2)
     m = requests.num_requests
     n = topology.n

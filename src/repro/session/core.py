@@ -173,7 +173,12 @@ class WindowResult:
 
 @dataclass(frozen=True)
 class SessionSnapshot:
-    """Immutable view of a session's cumulative state."""
+    """Immutable view of a session's cumulative state.
+
+    ``engine`` records the session's *resolved* execution-engine name (the
+    session pins it for its lifetime), so snapshots written into benchmark
+    artifacts are self-describing about how they were computed.
+    """
 
     loads: IntArray
     num_windows: int
@@ -183,6 +188,7 @@ class SessionSnapshot:
     fallback_rate: float
     remapped_requests: int
     description: str = ""
+    engine: str = ""
 
     def summary(self) -> dict[str, Any]:
         """Compact dictionary of the headline metrics."""
@@ -193,6 +199,7 @@ class SessionSnapshot:
             "communication_cost": self.communication_cost,
             "fallback_rate": self.fallback_rate,
             "remapped_requests": self.remapped_requests,
+            "engine": self.engine,
         }
 
     def __repr__(self) -> str:
@@ -249,6 +256,10 @@ class CacheNetworkSession:
         self._topology = topology
         self._library = library
         self._strategy = strategy
+        # The strategy's engine was resolved (through the backend registry)
+        # when the strategy was constructed or cloned via with_engine; the
+        # session pins that name — and its streaming capability — for life.
+        self._streaming_engine = strategy.engine_supports_streaming
         self._workload = workload
         self._uncached_policy = uncached_policy
         self._description = description
@@ -420,7 +431,7 @@ class CacheNetworkSession:
                     self._rng_workload,
                     self._uncached_policy,
                 )
-            if self._strategy.engine == "kernel":
+            if self._streaming_engine:
                 if self._streams is None:
                     self._streams = tuple(spawn_generators(self._rng_strategy, 2))
                 signature = self._strategy.store_signature(self._topology)
@@ -447,7 +458,8 @@ class CacheNetworkSession:
                 if self._windows:
                     raise StrategyError(
                         f"engine {self._strategy.engine!r} cannot serve incrementally; "
-                        "open the session with the kernel engine for windowed serving"
+                        "open the session with a streaming-capable engine "
+                        "(e.g. 'kernel') for windowed serving"
                     )
                 result = self._strategy.assign(
                     self._topology, self._cache, requests, seed=self._rng_strategy
@@ -495,6 +507,7 @@ class CacheNetworkSession:
             fallback_rate=self._total_fallbacks / total if total else 0.0,
             remapped_requests=self._total_remapped,
             description=self._description,
+            engine=self._strategy.engine,
         )
 
     def __repr__(self) -> str:
@@ -516,8 +529,12 @@ def open_session(
 
     ``config`` may be a :class:`~repro.simulation.config.SimulationConfig` or
     its plain-dict form.  ``assignment_engine`` overrides the strategy's
-    execution engine; ``artifacts`` shares a cache of placements and
-    group-index precompute with other sessions of the same configuration.
+    execution engine — any spec the backend registry resolves (``"auto"``,
+    an explicit name, an :class:`~repro.backends.registry.EngineSpec`); it is
+    resolved here, once, and the session pins the resolved engine for its
+    lifetime (recorded in :meth:`CacheNetworkSession.snapshot`).
+    ``artifacts`` shares a cache of placements and group-index precompute
+    with other sessions of the same configuration.
     """
     from repro.simulation.config import SimulationConfig
 
@@ -536,5 +553,5 @@ def open_session(
         seed=seed,
         uncached_policy=components["uncached_policy"],
         artifacts=artifacts,
-        description=config.describe(),
+        description=config.describe(engine=strategy.engine),
     )

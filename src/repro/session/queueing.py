@@ -40,13 +40,12 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+from repro.backends.registry import resolve_engine
 from repro.catalog.library import FileLibrary
-from repro.exceptions import ConfigurationError, StrategyError
+from repro.exceptions import ConfigurationError
 from repro.kernels.queueing import (
     QueueingState,
     finalize_result_fields,
-    queueing_kernel_window,
-    queueing_reference_window,
     validate_queueing_parameters,
 )
 from repro.placement.base import PlacementStrategy
@@ -68,9 +67,6 @@ __all__ = [
     "open_queueing_session",
     "utilisation_warning",
 ]
-
-#: Execution engines a queueing session can run on.
-ENGINES = ("kernel", "reference")
 
 
 def utilisation_warning(arrivals: ArrivalProcess, service_rate: float) -> str | None:
@@ -144,8 +140,12 @@ class QueueingSession:
         ``"uniform"`` (the paper's draw) or ``"popularity"``, which biases
         the ``d``-choice draw towards servers caching more popularity mass.
     engine:
-        ``"kernel"`` (event-batched) or ``"reference"`` (scalar); both
-        support windowed serving and are bit-identical for any seed.
+        Execution-engine spec, resolved once through the backend registry
+        (family ``"queueing"``): ``"auto"`` (default, fastest available),
+        an explicit name (``"kernel"``, ``"reference"``, ``"numba"``), or an
+        :class:`~repro.backends.registry.EngineSpec`.  The session pins the
+        resolved engine for its lifetime; all engines support windowed
+        serving and are bit-identical for any seed.
     seed:
         Parent seed, spawned exactly as
         :meth:`~repro.simulation.queueing.QueueingSimulation.run` spawns it.
@@ -165,13 +165,12 @@ class QueueingSession:
         radius: float = np.inf,
         num_choices: int = 2,
         candidate_weights: str = "uniform",
-        engine: str = "kernel",
+        engine: str = "auto",
         seed: SeedLike = None,
         artifacts: ArtifactCache | None = None,
     ) -> None:
         validate_queueing_parameters(service_rate, radius, num_choices, candidate_weights)
-        if engine not in ENGINES:
-            raise StrategyError(f"engine must be one of {ENGINES}, got {engine!r}")
+        engine_info = resolve_engine(engine, "queueing")
         message = utilisation_warning(arrivals, service_rate)
         if message is not None:
             import warnings
@@ -185,7 +184,8 @@ class QueueingSession:
         self._radius = float(radius)
         self._num_choices = int(num_choices)
         self._candidate_weights = candidate_weights
-        self._engine = engine
+        self._engine = engine_info.name
+        self._window_fn = engine_info.commit_fns["window"]
         self._artifacts = artifacts if artifacts is not None else ArtifactCache()
 
         placement_seed, arrivals_seed, dispatch_seed = spawn_seeds(seed, 3)
@@ -240,7 +240,7 @@ class QueueingSession:
 
     @property
     def engine(self) -> str:
-        """Execution engine: ``"kernel"`` (batched) or ``"reference"``."""
+        """Resolved execution-engine name, pinned for the session's lifetime."""
         return self._engine
 
     @property
@@ -312,12 +312,7 @@ class QueueingSession:
             )
             before_arrivals = self._state.num_arrivals
             before_completed = self._state.completed
-            window = (
-                queueing_kernel_window
-                if self._engine == "kernel"
-                else queueing_reference_window
-            )
-            window(
+            self._window_fn(
                 self._topology,
                 self._cache,
                 self._state,
@@ -366,6 +361,21 @@ class QueueingSession:
         from repro.simulation.queueing import QueueingResult
 
         return QueueingResult(**finalize_result_fields(self._state, self._served_until))
+
+    def snapshot(self) -> dict[str, float | str]:
+        """Cumulative state plus provenance (resolved engine, windows served).
+
+        The dynamic counterpart of :meth:`~repro.session.core.
+        CacheNetworkSession.snapshot`: the result fields over
+        ``[0, served_until)`` with the session's pinned engine name recorded,
+        so artifacts derived from a session are self-describing.
+        """
+        return {
+            "engine": self._engine,
+            "num_windows": float(self._windows),
+            "served_until": float(self._served_until),
+            **finalize_result_fields(self._state, self._served_until),
+        }
 
     def __repr__(self) -> str:
         radius = "inf" if np.isinf(self._radius) else f"{self._radius:g}"

@@ -170,17 +170,36 @@ class SimulationConfig:
         return dataclasses.replace(self, **changes)
 
     # --------------------------------------------------------------- plumbing
-    def describe(self) -> str:
-        """Compact one-line description used in logs and reports."""
+    def resolved_engine(self) -> str:
+        """The concrete engine name this configuration would run on here.
+
+        Resolves the configuration's engine spec (``strategy_params["engine"]``
+        when present, ``"auto"`` otherwise) through the backend registry, so
+        the answer reflects what is actually importable on this machine.
+        """
+        from repro.backends.registry import resolve_engine_name
+
+        return resolve_engine_name(
+            self.strategy_params.get("engine", "auto"), "assignment"
+        )
+
+    def describe(self, engine: str | None = None) -> str:
+        """Compact one-line description used in logs and reports.
+
+        Includes the *resolved* execution-engine name so artifacts carrying
+        the description are self-describing; pass ``engine`` when a surface
+        overrode the configuration's own engine spec.
+        """
         strategy = self.strategy
         radius = self.strategy_params.get("radius")
         if radius is not None:
             strategy += f"(r={radius})"
         requests = self.num_requests if self.num_requests is not None else "n"
+        resolved = engine if engine is not None else self.resolved_engine()
         return (
             f"n={self.num_nodes} K={self.num_files} M={self.cache_size} "
             f"{self.topology}/{self.popularity} {self.placement} {strategy} "
-            f"{self.workload}[m={requests}]"
+            f"{self.workload}[m={requests}] engine={resolved}"
         )
 
     def __hash__(self) -> int:

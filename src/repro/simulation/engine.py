@@ -74,11 +74,12 @@ class CacheNetworkSimulation:
         ``"error"`` leaves them untouched so the strategy raises
         :class:`~repro.exceptions.NoReplicaError`.
     assignment_engine:
-        When set, overrides the assignment strategy's execution engine:
-        ``"kernel"`` (the batched precompute/commit implementation in
-        :mod:`repro.kernels`, the default of every strategy) or
-        ``"reference"`` (the scalar per-request loop kept for differential
-        testing).  Both engines are bit-identical for the same seed, so this
+        When set, overrides the assignment strategy's execution engine with
+        any spec the backend registry (:mod:`repro.backends.registry`)
+        resolves: ``"auto"`` (fastest available), an explicit name such as
+        ``"kernel"``, ``"reference"`` or ``"numba"``, or an
+        :class:`~repro.backends.registry.EngineSpec`.  Resolution happens
+        here, once; all engines are bit-identical for the same seed, so this
         never changes simulated results — only how fast they are computed.
     artifacts:
         Optional shared :class:`~repro.session.artifacts.ArtifactCache`; by
@@ -120,17 +121,25 @@ class CacheNetworkSimulation:
         assignment_engine: str | None = None,
         artifacts: ArtifactCache | None = None,
     ) -> "CacheNetworkSimulation":
-        """Build a simulation from a declarative configuration."""
+        """Build a simulation from a declarative configuration.
+
+        The engine spec (``assignment_engine`` when given, the config's own
+        otherwise) is resolved through the backend registry exactly once,
+        here; the description attached to every result records the resolved
+        name.
+        """
         components = config.build()
+        strategy = components["strategy"]
+        if assignment_engine is not None:
+            strategy = strategy.with_engine(assignment_engine)
         return cls(
             topology=components["topology"],
             library=components["library"],
             placement=components["placement"],
-            strategy=components["strategy"],
+            strategy=strategy,
             workload=components["workload"],
-            description=config.describe(),
+            description=config.describe(engine=strategy.engine),
             uncached_policy=components["uncached_policy"],
-            assignment_engine=assignment_engine,
             artifacts=artifacts,
         )
 

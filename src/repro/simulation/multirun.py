@@ -71,9 +71,10 @@ def run_trials(
         Optional callable invoked as ``callback(trial_index, result)`` after
         each trial, e.g. for logging long sweeps.
     assignment_engine:
-        Optional execution-engine override (``"kernel"`` or ``"reference"``)
-        applied to the assignment strategy of every trial; results are
-        bit-identical between engines for the same seed.
+        Optional execution-engine override — any spec the backend registry
+        resolves (``"auto"``, ``"kernel"``, ``"reference"``, ``"numba"``,
+        …).  Resolved once, before the first trial; results are bit-identical
+        between engines for the same seed.
     artifacts:
         Optional artifact cache shared beyond this multi-run (e.g. across the
         sweep points of an experiment, which often repeat a placement).
@@ -88,4 +89,6 @@ def run_trials(
         results.append(result)
         if progress_callback is not None:
             progress_callback(index, result)
-    return aggregate_results(results, config.describe())
+    # The simulation's description records the engine the trials actually
+    # resolved to, which the raw config cannot know about an override.
+    return aggregate_results(results, simulation.description)

@@ -29,6 +29,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
+from repro.backends.registry import resolve_engine_name
 from repro.exceptions import ConfigurationError
 from repro.rng import SeedLike, spawn_seeds
 from repro.simulation.config import SimulationConfig
@@ -90,12 +91,19 @@ def run_trials_parallel(
         trials evenly over the workers in a single wave
         (``ceil(num_trials / max_workers)``).
     assignment_engine:
-        Optional execution-engine override (``"kernel"`` or ``"reference"``)
-        applied in every worker, mirroring
-        :func:`repro.simulation.multirun.run_trials`.
+        Optional execution-engine override — any spec the backend registry
+        resolves.  The spec is resolved **in the parent**, once, and workers
+        receive the concrete engine name: an ``"auto"`` spec therefore picks
+        one engine for the whole run instead of letting every worker
+        re-detect (and possibly disagree about) the fastest backend.
     """
     if num_trials <= 0:
         raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
+    resolved_engine = (
+        None
+        if assignment_engine is None
+        else resolve_engine_name(assignment_engine, "assignment")
+    )
     workers = max_workers if max_workers is not None else default_worker_count()
     if workers <= 0:
         raise ConfigurationError(f"max_workers must be positive, got {workers}")
@@ -112,7 +120,7 @@ def run_trials_parallel(
         (child.entropy, tuple(child.spawn_key)) for child in child_seeds
     ]
     batches = [
-        (config_dict, seed_payloads[start : start + chunksize], assignment_engine)
+        (config_dict, seed_payloads[start : start + chunksize], resolved_engine)
         for start in range(0, num_trials, chunksize)
     ]
 
@@ -123,4 +131,4 @@ def run_trials_parallel(
             nested = list(pool.map(_run_trial_batch_worker, batches))
 
     results = [result for batch in nested for result in batch]
-    return aggregate_results(results, config.describe())
+    return aggregate_results(results, config.describe(engine=resolved_engine))

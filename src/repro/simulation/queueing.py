@@ -19,19 +19,23 @@ This module implements that dynamic setting as a discrete-event simulation:
 Execution engines
 -----------------
 
-``run`` executes on one of two engines implementing the **queueing
-RNG-stream contract** documented in :mod:`repro.kernels.queueing`:
+``run`` executes on any engine registered for the ``"queueing"`` family in
+the backend registry (:mod:`repro.backends.registry`), all implementing the
+**queueing RNG-stream contract** documented in :mod:`repro.kernels.queueing`:
 
-* ``engine="kernel"`` (default) — the event-batched engine: candidate sets
-  resolve through the memoised group index, all sampling / tie-break /
-  service randomness is drawn in three batched calls, and the remaining
-  sequential event loop runs over plain Python ints and floats;
+* ``engine="kernel"`` — the event-batched engine: candidate sets resolve
+  through the memoised group index, all sampling / tie-break / service
+  randomness is drawn in three batched calls, and the remaining sequential
+  event loop runs over plain Python ints and floats;
+* ``engine="numba"`` (when numba is importable) — the same precompute with
+  the event loop compiled by ``@njit``;
 * ``engine="reference"`` — the scalar per-arrival transcription, kept boring
-  for differential testing.
+  for differential testing;
+* ``engine="auto"`` (default) — the fastest available of the above.
 
-The two are **bit-identical** for any seed (enforced by
+All engines are **bit-identical** for any seed (enforced by
 ``tests/test_kernels_queueing_differential.py``); the kernel engine is ~10×
-faster at figure scale.  ``run`` is itself a thin wrapper over
+faster than reference at figure scale.  ``run`` is itself a thin wrapper over
 :class:`~repro.session.queueing.QueueingSession` serving one window, so a
 one-shot run is also bit-identical to any window-partitioned session serving
 of the same horizon.
@@ -140,13 +144,15 @@ class QueueingSimulation:
 
     # --------------------------------------------------------------------- run
     def run(
-        self, horizon: float, seed: SeedLike = None, *, engine: str = "kernel"
+        self, horizon: float, seed: SeedLike = None, *, engine: str = "auto"
     ) -> QueueingResult:
         """Simulate the system over ``[0, horizon)`` and return its statistics.
 
-        ``engine`` selects the execution engine (``"kernel"`` or
-        ``"reference"``); results are bit-identical between engines for the
-        same seed, so swapping it never changes the science.
+        ``engine`` is any spec the backend registry resolves for the
+        ``"queueing"`` family (``"auto"`` — the default — picks the fastest
+        available backend); resolution happens once, in the session this call
+        opens.  Results are bit-identical between engines for the same seed,
+        so swapping it never changes the science.
         """
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")

@@ -26,6 +26,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernels import us)
     from repro.kernels.group_index import GroupStore
 
+from repro.backends.registry import resolve_engine, resolve_engine_name
 from repro.exceptions import NoReplicaError, StrategyError
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
@@ -37,25 +38,7 @@ __all__ = [
     "FallbackPolicy",
     "AssignmentResult",
     "AssignmentStrategy",
-    "ENGINES",
-    "validate_engine",
 ]
-
-#: Execution engines a strategy can run on.  ``"kernel"`` (the default) is the
-#: batched precompute/commit implementation in :mod:`repro.kernels`;
-#: ``"reference"`` is the scalar per-request loop kept for differential
-#: testing.  Both follow the same RNG-stream contract and produce bit-identical
-#: results for the same seed (see ``repro/kernels/__init__.py``).
-ENGINES = ("kernel", "reference")
-
-
-def validate_engine(engine: str) -> str:
-    """Check that ``engine`` names a known execution engine."""
-    if engine not in ENGINES:
-        raise StrategyError(
-            f"engine must be one of {ENGINES}, got {engine!r}"
-        )
-    return engine
 
 
 class FallbackPolicy(str, enum.Enum):
@@ -211,29 +194,59 @@ class AssignmentResult:
 
 
 class AssignmentStrategy(ABC):
-    """Base class of request assignment strategies."""
+    """Base class of request assignment strategies.
+
+    Execution is delegated to a backend registered in
+    :mod:`repro.backends.registry` (family ``"assignment"``).  Engine specs
+    (``"auto"``, an explicit name, or an
+    :class:`~repro.backends.registry.EngineSpec`) are resolved **once**, at
+    construction or :meth:`with_engine` — the strategy then carries the
+    concrete engine name for its lifetime, so sessions and worker processes
+    observe a pinned engine rather than re-running auto-detection.
+    """
 
     #: Short machine-readable name (set by subclasses).
     name: str = "abstract"
 
-    #: Execution engine; subclasses overwrite this in ``__init__``.
+    #: The operation this strategy runs from an engine's ``commit_fns``
+    #: table (set by subclasses).
+    _engine_op: str = ""
+
+    #: Resolved execution-engine name; subclasses overwrite this in
+    #: ``__init__`` via :meth:`_resolve_engine_spec`.
     _engine: str = "kernel"
+
+    @staticmethod
+    def _resolve_engine_spec(engine) -> str:
+        """Resolve an engine spec to its concrete registered name."""
+        return resolve_engine_name(engine, "assignment")
 
     @property
     def engine(self) -> str:
-        """Execution engine: ``"kernel"`` (batched) or ``"reference"`` (scalar)."""
+        """Resolved execution-engine name (e.g. ``"kernel"``)."""
         return self._engine
 
-    def with_engine(self, engine: str) -> "AssignmentStrategy":
+    @property
+    def engine_supports_streaming(self) -> bool:
+        """Whether this strategy's engine can serve incrementally."""
+        return resolve_engine(self._engine, "assignment").supports_streaming
+
+    def with_engine(self, engine) -> "AssignmentStrategy":
         """Return a copy of this strategy running on ``engine``.
 
-        The engine only selects the implementation; results are bit-identical
-        between engines for the same seed, so swapping it never changes the
-        simulated distribution.
+        ``engine`` may be any spec :func:`~repro.backends.registry.
+        resolve_engine` accepts; it is resolved here, once.  The engine only
+        selects the implementation; results are bit-identical between engines
+        for the same seed, so swapping it never changes the simulated
+        distribution.
         """
         clone = copy.copy(self)
-        clone._engine = validate_engine(engine)
+        clone._engine = self._resolve_engine_spec(engine)
         return clone
+
+    def _engine_fn(self):
+        """This strategy's operation on its resolved engine."""
+        return resolve_engine(self._engine, "assignment").commit_fns[self._engine_op]
 
     @abstractmethod
     def assign(
@@ -264,7 +277,8 @@ class AssignmentStrategy(ABC):
         updates) the caller's persistent ``loads`` vector, so successive calls
         reproduce the one-shot assignment of the concatenated windows bit for
         bit.  ``store`` optionally memoises group-index precompute across
-        windows.  Only the kernel engine supports incremental serving; the
+        windows.  Only engines whose backend declares streaming support
+        (``supports_streaming`` in the registry) can serve incrementally; the
         scalar reference engine exists for one-shot differential testing.
         """
         raise StrategyError(
@@ -283,12 +297,12 @@ class AssignmentStrategy(ABC):
         return None
 
     # ------------------------------------------------------------ shared utils
-    def _require_kernel_engine(self) -> None:
-        """Guard for :meth:`serve`: only the kernel engine serves incrementally."""
-        if self._engine != "kernel":
+    def _require_streaming_engine(self) -> None:
+        """Guard for :meth:`serve`: the engine must support incremental serving."""
+        if not self.engine_supports_streaming:
             raise StrategyError(
-                f"incremental serving requires engine='kernel', but this strategy "
-                f"runs on engine={self._engine!r}; the reference engine only "
+                f"incremental serving requires a streaming-capable engine, but "
+                f"this strategy runs on engine={self._engine!r}, which only "
                 "supports one-shot assignment"
             )
 

@@ -31,14 +31,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import StrategyError
-from repro.kernels import threshold_hybrid_kernel, threshold_hybrid_reference
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
 from repro.strategies.base import (
     AssignmentResult,
     AssignmentStrategy,
     FallbackPolicy,
-    validate_engine,
 )
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
@@ -62,10 +60,12 @@ class ThresholdHybridStrategy(AssignmentStrategy):
     fallback:
         Policy when ``B_r(u)`` holds no replica of the requested file.
     engine:
-        ``"kernel"`` (default) or ``"reference"``; bit-identical results.
+        Execution-engine spec resolved through the backend registry
+        (``"auto"`` by default); bit-identical results on every engine.
     """
 
     name = "threshold_hybrid"
+    _engine_op = "threshold_hybrid"
 
     def __init__(
         self,
@@ -73,7 +73,7 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         num_choices: int = 2,
         imbalance_threshold: float = 1.0,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
-        engine: str = "kernel",
+        engine: str = "auto",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
@@ -87,7 +87,7 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         self._num_choices = int(num_choices)
         self._threshold = float(imbalance_threshold)
         self._fallback = FallbackPolicy(fallback)
-        self._engine = validate_engine(engine)
+        self._engine = self._resolve_engine_spec(engine)
 
     # -------------------------------------------------------------- properties
     @property
@@ -119,11 +119,7 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        run = (
-            threshold_hybrid_kernel
-            if self._engine == "kernel"
-            else threshold_hybrid_reference
-        )
+        run = self._engine_fn()
         return run(
             topology,
             cache,
@@ -146,9 +142,9 @@ class ThresholdHybridStrategy(AssignmentStrategy):
         loads,
         store=None,
     ) -> AssignmentResult:
-        self._require_kernel_engine()
+        self._require_streaming_engine()
         self._check_compatibility(topology, cache, requests)
-        return threshold_hybrid_kernel(
+        return self._engine_fn()(
             topology,
             cache,
             requests,

@@ -17,14 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import StrategyError
-from repro.kernels import least_loaded_kernel, least_loaded_reference
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
 from repro.strategies.base import (
     AssignmentResult,
     AssignmentStrategy,
     FallbackPolicy,
-    validate_engine,
 )
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
@@ -36,18 +34,19 @@ class LeastLoadedInBallStrategy(AssignmentStrategy):
     """Assign each request to the least loaded replica within radius ``r``."""
 
     name = "least_loaded_in_ball"
+    _engine_op = "least_loaded"
 
     def __init__(
         self,
         radius: float = np.inf,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
-        engine: str = "kernel",
+        engine: str = "auto",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
         self._radius = float(radius)
         self._fallback = FallbackPolicy(fallback)
-        self._engine = validate_engine(engine)
+        self._engine = self._resolve_engine_spec(engine)
 
     @property
     def radius(self) -> float:
@@ -67,7 +66,7 @@ class LeastLoadedInBallStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        run = least_loaded_kernel if self._engine == "kernel" else least_loaded_reference
+        run = self._engine_fn()
         return run(
             topology,
             cache,
@@ -88,9 +87,9 @@ class LeastLoadedInBallStrategy(AssignmentStrategy):
         loads,
         store=None,
     ) -> AssignmentResult:
-        self._require_kernel_engine()
+        self._require_streaming_engine()
         self._check_compatibility(topology, cache, requests)
-        return least_loaded_kernel(
+        return self._engine_fn()(
             topology,
             cache,
             requests,

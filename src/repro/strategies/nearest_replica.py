@@ -19,13 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels import nearest_replica_kernel, nearest_replica_reference
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
 from repro.strategies.base import (
     AssignmentResult,
     AssignmentStrategy,
-    validate_engine,
 )
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
@@ -49,22 +47,24 @@ class NearestReplicaStrategy(AssignmentStrategy):
         materialised at once; bounds peak memory to roughly
         ``chunk_size x max_replication`` integers.
     engine:
-        ``"kernel"`` (default) or ``"reference"``; bit-identical results.
+        Execution-engine spec resolved through the backend registry
+        (``"auto"`` by default); bit-identical results on every engine.
     """
 
     name = "nearest_replica"
+    _engine_op = "nearest_replica"
 
     def __init__(
         self,
         allow_origin_fallback: bool = False,
         chunk_size: int = 4096,
-        engine: str = "kernel",
+        engine: str = "auto",
     ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self._allow_origin_fallback = bool(allow_origin_fallback)
         self._chunk_size = int(chunk_size)
-        self._engine = validate_engine(engine)
+        self._engine = self._resolve_engine_spec(engine)
 
     @property
     def allow_origin_fallback(self) -> bool:
@@ -79,22 +79,13 @@ class NearestReplicaStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        if self._engine == "kernel":
-            return nearest_replica_kernel(
-                topology,
-                cache,
-                requests,
-                seed,
-                allow_origin_fallback=self._allow_origin_fallback,
-                chunk_size=self._chunk_size,
-                strategy_name=self.name,
-            )
-        return nearest_replica_reference(
+        return self._engine_fn()(
             topology,
             cache,
             requests,
             seed,
             allow_origin_fallback=self._allow_origin_fallback,
+            chunk_size=self._chunk_size,
             strategy_name=self.name,
         )
 
@@ -108,9 +99,9 @@ class NearestReplicaStrategy(AssignmentStrategy):
         loads,
         store=None,
     ) -> AssignmentResult:
-        self._require_kernel_engine()
+        self._require_streaming_engine()
         self._check_compatibility(topology, cache, requests)
-        return nearest_replica_kernel(
+        return self._engine_fn()(
             topology,
             cache,
             requests,

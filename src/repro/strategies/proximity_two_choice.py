@@ -27,14 +27,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import StrategyError
-from repro.kernels import two_choice_kernel, two_choice_reference
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
 from repro.strategies.base import (
     AssignmentResult,
     AssignmentStrategy,
     FallbackPolicy,
-    validate_engine,
 )
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
@@ -60,19 +58,23 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         Policy applied when no replica lies inside ``B_r(u)``; see
         :class:`~repro.strategies.base.FallbackPolicy`.
     engine:
-        ``"kernel"`` (default) runs the batched precompute/commit
-        implementation; ``"reference"`` runs the scalar per-request loop.
-        Both produce bit-identical results for the same seed.
+        Execution-engine spec, resolved once through the backend registry
+        (:mod:`repro.backends.registry`): ``"auto"`` (default, the fastest
+        available backend), an explicit name such as ``"kernel"``,
+        ``"reference"`` or ``"numba"``, or an
+        :class:`~repro.backends.registry.EngineSpec`.  All engines produce
+        bit-identical results for the same seed.
     """
 
     name = "proximity_two_choice"
+    _engine_op = "two_choice"
 
     def __init__(
         self,
         radius: float = np.inf,
         num_choices: int = 2,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
-        engine: str = "kernel",
+        engine: str = "auto",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
@@ -81,7 +83,7 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         self._radius = float(radius)
         self._num_choices = int(num_choices)
         self._fallback = FallbackPolicy(fallback)
-        self._engine = validate_engine(engine)
+        self._engine = self._resolve_engine_spec(engine)
 
     # -------------------------------------------------------------- properties
     @property
@@ -108,7 +110,7 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        run = two_choice_kernel if self._engine == "kernel" else two_choice_reference
+        run = self._engine_fn()
         return run(
             topology,
             cache,
@@ -130,9 +132,9 @@ class ProximityTwoChoiceStrategy(AssignmentStrategy):
         loads,
         store=None,
     ) -> AssignmentResult:
-        self._require_kernel_engine()
+        self._require_streaming_engine()
         self._check_compatibility(topology, cache, requests)
-        return two_choice_kernel(
+        return self._engine_fn()(
             topology,
             cache,
             requests,

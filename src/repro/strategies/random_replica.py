@@ -18,14 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import StrategyError
-from repro.kernels import random_replica_kernel, random_replica_reference
 from repro.placement.cache import CacheState
 from repro.rng import SeedLike
 from repro.strategies.base import (
     AssignmentResult,
     AssignmentStrategy,
     FallbackPolicy,
-    validate_engine,
 )
 from repro.topology.base import Topology
 from repro.workload.request import RequestBatch
@@ -41,18 +39,19 @@ class RandomReplicaStrategy(AssignmentStrategy):
     """
 
     name = "random_replica"
+    _engine_op = "random_replica"
 
     def __init__(
         self,
         radius: float = np.inf,
         fallback: FallbackPolicy | str = FallbackPolicy.NEAREST,
-        engine: str = "kernel",
+        engine: str = "auto",
     ) -> None:
         if radius < 0:
             raise StrategyError(f"radius must be non-negative, got {radius}")
         self._radius = float(radius)
         self._fallback = FallbackPolicy(fallback)
-        self._engine = validate_engine(engine)
+        self._engine = self._resolve_engine_spec(engine)
 
     @property
     def radius(self) -> float:
@@ -72,11 +71,7 @@ class RandomReplicaStrategy(AssignmentStrategy):
         seed: SeedLike = None,
     ) -> AssignmentResult:
         self._check_compatibility(topology, cache, requests)
-        run = (
-            random_replica_kernel
-            if self._engine == "kernel"
-            else random_replica_reference
-        )
+        run = self._engine_fn()
         return run(
             topology,
             cache,
@@ -97,9 +92,9 @@ class RandomReplicaStrategy(AssignmentStrategy):
         loads,
         store=None,
     ) -> AssignmentResult:
-        self._require_kernel_engine()
+        self._require_streaming_engine()
         self._check_compatibility(topology, cache, requests)
-        return random_replica_kernel(
+        return self._engine_fn()(
             topology,
             cache,
             requests,

@@ -23,6 +23,17 @@ class TestParser:
         assert args.command == "simulate"
         assert args.strategy == "proximity_two_choice"
         assert args.trials == 10
+        assert args.engine == "auto"
+
+    def test_engine_flag_shared_across_subcommands(self):
+        for argv in (
+            ["simulate", "--nodes", "4", "--files", "2", "--cache", "1"],
+            ["stream", "--nodes", "4", "--files", "2", "--cache", "1"],
+            ["supermarket", "--nodes", "4", "--files", "2", "--cache", "1"],
+            ["figures"],
+        ):
+            args = build_parser().parse_args(argv + ["--engine", "reference"])
+            assert args.engine == "reference"
 
     def test_figures_choices_validated(self):
         with pytest.raises(SystemExit):
@@ -219,8 +230,43 @@ class TestSupermarketCommand:
         )
         assert args.rates == [0.5, 0.7, 0.9]
         assert args.choices == [1, 2]
-        assert args.engine == "kernel"
+        assert args.engine == "auto"
         assert args.weights == "uniform"
+
+
+class TestEnginesCommand:
+    def test_lists_both_families_with_availability(self, capsys):
+        code = main(["engines"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assignment engines" in out
+        assert "queueing engines" in out
+        # The always-present builtin engines appear with availability info.
+        assert "kernel" in out and "reference" in out
+        # numba is registered either way; without the module the reason it is
+        # skipped must be spelled out.
+        assert "numba" in out
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert "numba: not importable" in out
+
+    def test_unknown_engine_reports_registered_list(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "16",
+                "--files", "8",
+                "--cache", "2",
+                "--topology", "complete",
+                "--trials", "1",
+                "--engine", "warp",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown assignment engine 'warp'" in err
+        assert "kernel" in err and "reference" in err
 
 
 class TestFiguresCommand:

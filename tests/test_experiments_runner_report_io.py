@@ -77,6 +77,59 @@ class TestReport:
         with pytest.raises(ValueError):
             render_table(["a"], [[1, 2]])
 
+    def test_header_records_resolved_engine(self, small_result):
+        from repro.backends.registry import resolve_engine_name
+
+        resolved = resolve_engine_name("auto", "assignment")
+        assert small_result.extra["engine"] == resolved
+        header = render_experiment(small_result, plot=False).splitlines()[0]
+        assert f"engine={resolved}" in header
+
+    def test_config_pinned_engine_recorded_without_override(self):
+        # When the point configs pin their own engine and no override is
+        # given, the recorded provenance must reflect the pinned engine, not
+        # this machine's "auto" resolution.
+        import dataclasses
+
+        spec = figure1_spec(sizes=[25], cache_sizes=[1], trials=1)
+        pinned = dataclasses.replace(
+            spec,
+            series=tuple(
+                dataclasses.replace(
+                    series,
+                    points=tuple(
+                        dataclasses.replace(
+                            point,
+                            config=point.config.replace(
+                                strategy_params={
+                                    **point.config.strategy_params,
+                                    "engine": "reference",
+                                }
+                            ),
+                        )
+                        for point in series.points
+                    ),
+                )
+                for series in spec.series
+            ),
+        )
+        result = run_experiment(pinned, seed=0)
+        assert result.extra["engine"] == "reference"
+
+    def test_engine_override_recorded_and_identical(self):
+        spec = figure1_spec(sizes=[25], cache_sizes=[1], trials=2)
+        default = run_experiment(spec, seed=0)
+        reference = run_experiment(spec, seed=0, assignment_engine="reference")
+        assert reference.extra["engine"] == "reference"
+        for series_default, series_reference in zip(default.series, reference.series):
+            np.testing.assert_array_equal(
+                series_default.metric("max_load"), series_reference.metric("max_load")
+            )
+            np.testing.assert_array_equal(
+                series_default.metric("communication_cost"),
+                series_reference.metric("communication_cost"),
+            )
+
     def test_render_experiment_contains_series_and_values(self, small_result):
         text = render_experiment(small_result, plot=False)
         assert "FIG1" in text

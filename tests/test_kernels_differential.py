@@ -1,11 +1,14 @@
-"""Differential tests: the kernel engine must be bit-identical to reference.
+"""Differential tests: every registered engine must be bit-identical to reference.
 
-The batched kernel engine and the scalar reference engine implement the same
-RNG-stream contract (see ``repro/kernels/__init__.py``), so for any seed the
-two must produce element-wise identical servers, distances and fallback masks
-— across every topology, fallback policy and number of choices.  These tests
-are the enforcement of that guarantee; when they fail, the reference engine is
-authoritative.
+All engines registered for the ``assignment`` family implement the same
+RNG-stream contract (see ``repro/kernels/__init__.py``), so for any seed they
+must produce element-wise identical servers, distances and fallback masks —
+across every topology, fallback policy and number of choices.  The engine
+list is parametrised from the backend registry
+(:mod:`repro.backends.registry`), so a newly registered backend (e.g.
+``numba`` where importable) is automatically held to the same guarantee.
+These tests are the enforcement of that guarantee; when they fail, the
+reference engine is authoritative.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backends.registry import available_engines
 from repro.catalog.library import FileLibrary
 from repro.exceptions import NoReplicaError, StrategyError
 from repro.placement.cache import CacheState
@@ -33,6 +37,11 @@ from repro.workload.generators import UniformOriginWorkload
 
 TOPOLOGIES = [Torus2D(49), Grid2D(49), Ring(40), CompleteTopology(30)]
 
+#: Engine list from the registry: every available engine (numba included
+#: where importable) is compared against the authoritative reference.
+ENGINES = available_engines("assignment")
+NON_REFERENCE_ENGINES = [name for name in ENGINES if name != "reference"]
+
 
 def _system(topology, num_files=20, cache_size=3, num_requests=250):
     library = FileLibrary(num_files)
@@ -42,16 +51,17 @@ def _system(topology, num_files=20, cache_size=3, num_requests=250):
 
 
 def _assert_identical(strategy_cls, topology, cache, requests, seed, **kwargs):
-    kernel = strategy_cls(engine="kernel", **kwargs).assign(
-        topology, cache, requests, seed=seed
-    )
     reference = strategy_cls(engine="reference", **kwargs).assign(
         topology, cache, requests, seed=seed
     )
-    np.testing.assert_array_equal(kernel.servers, reference.servers)
-    np.testing.assert_array_equal(kernel.distances, reference.distances)
-    np.testing.assert_array_equal(kernel.fallback_mask, reference.fallback_mask)
-    return kernel
+    for engine in NON_REFERENCE_ENGINES:
+        candidate = strategy_cls(engine=engine, **kwargs).assign(
+            topology, cache, requests, seed=seed
+        )
+        np.testing.assert_array_equal(candidate.servers, reference.servers)
+        np.testing.assert_array_equal(candidate.distances, reference.distances)
+        np.testing.assert_array_equal(candidate.fallback_mask, reference.fallback_mask)
+    return reference
 
 
 @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
@@ -173,7 +183,7 @@ class TestEdgeCases:
             num_nodes=100,
             num_files=2,
         )
-        for engine in ("kernel", "reference"):
+        for engine in ENGINES:
             strategy = ProximityTwoChoiceStrategy(
                 radius=1, fallback="error", engine=engine
             )
@@ -199,7 +209,7 @@ class TestEdgeCases:
             num_nodes=25,
             num_files=3,
         )
-        for engine in ("kernel", "reference"):
+        for engine in ENGINES:
             with pytest.raises(NoReplicaError):
                 strategy_cls(engine=engine).assign(torus, cache, requests, seed=0)
 
@@ -241,11 +251,18 @@ class TestEdgeCases:
 
 class TestEngineWiring:
     def test_with_engine_returns_copy(self):
-        strategy = ProximityTwoChoiceStrategy(radius=4)
+        strategy = ProximityTwoChoiceStrategy(radius=4, engine="kernel")
         reference = strategy.with_engine("reference")
         assert strategy.engine == "kernel"
         assert reference.engine == "reference"
         assert reference.radius == strategy.radius
+
+    def test_auto_resolves_to_fastest_available(self):
+        # "auto" must pin the registry's first available engine at
+        # construction time, never remain the literal spec.
+        strategy = ProximityTwoChoiceStrategy(radius=4)
+        assert strategy.engine == ENGINES[0]
+        assert strategy.with_engine("auto").engine == ENGINES[0]
 
     def test_invalid_engine_rejected(self):
         with pytest.raises(StrategyError):

@@ -1,11 +1,13 @@
-"""Differential tests: the queueing kernel must be bit-identical to reference.
+"""Differential tests: every queueing engine must be bit-identical to reference.
 
-The event-batched queueing engine and its scalar reference implement the same
+All engines registered for the ``queueing`` family implement the same
 three-stream RNG contract (see ``repro/kernels/queueing.py``), so for any
-``(topology, radius, d, mu, seed)`` the two must produce an *exactly* equal
+``(topology, radius, d, mu, seed)`` they must produce an *exactly* equal
 :class:`~repro.simulation.queueing.QueueingResult` — every float field bit
-for bit, not approximately.  When they disagree, the reference engine is
-authoritative.
+for bit, not approximately.  The engine list is parametrised from the backend
+registry, so a newly registered backend (e.g. ``numba`` where importable) is
+automatically held to the same guarantee.  When engines disagree, the
+reference engine is authoritative.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backends.registry import available_engines
 from repro.catalog.library import FileLibrary
 from repro.catalog.popularity import create_popularity
 from repro.exceptions import NoReplicaError, StrategyError
@@ -27,6 +30,11 @@ from repro.topology.torus import Torus2D
 from repro.workload.arrivals import PoissonArrivalProcess
 
 TOPOLOGIES = [Torus2D(64), Grid2D(49), Ring(40), CompleteTopology(30)]
+
+#: Engine list from the registry: every available engine (numba included
+#: where importable) is compared against the authoritative reference.
+ENGINES = available_engines("queueing")
+NON_REFERENCE_ENGINES = [name for name in ENGINES if name != "reference"]
 
 
 def _simulation(
@@ -58,11 +66,13 @@ def _simulation(
 
 
 def _assert_identical(simulation, horizon, seed):
-    kernel = simulation.run(horizon, seed=seed, engine="kernel")
     reference = simulation.run(horizon, seed=seed, engine="reference")
-    assert kernel == reference  # dataclass equality: every field bit-identical
-    assert kernel.num_arrivals > 0
-    return kernel
+    for engine in NON_REFERENCE_ENGINES:
+        candidate = simulation.run(horizon, seed=seed, engine=engine)
+        # Dataclass equality: every field bit-identical.
+        assert candidate == reference, f"engine {engine!r} diverged from reference"
+    assert reference.num_arrivals > 0
+    return reference
 
 
 @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
@@ -136,6 +146,6 @@ class TestEdgeCases:
             arrivals=PoissonArrivalProcess(rate_per_node=0.8),
             radius=2.0,
         )
-        for engine in ("kernel", "reference"):
+        for engine in ENGINES:
             with pytest.raises(NoReplicaError):
                 simulation.run(10.0, seed=0, engine=engine)

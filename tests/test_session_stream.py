@@ -240,6 +240,11 @@ class TestOpenSession:
             self.CONFIG.as_dict(), seed=SEED, assignment_engine="reference"
         )
         assert session.strategy.engine == "reference"
+        # The pinned engine is recorded consistently: the snapshot's engine
+        # field and the description must name the same (overridden) engine.
+        snapshot = session.snapshot()
+        assert snapshot.engine == "reference"
+        assert "engine=reference" in snapshot.description
 
     def test_workload_stream_sliced_serve_matches_one_shot(self):
         baseline = open_session(self.CONFIG, seed=SEED)

@@ -144,6 +144,18 @@ class TestSerialisation:
         sized = base_config(num_requests=5000).describe()
         assert "[m=5000]" in sized
 
+    def test_describe_includes_resolved_engine(self):
+        from repro.backends.registry import resolve_engine_name
+
+        default = base_config().describe()
+        assert f"engine={resolve_engine_name('auto', 'assignment')}" in default
+        pinned = base_config(
+            strategy_params={"radius": 3, "engine": "reference"}
+        ).describe()
+        assert "engine=reference" in pinned
+        overridden = base_config().describe(engine="reference")
+        assert "engine=reference" in overridden
+
     def test_describe_distinguishes_workloads(self):
         a = base_config(workload="uniform_origin").describe()
         b = base_config(workload="poisson_demand").describe()
