@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-differential bench bench-smoke bench-queueing bench-engines ci
+.PHONY: test test-differential bench bench-smoke bench-queueing bench-engines bench-sharded profile-precompute ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -27,12 +27,13 @@ bench-smoke:
 bench-queueing:
 	$(PYTHON) -m pytest benchmarks/test_bench_queueing.py -m bench_smoke -q -s --benchmark-disable
 
-# The engine-registry suites alone: both differential suites (parametrised
-# over every engine the registry reports available, numba included where
-# importable), the numba-transcription fallback suite and the registry unit
-# tests.  The CI numba job runs exactly this plus the bench gates.
+# The engine-registry suites alone: both in-process differential suites
+# (parametrised over every in-process engine the registry reports available,
+# numba included where importable), the multiprocess sharded-backend suite,
+# the numba-transcription fallback suite and the registry unit tests.  The
+# CI numba and sharded jobs run exactly this plus their bench gates.
 test-differential:
-	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
+	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_backends_sharded_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
 
 # Cross-engine comparison (reference/kernel/numba where available) on both
 # stacks at n = 4096; writes benchmarks/results/engine_speedup.txt and gates
@@ -40,3 +41,15 @@ test-differential:
 # importable.
 bench-engines:
 	$(PYTHON) -m pytest benchmarks/test_bench_engines.py -q -s --benchmark-disable
+
+# Sharded multiprocess backend benches: the protocol smoke at n = 1024 plus
+# (on machines with >= 4 cores) the >= 2x speedup gate of sharded:4:stale
+# over the best single-process engine at n = 65536, utilisation 0.9; writes
+# benchmarks/results/sharded_speedup.txt.
+bench-sharded:
+	$(PYTHON) -m pytest benchmarks/test_bench_sharded.py -m bench_smoke -q -s --benchmark-disable
+
+# cProfile over the Strategy II precompute (group-index build + batched
+# distance matrices) at n = 4096; prints the top-10 by cumulative time.
+profile-precompute:
+	$(PYTHON) benchmarks/profile_precompute.py

@@ -16,9 +16,22 @@ Two environment variables control the fidelity:
 from __future__ import annotations
 
 import os
+import platform
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def host_header() -> str:
+    """One-line host fingerprint stamped into timing artifacts.
+
+    Timing tables are meaningless without the machine they ran on; every
+    artifact that records wall-clock numbers leads with this line.
+    """
+    return (
+        f"host: cpu_count={os.cpu_count()}, platform={platform.platform()}, "
+        f"python={platform.python_version()}"
+    )
 
 
 def bench_trials(default: int) -> int:

@@ -1,0 +1,67 @@
+"""Profile the precompute phase: group-index build + batched distances.
+
+``make profile-precompute`` runs the Strategy II precompute at the
+figure-scale n = 4096 under ``cProfile`` and prints the top entries by
+cumulative time — the quickest way to see whether the group-index build, the
+batched ``pairwise_distances`` calls or the CSR scatter dominates before
+touching the kernels.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_precompute.py [--nodes N] [--top K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.catalog.library import FileLibrary
+from repro.kernels.group_index import build_group_index
+from repro.placement.partition import PartitionPlacement
+from repro.strategies.base import FallbackPolicy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+NUM_FILES = 128
+CACHE_SIZE = 8
+RADIUS = 8.0
+
+
+def precompute(num_nodes: int) -> None:
+    topology = Torus2D(num_nodes)
+    library = FileLibrary(NUM_FILES)
+    cache = PartitionPlacement(CACHE_SIZE).place(topology, library, seed=0)
+    requests = UniformOriginWorkload(5 * num_nodes).generate(topology, library, seed=1)
+    index = build_group_index(
+        topology,
+        cache,
+        requests,
+        radius=RADIUS,
+        fallback=FallbackPolicy.NEAREST,
+        need_dists=True,
+    )
+    assert index.num_groups > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=4096)
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    precompute(args.nodes)
+    profiler.disable()
+
+    print(f"precompute profile @ n={args.nodes}, K={NUM_FILES}, M={CACHE_SIZE}, "
+          f"r={RADIUS:g}, m={5 * args.nodes} requests")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+from _bench_utils import host_header
 from repro.backends.registry import available_engines
 from repro.catalog.library import FileLibrary
 from repro.placement.partition import PartitionPlacement
@@ -117,6 +118,7 @@ def engine_report(static_system, supermarket):
 
 def _render(timings: dict[str, dict[str, float]], num_arrivals: int) -> str:
     lines = [
+        host_header(),
         f"engine comparison @ n={NUM_NODES}, K={NUM_FILES}, M={CACHE_SIZE}, r={RADIUS}",
         f"static: strategy II, m={NUM_REQUESTS} requests | "
         f"queueing: rate={RATE}, mu=1, horizon={HORIZON:g} ({num_arrivals} arrivals)",

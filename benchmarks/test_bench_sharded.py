@@ -1,0 +1,161 @@
+"""Benchmarks of the sharded multiprocess queueing backend.
+
+Two layers, matching the backend's two documented modes (see
+``repro/backends/sharded.py``):
+
+* a ``bench_smoke`` pass at n = 1024 with a 2-worker fleet that exercises the
+  full coordinator/worker protocol on any machine (single-core containers
+  included), asserts exact mode bit-identical to the single-process engines
+  as a by-product, and always writes ``benchmarks/results/sharded_speedup.txt``;
+* the acceptance gate at n = 65536, per-server utilisation 0.9 and a 4-worker
+  fleet: ``sharded:4:stale`` must beat the best available single-process
+  engine by ≥ 2×.  The gate needs real parallel hardware, so it skips on
+  fewer than 4 CPU cores (the smoke artifact records the skip).
+
+Exact mode replays the sequential RNG contract through the coordinator and is
+a *validation* mode — no speedup is expected or asserted for it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _bench_utils import host_header
+from repro.backends.registry import registered_engines
+from repro.catalog.library import FileLibrary
+from repro.placement.partition import PartitionPlacement
+from repro.session.artifacts import ArtifactCache
+from repro.simulation.queueing import QueueingSimulation
+from repro.topology.torus import Torus2D
+from repro.workload.arrivals import PoissonArrivalProcess
+
+pytestmark = pytest.mark.bench_smoke
+
+NUM_FILES = 64
+CACHE_SIZE = 8
+RADIUS = 8
+RATE = 0.9  # per-server utilisation at mu = 1
+SEED = 2
+
+SMOKE_NODES = 1024
+SMOKE_HORIZON = 30.0
+SMOKE_WORKERS = int(os.environ.get("REPRO_BENCH_SHARDED_WORKERS", "2"))
+
+GATE_NODES = 65536
+GATE_HORIZON = 5.0
+GATE_WORKERS = 4
+GATE_SPEEDUP = 2.0
+CORES = os.cpu_count() or 1
+
+
+def _simulation(num_nodes: int) -> QueueingSimulation:
+    return QueueingSimulation(
+        topology=Torus2D(num_nodes),
+        library=FileLibrary(NUM_FILES),
+        placement=PartitionPlacement(CACHE_SIZE),
+        arrivals=PoissonArrivalProcess(rate_per_node=RATE),
+        radius=RADIUS,
+        artifacts=ArtifactCache(),
+    )
+
+
+def _timed_run(simulation, horizon, engine):
+    start = time.perf_counter()
+    result = simulation.run(horizon, seed=SEED, engine=engine)
+    return time.perf_counter() - start, result
+
+
+def _best_single_process_engines() -> list[str]:
+    return [
+        e.name
+        for e in registered_engines("queueing")
+        if e.available and e.in_process and e.name != "reference"
+    ]
+
+
+def test_bench_sharded_smoke(artifact_dir):
+    """Protocol smoke at n = 1024: time both modes, write the artifact.
+
+    On a single-core container the fleet serialises, so no speedup is
+    asserted here — the point is that the multiprocess path runs end to end
+    and that exact mode stays bit-identical to the single-process kernel.
+    """
+    simulation = _simulation(SMOKE_NODES)
+    kernel_time, kernel_result = _timed_run(simulation, SMOKE_HORIZON, "auto")
+    exact_time, exact_result = _timed_run(
+        simulation, SMOKE_HORIZON, f"sharded:{SMOKE_WORKERS}"
+    )
+    stale_time, stale_result = _timed_run(
+        simulation, SMOKE_HORIZON, f"sharded:{SMOKE_WORKERS}:stale"
+    )
+
+    # Exact mode replays the sequential contract: bit-identical by design.
+    assert exact_result == kernel_result
+    # Stale mode consumes every RNG stream per arrival regardless of picks.
+    assert stale_result.num_arrivals == kernel_result.num_arrivals
+
+    if CORES >= GATE_WORKERS:
+        gate_note = "gate: see result line appended by test_bench_sharded_gate"
+    else:
+        gate_note = (
+            f"gate (n={GATE_NODES}, util {RATE}, {GATE_WORKERS} workers): "
+            f"skipped — cpu_count={CORES} < {GATE_WORKERS}"
+        )
+    report = (
+        f"{host_header()}\n"
+        f"sharded backend @ n={SMOKE_NODES}, K={NUM_FILES}, M={CACHE_SIZE}, "
+        f"r={RADIUS}, rate={RATE}, mu=1, horizon={SMOKE_HORIZON:g} "
+        f"({kernel_result.num_arrivals} arrivals), {SMOKE_WORKERS} workers\n"
+        f"auto              {kernel_time:8.3f}s\n"
+        f"sharded (exact)   {exact_time:8.3f}s   (validation mode, bit-identical)\n"
+        f"sharded (stale)   {stale_time:8.3f}s\n"
+        f"{gate_note}\n"
+    )
+    print("\n" + report)
+    (artifact_dir / "sharded_speedup.txt").write_text(report)
+
+
+@pytest.mark.skipif(
+    CORES < GATE_WORKERS,
+    reason=f"sharded speedup gate needs >= {GATE_WORKERS} cores (have {CORES})",
+)
+def test_bench_sharded_gate(artifact_dir):
+    """``sharded:4:stale`` must beat the best single-process engine ≥ 2×.
+
+    The acceptance scale of the issue: n = 65536 servers at utilisation 0.9.
+    A short warm-up run per engine fills the shared group-index store so the
+    timed runs compare commit loops, not the (shared) precompute.
+    """
+    simulation = _simulation(GATE_NODES)
+    best_name, best_time = None, float("inf")
+    for engine in _best_single_process_engines():
+        simulation.run(1.0, seed=SEED, engine=engine)  # warm-up
+        seconds, _ = _timed_run(simulation, GATE_HORIZON, engine)
+        if seconds < best_time:
+            best_name, best_time = engine, seconds
+
+    spec = f"sharded:{GATE_WORKERS}:stale"
+    simulation.run(1.0, seed=SEED, engine=spec)  # warm-up (forks the fleet)
+    sharded_time, sharded_result = _timed_run(simulation, GATE_HORIZON, spec)
+    assert sharded_result.num_arrivals > 0
+
+    speedup = best_time / sharded_time
+    line = (
+        f"gate (n={GATE_NODES}, util {RATE}, {GATE_WORKERS} workers): "
+        f"{spec} {sharded_time:.3f}s vs best single-process "
+        f"{best_name} {best_time:.3f}s -> {speedup:.2f}x "
+        f"(>= {GATE_SPEEDUP:.1f}x required)\n"
+    )
+    print("\n" + line)
+    artifact = artifact_dir / "sharded_speedup.txt"
+    if artifact.exists():
+        artifact.write_text(artifact.read_text() + line)
+    else:
+        artifact.write_text(f"{host_header()}\n{line}")
+    assert speedup >= GATE_SPEEDUP, (
+        f"sharded stale engine only {speedup:.2f}x over {best_name} "
+        f"at n={GATE_NODES}, utilisation {RATE}"
+    )

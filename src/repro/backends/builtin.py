@@ -1,6 +1,6 @@
 """Registration of the built-in engines (imported lazily by the registry).
 
-Three backends per family, all under the same bit-identity obligation:
+Four backends per family:
 
 ========== ======== ========================================================
 engine     priority implementation
@@ -8,6 +8,11 @@ engine     priority implementation
 reference  0        scalar per-request / per-arrival loops — the direct
                     transcription of the paper's process definitions and the
                     authority when engines disagree
+sharded    5        tiled multiprocess fleet over shared-memory load
+                    vectors (:mod:`repro.backends.sharded`); opt-in via
+                    ``"sharded[:N][:mode]"`` option specs, never picked by
+                    ``"auto"`` — its stale mode trades the bit-identity
+                    contract for parallel throughput
 kernel     10       batched numpy precompute + pure-Python commit loop
 numba      20       the kernel precompute with ``@njit``-compiled commit
                     loops; listed always, selectable only where ``numba``
@@ -94,6 +99,54 @@ def _queueing_numba_fns():
     return {"window": partial(queueing_kernel_window, commit=nb.commit_window)}
 
 
+def _assignment_sharded_fns(num_workers=None, mode=None):
+    from repro.backends import sharded
+    from repro.kernels import engine as kernel
+
+    # Only the d-choice commit is sharded; the other strategies either have
+    # no sequential commit loop or no tile-local structure, so they run the
+    # kernel engine unchanged (keeping the operation table complete).
+    table = dict(_assignment_kernel_fns())
+    table["two_choice"] = partial(
+        sharded.sharded_two_choice,
+        num_workers=num_workers,
+        mode=mode or sharded.DEFAULT_MODE,
+    )
+    return table
+
+
+def _queueing_sharded_fns(num_workers=None, mode=None):
+    from repro.backends import sharded
+
+    return {
+        "window": partial(
+            sharded.sharded_queueing_window,
+            num_workers=num_workers,
+            mode=mode or sharded.DEFAULT_MODE,
+        )
+    }
+
+
+def _configure_sharded_assignment(options):
+    from repro.backends import sharded
+
+    num_workers, mode = sharded.parse_options(options)  # ValueError on junk
+    return lambda: _assignment_sharded_fns(num_workers, mode)
+
+
+def _configure_sharded_queueing(options):
+    from repro.backends import sharded
+
+    num_workers, mode = sharded.parse_options(options)  # ValueError on junk
+    return lambda: _queueing_sharded_fns(num_workers, mode)
+
+
+def _sharded_runtime_info():
+    from repro.backends import sharded
+
+    return sharded.worker_note()
+
+
 register_engine(
     "reference",
     family="assignment",
@@ -121,6 +174,18 @@ register_engine(
 )
 
 register_engine(
+    "sharded",
+    family="assignment",
+    commit_fns=_assignment_sharded_fns,
+    priority=5,
+    supports_streaming=True,
+    description="tiled multiprocess two-choice; opt in via 'sharded[:N][:mode]'",
+    in_process=False,
+    configure=_configure_sharded_assignment,
+    runtime_info=_sharded_runtime_info,
+)
+
+register_engine(
     "reference",
     family="queueing",
     commit_fns=_queueing_reference_fns,
@@ -144,4 +209,15 @@ register_engine(
     priority=20,
     supports_streaming=True,
     description="event-batched precompute + @njit-compiled event loop",
+)
+register_engine(
+    "sharded",
+    family="queueing",
+    commit_fns=_queueing_sharded_fns,
+    priority=5,
+    supports_streaming=True,
+    description="tiled multiprocess event loop; opt in via 'sharded[:N][:mode]'",
+    in_process=False,
+    configure=_configure_sharded_queueing,
+    runtime_info=_sharded_runtime_info,
 )

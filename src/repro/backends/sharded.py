@@ -1,0 +1,1105 @@
+"""Sharded multiprocess backend: tile the torus, fan the commit loop out.
+
+The paper's proximity-aware dispatch is spatially local — a request at origin
+``v`` only ever considers replicas inside the radius-``r`` ball — so the
+torus partitions into horizontal strips (contiguous node-id blocks, see
+:mod:`repro.topology.partition`) whose interiors are independent: a request
+group whose whole candidate set lies inside one tile can be committed by
+that tile's owner without observing any other tile's load state.  This
+module exploits that to break the single-core ceiling of the sequential
+commit loops:
+
+* one persistent **worker process per tile** runs the *existing* commit
+  kernels (:func:`~repro.kernels.queueing.commit_window`,
+  :func:`~repro.kernels.commit.commit_least_loaded_of_sample`) over its
+  tile's interior arrivals — the coordinator builds the batched precompute
+  (group index, samples, tie uniforms, service draws) once and ships each
+  worker its CSR slice;
+* per-server load / busy-until vectors live in
+  :mod:`multiprocessing.shared_memory`; workers flush their tile slice at
+  synchronisation points and the coordinator reads the full vectors
+  zero-copy;
+* **boundary-crossing** groups (candidate sets spanning tiles) are committed
+  by the coordinator against the shared vectors and reconciled with the
+  owning worker.
+
+Two modes, selected via the engine option spec (``"sharded:4"``,
+``"sharded:4:stale"``):
+
+``exact`` (default)
+    Replays the sequential RNG contract bit for bit.  Workers serve interior
+    arrivals between *sync points* (one per boundary arrival, in global
+    arrival order), flush, and wait; the coordinator picks the boundary
+    winner from the flushed vectors with the exact commit-loop rule and
+    sends the forced commit to the owning tile.  The coordinator finally
+    replays the full winner sequence through the sequential kernel (each
+    arrival reduced to its single winning candidate — the same float
+    operations in the same order), so the coordinator's
+    :class:`~repro.kernels.queueing.QueueingState` stays bit-identical to
+    the ``reference`` engine.  The replay makes this a *validation* mode:
+    total work exceeds one sequential pass, so expect no speedup — its job
+    is to prove the sharded protocol correct
+    (``tests/test_backends_sharded_differential.py``).
+
+``stale`` (bounded staleness — the performance mode)
+    The window is cut into :data:`STALE_ROUNDS` rounds by arrival index.
+    Workers commit a whole round per message exchange; the coordinator
+    commits the round's boundary arrivals against the *previous* round's
+    flushed snapshot (tracking its own within-round increments) and ships
+    them to the owning workers as forced single-candidate arrivals merged
+    into the round in global order.  Deviation from the sequential contract:
+    a boundary pick may miss queue changes made by other arrivals *within
+    the same round* (at most one round of staleness; every stream is still
+    consumed per arrival, so the RNG positions are identical).  Each tile's
+    dynamics — service starts, departures, waiting times — are computed by
+    its owner from its authoritative local state, so only the *choice* of
+    server is stale, never the accounting of the chosen server.  Aggregate
+    statistics therefore track the sequential run within the distributional
+    tolerances asserted by the differential suite.
+
+Process model: worker fleets use the ``fork`` start method so the shared
+arrays are inherited as plain numpy views (children never open
+``SharedMemory`` handles themselves).  Queueing fleets attach to the
+:class:`~repro.kernels.queueing.QueueingState` they serve and are torn down
+when the state is garbage collected; the stateless assignment fleets are
+pooled per ``(num_nodes, num_workers)`` and closed at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import multiprocessing as mp
+import os
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.commit import commit_least_loaded_of_sample
+from repro.kernels.group_index import GroupStore, build_group_index, segmented_arange
+from repro.kernels.queueing import QueueingState, commit_window, drain_departures
+from repro.kernels.sampling import draw_sample_positions, weighted_sample_positions
+from repro.rng import SeedLike, spawn_generators
+from repro.strategies.base import AssignmentResult, FallbackPolicy
+from repro.topology.partition import BOUNDARY, tile_partition
+
+__all__ = [
+    "DEFAULT_MODE",
+    "MODES",
+    "STALE_ROUNDS",
+    "default_worker_count",
+    "parse_options",
+    "sharded_queueing_window",
+    "sharded_two_choice",
+    "worker_note",
+]
+
+#: Commit modes: ``exact`` replays the sequential contract, ``stale`` trades
+#: one round of load-snapshot staleness for parallel throughput.
+MODES = ("exact", "stale")
+DEFAULT_MODE = "exact"
+
+#: Rounds per window in bounded-staleness mode: each boundary pick observes
+#: loads at most one round old.
+STALE_ROUNDS = 4
+
+#: Cap on the default fleet size (explicit ``sharded:N`` overrides it).
+MAX_DEFAULT_WORKERS = 8
+
+_STALE_TOKENS = ("stale", "staleness", "bounded")
+
+
+def default_worker_count() -> int:
+    """Fleet size when the spec names none: ``cpu_count`` capped at 8."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+def parse_options(options: str | None) -> tuple[int, str]:
+    """Parse the option spec tail: ``"4"``, ``"stale"``, ``"4:stale"``, …
+
+    Returns ``(num_workers, mode)``; raises ``ValueError`` (which the
+    registry wraps into ``UnknownEngineError``) for anything else.
+    """
+    workers: int | None = None
+    mode = DEFAULT_MODE
+    for token in (options or "").split(":"):
+        token = token.strip()
+        if not token:
+            continue
+        if token.isdigit():
+            if int(token) < 1:
+                raise ValueError(f"worker count must be at least 1, got {token}")
+            workers = int(token)
+        elif token in MODES or token in _STALE_TOKENS:
+            mode = "stale" if token in _STALE_TOKENS else token
+        else:
+            raise ValueError(
+                f"expected a worker count or a mode from {MODES}, got {token!r}"
+            )
+    return workers if workers is not None else default_worker_count(), mode
+
+
+def worker_note() -> str:
+    """Runtime note for ``repro engines``: the resolved default fleet size."""
+    return (
+        f"{default_worker_count()} workers by default "
+        f"(cpu_count={os.cpu_count() or 1}, cap {MAX_DEFAULT_WORKERS})"
+    )
+
+
+# ---------------------------------------------------------------- primitives
+def _pick_least_loaded(loads: np.ndarray, cand: np.ndarray, u: float) -> int:
+    """The commit loops' winner rule over a published load vector.
+
+    First least-loaded candidate in sample order; when ``t`` candidates tie,
+    the ``floor(u * t)``-th tied one — exactly
+    :func:`~repro.kernels.commit.commit_least_loaded_of_sample`.
+    """
+    values = loads[cand]
+    tied = np.flatnonzero(values == values.min())
+    if tied.size == 1:
+        return int(tied[0])
+    return int(tied[int(u * tied.size)])
+
+
+def _local_csr(
+    sel: np.ndarray,
+    sample_counts: np.ndarray,
+    sample_indptr: np.ndarray,
+    sample_nodes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One worker's slice of the sampled-candidate CSR, re-based to zero."""
+    counts = sample_counts[sel]
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    flat = np.repeat(sample_indptr[sel], counts) + segmented_arange(counts)
+    return sample_nodes[flat], counts, indptr
+
+
+def _merged_csr(
+    sel: np.ndarray,
+    forced: np.ndarray,
+    forced_servers: np.ndarray,
+    sample_counts: np.ndarray,
+    sample_indptr: np.ndarray,
+    sample_nodes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A stale round's per-worker CSR: interior samples merged, in global
+    arrival order, with the coordinator's boundary picks as forced
+    single-candidate sets."""
+    counts = np.where(forced, np.int64(1), sample_counts[sel])
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    nodes = np.empty(int(indptr[-1]), dtype=np.int64)
+    free = ~forced
+    if np.any(free):
+        c = counts[free]
+        dest = np.repeat(indptr[:-1][free], c) + segmented_arange(c)
+        src = np.repeat(sample_indptr[sel[free]], c) + segmented_arange(c)
+        nodes[dest] = sample_nodes[src]
+    if np.any(forced):
+        nodes[indptr[:-1][forced]] = forced_servers
+    return nodes, counts, indptr
+
+
+def _classify_requests(index, partition) -> np.ndarray:
+    """Per-request owning shard (or ``BOUNDARY``) from the group index.
+
+    Uses the candidate-set refinement: a group whose materialised candidates
+    all fall inside one tile is interior to it, even when the full ball
+    would cross (candidates are a subset of the ball).
+    """
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(index.counts)])
+    flat = np.repeat(index.starts, index.counts) + segmented_arange(index.counts)
+    group_nodes = index.nodes[flat]
+    mins = np.minimum.reduceat(group_nodes, np.minimum(indptr[:-1], flat.size - 1))
+    maxs = np.maximum.reduceat(group_nodes, np.minimum(indptr[:-1], flat.size - 1))
+    shard = partition.shard_span(mins, maxs)
+    shard[index.counts == 0] = BOUNDARY  # defensive: reduceat junk on empties
+    return shard[index.request_group]
+
+
+def _owning_shard(bounds: np.ndarray, server: int) -> int:
+    return int(np.searchsorted(bounds, server, side="right") - 1)
+
+
+# -------------------------------------------------------------- worker fleet
+_FAMILY_QUEUEING = "queueing"
+_FAMILY_ASSIGNMENT = "assignment"
+
+
+class _ShardedRuntime:
+    """One worker fleet: processes, pipes, and the shared load vectors.
+
+    Built *before* forking so the children inherit the shared-memory numpy
+    views directly; the parent is the only process that ever opens (and
+    finally unlinks) the ``SharedMemory`` segments.
+    """
+
+    def __init__(self, num_nodes: int, num_workers: int, family: str) -> None:
+        if "fork" not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                "the sharded engine needs the 'fork' multiprocessing start "
+                "method, which this platform does not provide"
+            )
+        ctx = mp.get_context("fork")
+        self.family = family
+        self.num_nodes = int(num_nodes)
+        self.requested_workers = int(num_workers)
+        self.partition = tile_partition(self.num_nodes, num_workers)
+        self.closed = False
+        self._shms: list[shared_memory.SharedMemory] = []
+
+        def shared_array(dtype) -> np.ndarray:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(8, self.num_nodes * 8)
+            )
+            self._shms.append(shm)
+            view = np.ndarray((self.num_nodes,), dtype=dtype, buffer=shm.buf)
+            view[:] = 0
+            return view
+
+        if family == _FAMILY_QUEUEING:
+            self.shared_queue = shared_array(np.int64)
+            self.shared_busy = shared_array(np.float64)
+            target = _queueing_worker_main
+            views: tuple = (self.shared_queue, self.shared_busy)
+        else:
+            self.shared_loads = shared_array(np.int64)
+            target = _assignment_worker_main
+            views = (self.shared_loads,)
+
+        self.pipes = []
+        self.workers = []
+        for shard in range(self.partition.num_shards):
+            lo, hi = self.partition.shard_bounds(shard)
+            parent_end, child_end = ctx.Pipe()
+            proc = ctx.Process(
+                target=target, args=(child_end, lo, hi) + views, daemon=True
+            )
+            proc.start()
+            child_end.close()
+            self.pipes.append(parent_end)
+            self.workers.append(proc)
+
+    @property
+    def num_workers(self) -> int:
+        return self.partition.num_shards
+
+    def send_all(self, messages) -> None:
+        for pipe, message in zip(self.pipes, messages):
+            pipe.send(message)
+
+    def recv_all(self) -> list:
+        return [pipe.recv() for pipe in self.pipes]
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for pipe in self.pipes:
+            try:
+                pipe.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self.workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for pipe in self.pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        # Drop the views before releasing the mappings: SharedMemory.close()
+        # raises BufferError while exported views are alive.
+        for attr in ("shared_queue", "shared_busy", "shared_loads"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        for shm in self._shms:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view leaked by caller
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._shms = []
+
+
+# The stateless assignment fleets are pooled (spawning is milliseconds, but
+# sweeps call the commit entry point thousands of times); bounded so test
+# suites touching many topologies do not accumulate idle fleets.
+_STATIC_POOL: dict[tuple[int, int], _ShardedRuntime] = {}
+_STATIC_POOL_LIMIT = 4
+
+
+def _static_runtime(num_nodes: int, num_workers: int) -> _ShardedRuntime:
+    key = (int(num_nodes), int(num_workers))
+    runtime = _STATIC_POOL.get(key)
+    if runtime is not None and not runtime.closed:
+        return runtime
+    _STATIC_POOL.pop(key, None)
+    while len(_STATIC_POOL) >= _STATIC_POOL_LIMIT:
+        _STATIC_POOL.pop(next(iter(_STATIC_POOL))).close()
+    runtime = _ShardedRuntime(num_nodes, num_workers, _FAMILY_ASSIGNMENT)
+    _STATIC_POOL[key] = runtime
+    return runtime
+
+
+@atexit.register
+def _close_static_pool() -> None:  # pragma: no cover - interpreter teardown
+    for runtime in list(_STATIC_POOL.values()):
+        runtime.close()
+    _STATIC_POOL.clear()
+
+
+def _queueing_runtime(state: QueueingState, num_workers: int) -> _ShardedRuntime:
+    """The fleet attached to ``state``, created (and initialised) on demand."""
+    runtime = getattr(state, "_sharded_runtime", None)
+    num_nodes = len(state.queue_lengths)
+    if runtime is not None and not runtime.closed:
+        if runtime.requested_workers != int(num_workers):
+            raise ConfigurationError(
+                "queueing state is already attached to a sharded fleet of "
+                f"{runtime.requested_workers} workers; cannot re-serve it "
+                f"with {num_workers}"
+            )
+        return runtime
+    runtime = _ShardedRuntime(num_nodes, num_workers, _FAMILY_QUEUEING)
+    runtime.shared_queue[:] = state.queue_lengths
+    runtime.shared_busy[:] = state.busy_until
+    pending: list[list[tuple[float, int]]] = [[] for _ in range(runtime.num_workers)]
+    bounds = runtime.partition.bounds
+    for time_, _, server in sorted(state.events):
+        pending[_owning_shard(bounds, server)].append((time_, server))
+    runtime.send_all(
+        [
+            ("init", list(state.queue_lengths), list(state.busy_until), pending[w])
+            for w in range(runtime.num_workers)
+        ]
+    )
+    state._sharded_runtime = runtime
+    weakref.finalize(state, runtime.close)
+    return runtime
+
+
+# ------------------------------------------------------------- worker mains
+def _queueing_worker_main(conn, lo, hi, shared_queue, shared_busy):
+    """Event loop of one queueing tile owner (runs in the child process)."""
+    state: QueueingState | None = None
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "stop":
+                break
+            if tag == "init":
+                state = _init_worker_state(message)
+            elif tag == "exact":
+                _worker_exact_window(conn, state, message[1], lo, hi, shared_queue, shared_busy)
+            elif tag == "stale":
+                _worker_stale_round(conn, state, message[1], lo, hi, shared_queue, shared_busy)
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+
+
+def _init_worker_state(message) -> QueueingState:
+    _, queue_lengths, busy_until, pending = message
+    state = QueueingState(queue_lengths=list(queue_lengths), busy_until=list(busy_until))
+    # Pending departures arrive (time-)sorted; ascending local ids preserve
+    # the global relative order of same-time events within the tile.
+    for time_, server in pending:
+        heapq.heappush(state.events, (time_, state.next_event_id, server))
+        state.next_event_id += 1
+    return state
+
+
+def _worker_force_commit(state: QueueingState, server: int, finish: float) -> None:
+    """Apply a coordinator-committed boundary arrival to this tile.
+
+    Mirrors ``commit_window``'s queue/busy/heap updates for a single forced
+    winner; wait/area accounting is irrelevant here (exact mode reports from
+    the coordinator's sequential replay) but the load state and the
+    departure event must be exact for every subsequent pick.
+    """
+    load = state.queue_lengths[server] + 1
+    state.queue_lengths[server] = load
+    state.busy_until[server] = finish
+    state.in_system += 1
+    if load > state.max_queue:
+        state.max_queue = load
+    heapq.heappush(state.events, (finish, state.next_event_id, server))
+    state.next_event_id += 1
+
+
+def _worker_exact_window(conn, state, payload, lo, hi, shared_queue, shared_busy):
+    times = payload["times"]
+    services = payload["services"]
+    ties = payload["ties"]
+    nodes = payload["nodes"]
+    counts = payload["counts"]
+    indptr = payload["indptr"]
+    seg_sizes = payload["seg_sizes"]
+    sync_times = payload["sync_times"]
+    num_sync = len(sync_times)
+    positions = []
+    cursor = 0
+    for seg in range(num_sync + 1):
+        size = seg_sizes[seg]
+        if size:
+            a, b = cursor, cursor + size
+            flat_lo, flat_hi = int(indptr[a]), int(indptr[b])
+            winners = commit_window(
+                state,
+                times[a:b],
+                services[a:b],
+                ties[a:b],
+                nodes[flat_lo:flat_hi],
+                counts[a:b],
+                indptr[a : b + 1] - flat_lo,
+            )
+            positions.append(winners - (indptr[a:b] - flat_lo))
+            cursor = b
+        until = sync_times[seg] if seg < num_sync else payload["window_end"]
+        drain_departures(state, until)
+        shared_queue[lo:hi] = state.queue_lengths[lo:hi]
+        shared_busy[lo:hi] = state.busy_until[lo:hi]
+        if seg < num_sync:
+            conn.send(("synced",))
+            _, server, finish = conn.recv()
+            if server is not None:
+                _worker_force_commit(state, server, finish)
+    done = (
+        np.concatenate(positions) if positions else np.empty(0, dtype=np.int64)
+    )
+    conn.send(("done", done))
+
+
+def _worker_stale_round(conn, state, payload, lo, hi, shared_queue, shared_busy):
+    times = payload["times"]
+    if times.size:
+        indptr = payload["indptr"]
+        winners = commit_window(
+            state,
+            times,
+            payload["services"],
+            payload["ties"],
+            payload["nodes"],
+            payload["counts"],
+            indptr,
+        )
+        positions = winners - indptr[:-1]
+    else:
+        positions = np.empty(0, dtype=np.int64)
+    drain_to = payload["drain_to"]
+    drain_departures(state, drain_to)
+    shared_queue[lo:hi] = state.queue_lengths[lo:hi]
+    shared_busy[lo:hi] = state.busy_until[lo:hi]
+    if not payload["final"]:
+        conn.send(("synced", positions))
+        return
+    # Window boundary: extend the queue-length integral permanently — the
+    # coordinator's accumulators are overwritten with the workers' sums, and
+    # summing each tile's exact step-function integral reproduces the global
+    # integral (in-system counts are additive across tiles).
+    state.area_queue += state.in_system * (drain_to - state.clock)
+    state.clock = drain_to
+    stats = {
+        "in_system": state.in_system,
+        "num_arrivals": state.num_arrivals,
+        "completed": state.completed,
+        "max_queue": state.max_queue,
+        "area_queue": state.area_queue,
+        "sum_wait": state.sum_wait,
+        "sum_sojourn": state.sum_sojourn,
+    }
+    conn.send(("done", positions, stats))
+
+
+def _assignment_worker_main(conn, lo, hi, shared_loads):
+    """Commit loop of one assignment tile owner (runs in the child)."""
+    num_nodes = int(shared_loads.size)
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "stop":
+                break
+            if tag == "assign_exact":
+                _worker_assign_exact(conn, message[1], lo, hi, num_nodes, shared_loads)
+            elif tag == "assign_stale":
+                _worker_assign_stale(conn, message[1], lo, hi, num_nodes, shared_loads)
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+
+
+def _worker_assign_exact(conn, payload, lo, hi, num_nodes, shared_loads):
+    loads = np.asarray(payload["init"], dtype=np.int64).copy()
+    nodes = payload["nodes"]
+    counts = payload["counts"]
+    indptr = payload["indptr"]
+    ties = payload["ties"]
+    seg_sizes = payload["seg_sizes"]
+    num_sync = len(seg_sizes) - 1
+    positions = []
+    cursor = 0
+    for seg in range(num_sync + 1):
+        size = seg_sizes[seg]
+        if size:
+            a, b = cursor, cursor + size
+            flat_lo, flat_hi = int(indptr[a]), int(indptr[b])
+            winners = commit_least_loaded_of_sample(
+                num_nodes,
+                nodes[flat_lo:flat_hi],
+                counts[a:b],
+                indptr[a : b + 1] - flat_lo,
+                ties[a:b],
+                initial_loads=loads,
+            )
+            positions.append(winners - (indptr[a:b] - flat_lo))
+            cursor = b
+        shared_loads[lo:hi] = loads[lo:hi]
+        if seg < num_sync:
+            conn.send(("synced",))
+            _, server = conn.recv()
+            if server is not None:
+                loads[server] += 1
+    done = (
+        np.concatenate(positions) if positions else np.empty(0, dtype=np.int64)
+    )
+    conn.send(("done", done))
+
+
+def _worker_assign_stale(conn, payload, lo, hi, num_nodes, shared_loads):
+    loads = np.asarray(payload["init"], dtype=np.int64).copy()
+    for _ in range(payload["num_rounds"]):
+        _, rnd = conn.recv()
+        if rnd["counts"].size:
+            winners = commit_least_loaded_of_sample(
+                num_nodes,
+                rnd["nodes"],
+                rnd["counts"],
+                rnd["indptr"],
+                rnd["ties"],
+                initial_loads=loads,
+            )
+            positions = winners - rnd["indptr"][:-1]
+        else:
+            positions = np.empty(0, dtype=np.int64)
+        shared_loads[lo:hi] = loads[lo:hi]
+        conn.send(("round_done", positions))
+
+
+# --------------------------------------------------------- queueing frontend
+def sharded_queueing_window(
+    topology,
+    cache,
+    state: QueueingState,
+    requests,
+    times,
+    streams,
+    *,
+    radius: float,
+    num_choices: int,
+    service_rate: float,
+    window_end: float,
+    store: GroupStore | None = None,
+    node_weights: np.ndarray | None = None,
+    num_workers: int | None = None,
+    mode: str = DEFAULT_MODE,
+) -> None:
+    """Serve one queueing window across the tile fleet.
+
+    Same signature and contract as
+    :func:`~repro.kernels.queueing.queueing_kernel_window`; ``num_workers``
+    and ``mode`` are bound by the engine registration (``"sharded:N[:mode]"``).
+    """
+    m = requests.num_requests
+    workers = int(num_workers) if num_workers else default_worker_count()
+    if m == 0 and getattr(state, "_sharded_runtime", None) is None:
+        # Nothing was ever dispatched: no reason to spin a fleet up.
+        drain_departures(state, window_end)
+        return
+    runtime = _queueing_runtime(state, workers)
+    if m == 0:
+        if mode == "stale":
+            _stale_empty_window(runtime, state, window_end)
+        else:
+            drain_departures(state, window_end)
+        return
+
+    # Precompute: identical to the kernel engine, built once by the
+    # coordinator and shipped to the workers as CSR slices.
+    rng_sample, rng_tie, rng_service = streams
+    unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
+    index = build_group_index(
+        topology,
+        cache,
+        requests,
+        radius=radius,
+        fallback=FallbackPolicy.NEAREST,
+        need_dists=not unconstrained,
+        store=store,
+    )
+    counts = index.request_counts()
+    if node_weights is None:
+        positions, sample_counts, sample_indptr = draw_sample_positions(
+            counts, num_choices, rng_sample
+        )
+    else:
+        positions, sample_counts, sample_indptr = weighted_sample_positions(
+            counts,
+            index.request_starts(),
+            node_weights[index.nodes],
+            num_choices,
+            rng_sample,
+        )
+    tie_uniforms = rng_tie.random(m)
+    services = rng_service.exponential(1.0 / service_rate, size=m)
+    flat = np.repeat(index.request_starts(), sample_counts) + positions
+    sample_nodes = index.nodes[flat]
+    times_arr = np.asarray(times, dtype=np.float64)
+    shard_of_request = _classify_requests(index, runtime.partition)
+
+    if mode == "exact":
+        winners_pos = _exact_queueing(
+            runtime,
+            times_arr,
+            services,
+            tie_uniforms,
+            sample_nodes,
+            sample_counts,
+            sample_indptr,
+            shard_of_request,
+            float(window_end),
+        )
+        winners_flat = sample_indptr[:-1] + winners_pos
+        # Replay the winner sequence through the sequential kernel: each
+        # arrival reduced to its single winning candidate performs the exact
+        # same float operations as the unsharded run, so the coordinator's
+        # state (and thus every reported statistic) stays bit-identical.
+        commit_window(
+            state,
+            times_arr,
+            services,
+            tie_uniforms,
+            sample_nodes[winners_flat],
+            np.ones(m, dtype=np.int64),
+            np.arange(m + 1, dtype=np.int64),
+        )
+        _add_hops(state, index, flat, winners_flat, topology, requests, sample_nodes)
+        drain_departures(state, window_end)
+    else:
+        winners_pos = _stale_queueing(
+            runtime,
+            state,
+            times_arr,
+            services,
+            tie_uniforms,
+            sample_nodes,
+            sample_counts,
+            sample_indptr,
+            shard_of_request,
+            float(window_end),
+        )
+        winners_flat = sample_indptr[:-1] + winners_pos
+        _add_hops(state, index, flat, winners_flat, topology, requests, sample_nodes)
+
+
+def _add_hops(state, index, flat, winners_flat, topology, requests, sample_nodes):
+    if index.dists is not None:
+        state.sum_hops += int(index.dists[flat][winners_flat].sum())
+    else:
+        servers = sample_nodes[winners_flat]
+        state.sum_hops += int(
+            topology.distances_between(requests.origins, servers).sum()
+        )
+
+
+def _exact_queueing(
+    runtime,
+    times,
+    services,
+    ties,
+    sample_nodes,
+    sample_counts,
+    sample_indptr,
+    shard_of_request,
+    window_end,
+):
+    """Lockstep window: workers serve interior segments, the coordinator
+    commits every boundary arrival at its exact global position."""
+    m = int(times.size)
+    num_workers = runtime.num_workers
+    boundary = np.flatnonzero(shard_of_request == BOUNDARY)
+    local = [np.flatnonzero(shard_of_request == w) for w in range(num_workers)]
+    payloads = []
+    for w in range(num_workers):
+        sel = local[w]
+        nodes_w, counts_w, indptr_w = _local_csr(
+            sel, sample_counts, sample_indptr, sample_nodes
+        )
+        cut = np.searchsorted(sel, boundary)
+        seg_sizes = np.diff(
+            np.concatenate([np.zeros(1, dtype=np.int64), cut, [sel.size]])
+        ).tolist()
+        payloads.append(
+            (
+                "exact",
+                {
+                    "times": times[sel],
+                    "services": services[sel],
+                    "ties": ties[sel],
+                    "nodes": nodes_w,
+                    "counts": counts_w,
+                    "indptr": indptr_w,
+                    "seg_sizes": seg_sizes,
+                    "sync_times": times[boundary].tolist(),
+                    "window_end": window_end,
+                },
+            )
+        )
+    runtime.send_all(payloads)
+    out = np.empty(m, dtype=np.int64)
+    bounds = runtime.partition.bounds
+    for g in boundary:
+        runtime.recv_all()  # every tile is drained and flushed through times[g]
+        start, end = int(sample_indptr[g]), int(sample_indptr[g + 1])
+        cand = sample_nodes[start:end]
+        pos = _pick_least_loaded(runtime.shared_queue, cand, float(ties[g]))
+        server = int(cand[pos])
+        now = float(times[g])
+        svc_start = float(runtime.shared_busy[server])
+        if svc_start < now:
+            svc_start = now
+        finish = svc_start + float(services[g])
+        owner = _owning_shard(bounds, server)
+        messages = [("commit", None, None)] * num_workers
+        messages[owner] = ("commit", server, finish)
+        runtime.send_all(messages)
+        out[g] = pos
+    for w, reply in enumerate(runtime.recv_all()):
+        out[local[w]] = reply[1]
+    return out
+
+
+def _stale_queueing(
+    runtime,
+    state,
+    times,
+    services,
+    ties,
+    sample_nodes,
+    sample_counts,
+    sample_indptr,
+    shard_of_request,
+    window_end,
+):
+    """Bounded-staleness window: one worker exchange per round."""
+    m = int(times.size)
+    num_workers = runtime.num_workers
+    rounds = max(1, min(STALE_ROUNDS, m))
+    edges = np.round(np.linspace(0, m, rounds + 1)).astype(np.int64)
+    snap_queue = runtime.shared_queue.copy()
+    snap_busy = runtime.shared_busy.copy()
+    out = np.empty(m, dtype=np.int64)
+    boundary_mask = shard_of_request == BOUNDARY
+    owner = shard_of_request.copy()
+    bounds = runtime.partition.bounds
+    stats_list: list[dict] = []
+    for k in range(rounds):
+        a, b = int(edges[k]), int(edges[k + 1])
+        final = k == rounds - 1
+        drain_to = window_end if final else float(times[int(edges[k + 1])])
+        idx = np.arange(a, b, dtype=np.int64)
+        for g in idx[boundary_mask[a:b]]:
+            start, end = int(sample_indptr[g]), int(sample_indptr[g + 1])
+            cand = sample_nodes[start:end]
+            pos = _pick_least_loaded(snap_queue, cand, float(ties[g]))
+            server = int(cand[pos])
+            now = float(times[g])
+            svc_start = float(snap_busy[server])
+            if svc_start < now:
+                svc_start = now
+            # Track own increments so picks within the round see each other;
+            # the owning worker recomputes the true finish from its
+            # authoritative local state.
+            snap_busy[server] = svc_start + float(services[g])
+            snap_queue[server] += 1
+            out[g] = pos
+            owner[g] = _owning_shard(bounds, server)
+        payloads = []
+        sel_by_worker = []
+        for w in range(num_workers):
+            sel = idx[owner[a:b] == w]
+            forced = boundary_mask[sel]
+            forced_sel = sel[forced]
+            forced_servers = sample_nodes[sample_indptr[forced_sel] + out[forced_sel]]
+            nodes_w, counts_w, indptr_w = _merged_csr(
+                sel, forced, forced_servers, sample_counts, sample_indptr, sample_nodes
+            )
+            payloads.append(
+                (
+                    "stale",
+                    {
+                        "times": times[sel],
+                        "services": services[sel],
+                        "ties": ties[sel],
+                        "nodes": nodes_w,
+                        "counts": counts_w,
+                        "indptr": indptr_w,
+                        "drain_to": drain_to,
+                        "final": final,
+                    },
+                )
+            )
+            sel_by_worker.append((sel, forced))
+        runtime.send_all(payloads)
+        for w, reply in enumerate(runtime.recv_all()):
+            sel, forced = sel_by_worker[w]
+            free = sel[~forced]
+            out[free] = reply[1][~forced]
+            if final:
+                stats_list.append(reply[2])
+        if not final:
+            snap_queue[:] = runtime.shared_queue
+            snap_busy[:] = runtime.shared_busy
+    _merge_stale_stats(state, runtime, stats_list, window_end)
+    return out
+
+
+def _stale_empty_window(runtime, state, window_end):
+    """An arrival-free window still needs the workers to drain and account."""
+    empty_f = np.empty(0, dtype=np.float64)
+    empty_i = np.empty(0, dtype=np.int64)
+    payload = {
+        "times": empty_f,
+        "services": empty_f,
+        "ties": empty_f,
+        "nodes": empty_i,
+        "counts": empty_i,
+        "indptr": np.zeros(1, dtype=np.int64),
+        "drain_to": float(window_end),
+        "final": True,
+    }
+    runtime.send_all([("stale", payload)] * runtime.num_workers)
+    stats_list = [reply[2] for reply in runtime.recv_all()]
+    _merge_stale_stats(state, runtime, stats_list, float(window_end))
+
+
+def _merge_stale_stats(state, runtime, stats_list, window_end):
+    """Overwrite the coordinator's accumulators with the tile sums.
+
+    Worker accumulators are cumulative across windows, so overwriting (not
+    adding) keeps windowed serving consistent.  ``sum_hops`` stays
+    coordinator-owned (workers never see distances); the event heap stays
+    empty — departures live in the workers.
+    """
+    state.queue_lengths = runtime.shared_queue.tolist()
+    state.busy_until = runtime.shared_busy.tolist()
+    state.events = []
+    state.next_event_id = 0
+    state.clock = float(window_end)
+    state.in_system = int(sum(s["in_system"] for s in stats_list))
+    state.num_arrivals = int(sum(s["num_arrivals"] for s in stats_list))
+    state.completed = int(sum(s["completed"] for s in stats_list))
+    state.max_queue = int(max(s["max_queue"] for s in stats_list))
+    state.area_queue = float(sum(s["area_queue"] for s in stats_list))
+    state.sum_wait = float(sum(s["sum_wait"] for s in stats_list))
+    state.sum_sojourn = float(sum(s["sum_sojourn"] for s in stats_list))
+
+
+# ------------------------------------------------------- assignment frontend
+def sharded_two_choice(
+    topology,
+    cache,
+    requests,
+    seed: SeedLike,
+    *,
+    radius: float,
+    num_choices: int,
+    fallback: FallbackPolicy,
+    strategy_name: str,
+    streams=None,
+    loads=None,
+    store: GroupStore | None = None,
+    num_workers: int | None = None,
+    mode: str = DEFAULT_MODE,
+) -> AssignmentResult:
+    """Sharded Strategy II: same signature and contract as
+    :func:`~repro.kernels.engine.two_choice_kernel`."""
+    m = requests.num_requests
+    n = topology.n
+    if m == 0:
+        return AssignmentResult(
+            servers=np.empty(0, dtype=np.int64),
+            distances=np.empty(0, dtype=np.int64),
+            num_nodes=n,
+            strategy_name=strategy_name,
+            fallback_mask=np.zeros(0, dtype=bool),
+        )
+    unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
+    index = build_group_index(
+        topology,
+        cache,
+        requests,
+        radius=radius,
+        fallback=fallback,
+        need_dists=not unconstrained,
+        store=store,
+    )
+    rng_sample, rng_tie = streams if streams is not None else spawn_generators(seed, 2)
+    positions, sample_counts, sample_indptr = draw_sample_positions(
+        index.request_counts(), num_choices, rng_sample
+    )
+    tie_uniforms = rng_tie.random(m)
+    flat = np.repeat(index.request_starts(), sample_counts) + positions
+    sample_nodes = index.nodes[flat]
+    sample_dists = index.dists[flat] if index.dists is not None else None
+
+    workers = int(num_workers) if num_workers else default_worker_count()
+    runtime = _static_runtime(n, workers)
+    shard_of_request = _classify_requests(index, runtime.partition)
+    initial = (
+        np.asarray(loads, dtype=np.int64).copy()
+        if loads is not None
+        else np.zeros(n, dtype=np.int64)
+    )
+    if mode == "exact":
+        winners_pos = _exact_assignment(
+            runtime, initial, tie_uniforms, sample_nodes, sample_counts,
+            sample_indptr, shard_of_request,
+        )
+    else:
+        winners_pos = _stale_assignment(
+            runtime, initial, tie_uniforms, sample_nodes, sample_counts,
+            sample_indptr, shard_of_request,
+        )
+    if loads is not None:
+        loads[:] = runtime.shared_loads
+    winners_flat = sample_indptr[:-1] + winners_pos
+    servers = sample_nodes[winners_flat]
+    if sample_dists is not None:
+        distances = sample_dists[winners_flat]
+    else:
+        distances = topology.distances_between(requests.origins, servers)
+    return AssignmentResult(
+        servers=servers,
+        distances=distances,
+        num_nodes=n,
+        strategy_name=strategy_name,
+        fallback_mask=index.fallback[index.request_group],
+    )
+
+
+def _exact_assignment(
+    runtime, initial, ties, sample_nodes, sample_counts, sample_indptr,
+    shard_of_request,
+):
+    m = int(sample_counts.size)
+    num_workers = runtime.num_workers
+    runtime.shared_loads[:] = initial
+    boundary = np.flatnonzero(shard_of_request == BOUNDARY)
+    local = [np.flatnonzero(shard_of_request == w) for w in range(num_workers)]
+    payloads = []
+    for w in range(num_workers):
+        sel = local[w]
+        nodes_w, counts_w, indptr_w = _local_csr(
+            sel, sample_counts, sample_indptr, sample_nodes
+        )
+        cut = np.searchsorted(sel, boundary)
+        seg_sizes = np.diff(
+            np.concatenate([np.zeros(1, dtype=np.int64), cut, [sel.size]])
+        ).tolist()
+        payloads.append(
+            (
+                "assign_exact",
+                {
+                    "init": initial,
+                    "nodes": nodes_w,
+                    "counts": counts_w,
+                    "indptr": indptr_w,
+                    "ties": ties[sel],
+                    "seg_sizes": seg_sizes,
+                },
+            )
+        )
+    runtime.send_all(payloads)
+    out = np.empty(m, dtype=np.int64)
+    bounds = runtime.partition.bounds
+    for g in boundary:
+        runtime.recv_all()
+        start, end = int(sample_indptr[g]), int(sample_indptr[g + 1])
+        cand = sample_nodes[start:end]
+        pos = _pick_least_loaded(runtime.shared_loads, cand, float(ties[g]))
+        server = int(cand[pos])
+        owner = _owning_shard(bounds, server)
+        messages = [("commit", None)] * num_workers
+        messages[owner] = ("commit", server)
+        runtime.send_all(messages)
+        out[g] = pos
+    for w, reply in enumerate(runtime.recv_all()):
+        out[local[w]] = reply[1]
+    return out
+
+
+def _stale_assignment(
+    runtime, initial, ties, sample_nodes, sample_counts, sample_indptr,
+    shard_of_request,
+):
+    m = int(sample_counts.size)
+    num_workers = runtime.num_workers
+    runtime.shared_loads[:] = initial
+    rounds = max(1, min(STALE_ROUNDS, m))
+    edges = np.round(np.linspace(0, m, rounds + 1)).astype(np.int64)
+    out = np.empty(m, dtype=np.int64)
+    boundary_mask = shard_of_request == BOUNDARY
+    owner = shard_of_request.copy()
+    bounds = runtime.partition.bounds
+    snap = initial.copy()
+    runtime.send_all(
+        [("assign_stale", {"init": initial, "num_rounds": rounds})] * num_workers
+    )
+    for k in range(rounds):
+        a, b = int(edges[k]), int(edges[k + 1])
+        idx = np.arange(a, b, dtype=np.int64)
+        for g in idx[boundary_mask[a:b]]:
+            start, end = int(sample_indptr[g]), int(sample_indptr[g + 1])
+            cand = sample_nodes[start:end]
+            pos = _pick_least_loaded(snap, cand, float(ties[g]))
+            server = int(cand[pos])
+            snap[server] += 1
+            out[g] = pos
+            owner[g] = _owning_shard(bounds, server)
+        payloads = []
+        sel_by_worker = []
+        for w in range(num_workers):
+            sel = idx[owner[a:b] == w]
+            forced = boundary_mask[sel]
+            forced_sel = sel[forced]
+            forced_servers = sample_nodes[sample_indptr[forced_sel] + out[forced_sel]]
+            nodes_w, counts_w, indptr_w = _merged_csr(
+                sel, forced, forced_servers, sample_counts, sample_indptr, sample_nodes
+            )
+            payloads.append(
+                (
+                    "round",
+                    {
+                        "nodes": nodes_w,
+                        "counts": counts_w,
+                        "indptr": indptr_w,
+                        "ties": ties[sel],
+                    },
+                )
+            )
+            sel_by_worker.append((sel, forced))
+        runtime.send_all(payloads)
+        for w, reply in enumerate(runtime.recv_all()):
+            sel, forced = sel_by_worker[w]
+            free = sel[~forced]
+            out[free] = reply[1][~forced]
+        snap[:] = runtime.shared_loads
+    return out

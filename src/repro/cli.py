@@ -443,12 +443,15 @@ def _command_engines(args: argparse.Namespace) -> int:
         for order, engine in enumerate(registered_engines(family), start=1):
             if engine.available:
                 status, note = "yes", engine.description
+                if engine.runtime_info is not None:
+                    note = f"{note}; {engine.runtime_info()}"
             else:
                 status, note = "no", engine.unavailable_reason
             rows.append(
                 {
                     "engine": engine.name,
                     "auto order": order,
+                    "priority": engine.priority,
                     "available": status,
                     "streaming": "yes" if engine.supports_streaming else "no",
                     "note": note,

@@ -23,6 +23,7 @@ alias the cache's own arrays via per-group ``starts``/``counts``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -155,8 +156,10 @@ class GroupStore:
     (or the trials of a multi-run) recurring ``(origin, file)`` pairs skip
     their distance computation entirely.
 
-    Entries are capped at ``max_groups``; once full, new rows are still
-    computed but no longer retained.
+    Entries are capped at ``max_groups`` with least-recently-used eviction:
+    at capacity, inserting a new row evicts the row whose last ``get`` hit
+    (or insertion) is oldest, so a working set that fits keeps its hot
+    groups even when the full key population does not.
     """
 
     __slots__ = ("_rows", "_max_groups", "hits", "misses")
@@ -164,7 +167,9 @@ class GroupStore:
     def __init__(self, max_groups: int = 1 << 20) -> None:
         if max_groups <= 0:
             raise ValueError(f"max_groups must be positive, got {max_groups}")
-        self._rows: dict[int, tuple[IntArray, IntArray | None, bool]] = {}
+        self._rows: OrderedDict[int, tuple[IntArray, IntArray | None, bool]] = (
+            OrderedDict()
+        )
         self._max_groups = int(max_groups)
         self.hits = 0
         self.misses = 0
@@ -184,12 +189,16 @@ class GroupStore:
             self.misses += 1
         else:
             self.hits += 1
+            self._rows.move_to_end(key)
         return row
 
     def put(self, key: int, nodes: IntArray, dists: IntArray | None, fallback: bool) -> None:
-        """Retain a materialised group row (no-op once the store is full)."""
-        if len(self._rows) < self._max_groups:
-            self._rows[key] = (nodes, dists, fallback)
+        """Retain a materialised group row, evicting the LRU row at capacity."""
+        if key in self._rows:
+            self._rows.move_to_end(key)
+        elif len(self._rows) >= self._max_groups:
+            self._rows.popitem(last=False)
+        self._rows[key] = (nodes, dists, fallback)
 
 
 def _resolve_fallback_row(

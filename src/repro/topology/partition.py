@@ -1,0 +1,184 @@
+"""Spatial tiling of a topology into contiguous node-id shards.
+
+The paper's proximity-aware dispatch is spatially local by construction: a
+request at origin ``v`` only ever considers replicas inside the radius-``r``
+ball ``B_r(v)``.  On the row-major lattices (:class:`~repro.topology.torus.
+Torus2D`, :class:`~repro.topology.grid.Grid2D`) a contiguous block of node
+ids is a horizontal strip of rows, so partitioning the id space into
+``num_shards`` equal blocks tiles the lattice into strips whose interiors
+are *independent*: a request group whose whole candidate ball lies inside
+one strip can be committed by that strip's owner without observing any other
+strip's load state.
+
+:func:`tile_partition` builds such a partition; :class:`TilePartition`
+answers the two questions the sharded execution backend
+(:mod:`repro.backends.sharded`) asks:
+
+* **ownership** — which shard owns a node (:meth:`TilePartition.shard_of`),
+  and which id range a shard owns (:meth:`TilePartition.shard_bounds`);
+* **classification** — is a request group *interior* to one shard or
+  *boundary-crossing*?  Two classifiers are provided:
+
+  - :meth:`TilePartition.shard_span` — the candidate-set refinement used by
+    the backend: a group whose materialised candidate node ids all fall in
+    one block is interior to it (candidates are a subset of the ball, so
+    this classifies at least as many groups interior as the ball test);
+  - :meth:`TilePartition.classify_origins` — the paper-level definition: a
+    group is interior when its *whole* radius-``r`` ball sits inside one
+    shard.  Lattices answer this in O(1) per origin from row extents
+    (conservatively: a wrap-around ball is always boundary); any other
+    topology falls back to batched ball enumeration.
+
+Both classifiers only ever err towards ``-1`` (boundary-crossing), never
+towards interior — boundary groups cost coordination but stay correct,
+while a false interior would let a worker commit outside its tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.types import IntArray
+
+__all__ = ["TilePartition", "tile_partition"]
+
+#: Shard id meaning "crosses a tile boundary" in classification results.
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class TilePartition:
+    """A partition of ``num_nodes`` node ids into contiguous blocks.
+
+    ``bounds`` has shape ``(num_shards + 1,)`` with ``bounds[0] == 0`` and
+    ``bounds[-1] == num_nodes``; shard ``s`` owns the id range
+    ``[bounds[s], bounds[s + 1])``.
+    """
+
+    num_nodes: int
+    bounds: IntArray
+
+    @property
+    def num_shards(self) -> int:
+        """Number of tiles."""
+        return int(self.bounds.size) - 1
+
+    def shard_bounds(self, shard: int) -> tuple[int, int]:
+        """The half-open node-id range ``[lo, hi)`` owned by ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise TopologyError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        return int(self.bounds[shard]), int(self.bounds[shard + 1])
+
+    def shard_sizes(self) -> IntArray:
+        """Number of nodes owned by every shard, shape ``(num_shards,)``."""
+        return np.diff(self.bounds)
+
+    def shard_of(self, nodes: IntArray | int) -> IntArray:
+        """Owning shard id of every node id in ``nodes``."""
+        arr = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if arr.size and (arr.min() < 0 or arr.max() >= self.num_nodes):
+            raise TopologyError(
+                f"node ids must be in [0, {self.num_nodes}), got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return (np.searchsorted(self.bounds, arr, side="right") - 1).astype(np.int64)
+
+    def shard_span(self, min_nodes: IntArray, max_nodes: IntArray) -> IntArray:
+        """Shard containing the id range ``[min, max]``, or ``-1`` if it crosses.
+
+        The candidate-set classifier: feed it each group's minimum and
+        maximum candidate node id.  Because blocks are contiguous id ranges,
+        the whole set lies in one shard iff its extremes do.
+        """
+        lo = self.shard_of(min_nodes)
+        hi = self.shard_of(max_nodes)
+        return np.where(lo == hi, lo, BOUNDARY).astype(np.int64)
+
+    # -------------------------------------------------------- classification
+    def classify_origins(
+        self, topology: Topology, origins: IntArray, radius: float
+    ) -> IntArray:
+        """Per-origin shard id when the whole ball ``B_r`` fits in one tile.
+
+        Returns, for every origin, the shard containing its entire
+        radius-``radius`` ball, or ``-1`` (boundary-crossing) when the ball
+        spans tiles.  Conservative on lattices: a ball touching the row
+        wrap-around (torus) is classified boundary even when its members
+        happen to land in one block.
+        """
+        origins = topology.validate_nodes(origins)
+        if topology.n != self.num_nodes:
+            raise TopologyError(
+                f"partition covers {self.num_nodes} nodes but topology has "
+                f"{topology.n}"
+            )
+        if radius < 0:
+            raise TopologyError(f"radius must be non-negative, got {radius}")
+        if self.num_shards == 1:
+            return np.zeros(origins.size, dtype=np.int64)
+        if np.isinf(radius) or radius >= topology.diameter:
+            # The ball is the whole network: nothing is interior.
+            return np.full(origins.size, BOUNDARY, dtype=np.int64)
+        side = getattr(topology, "side", None)
+        if side is not None and topology.name in ("torus", "grid"):
+            return self._classify_lattice(topology, origins, int(radius), int(side))
+        return self._classify_generic(topology, origins, radius)
+
+    def _classify_lattice(
+        self, topology: Topology, origins: IntArray, radius: int, side: int
+    ) -> IntArray:
+        """O(1)-per-origin row-extent test for the row-major lattices.
+
+        The ball of ``(x, y)`` is contained in rows ``[y - r, y + r]``, i.e.
+        in ids ``[(y - r) * side, (y + r + 1) * side)``; interior iff that
+        row span sits inside one block (grid rows clip at the border; torus
+        rows that wrap are conservatively boundary).
+        """
+        y = origins // side
+        lo_row = y - radius
+        hi_row = y + radius
+        wraps = (lo_row < 0) | (hi_row >= side)
+        if topology.name == "grid":
+            lo_row = np.maximum(lo_row, 0)
+            hi_row = np.minimum(hi_row, side - 1)
+            wraps = np.zeros(origins.size, dtype=bool)
+        span = self.shard_span(
+            np.maximum(lo_row, 0) * side,
+            np.minimum(hi_row, side - 1) * side + side - 1,
+        )
+        return np.where(wraps, BOUNDARY, span).astype(np.int64)
+
+    def _classify_generic(
+        self, topology: Topology, origins: IntArray, radius: float
+    ) -> IntArray:
+        """Ball-enumeration fallback for topologies without lattice structure."""
+        uniq, inverse = np.unique(origins, return_inverse=True)
+        indptr, members, _ = topology.balls(uniq, radius)
+        # Balls always contain their origin, so every segment is non-empty.
+        mins = np.minimum.reduceat(members, indptr[:-1])
+        maxs = np.maximum.reduceat(members, indptr[:-1])
+        return self.shard_span(mins, maxs)[inverse]
+
+
+def tile_partition(topology: Topology | int, num_shards: int) -> TilePartition:
+    """Partition a topology's node ids into ``num_shards`` contiguous tiles.
+
+    ``topology`` may be a :class:`~repro.topology.base.Topology` or a plain
+    node count.  ``num_shards`` is clamped to the node count, so asking for
+    more tiles than nodes yields one node per tile; block sizes differ by at
+    most one node.
+    """
+    num_nodes = topology if isinstance(topology, int) else topology.n
+    if num_nodes <= 0:
+        raise TopologyError(f"number of nodes must be positive, got {num_nodes}")
+    if num_shards < 1:
+        raise TopologyError(f"num_shards must be at least 1, got {num_shards}")
+    shards = min(int(num_shards), int(num_nodes))
+    bounds = np.round(np.linspace(0, num_nodes, shards + 1)).astype(np.int64)
+    return TilePartition(num_nodes=int(num_nodes), bounds=bounds)

@@ -168,3 +168,61 @@ class TestRegistration:
         strategy = ProximityTwoChoiceStrategy(radius=2, engine="kernel-alias")
         assert strategy.engine == "kernel-alias"
         assert strategy.engine_supports_streaming
+
+
+class TestOptionSpecs:
+    def test_colon_in_registered_name_rejected(self):
+        with pytest.raises(UnknownEngineError, match="option specs"):
+            register_engine("bad:name", family="assignment", commit_fns={})
+
+    def test_options_on_an_engine_without_configure_rejected(self):
+        with pytest.raises(UnknownEngineError, match="takes no options"):
+            resolve_engine("kernel:4", "queueing")
+
+    def test_configure_hook_derives_a_pinned_engine(self, scratch_registry):
+        seen = []
+
+        def configure(options):
+            if not options.isdigit():
+                raise ValueError(f"expected a worker count, got {options!r}")
+            seen.append(options)
+            return lambda: {"window": ("configured", int(options))}
+
+        register_engine(
+            "tiled",
+            family="queueing",
+            commit_fns={"window": ("default", 0)},
+            configure=configure,
+            priority=-5,
+        )
+        engine = resolve_engine("tiled:4", "queueing")
+        # The derived engine keeps the full spec as its name (what sessions
+        # pin and record), and its table reflects the options.
+        assert engine.name == "tiled:4"
+        assert engine.commit_fns["window"] == ("configured", 4)
+        assert seen == ["4"]
+        # The bare name still resolves to the unconfigured default.
+        assert resolve_engine("tiled", "queueing").commit_fns["window"] == (
+            "default",
+            0,
+        )
+        # A recorded spec round-trips through another resolution.
+        assert resolve_engine_name(engine.name, "queueing") == "tiled:4"
+
+    def test_malformed_options_raise_unknown_engine_error(self, scratch_registry):
+        def configure(options):
+            raise ValueError(f"bad options {options!r}")
+
+        register_engine(
+            "tiled",
+            family="queueing",
+            commit_fns={},
+            configure=configure,
+            priority=-5,
+        )
+        with pytest.raises(UnknownEngineError, match="invalid options"):
+            resolve_engine("tiled:nope", "queueing")
+
+    def test_unknown_base_with_options_lists_registered(self):
+        with pytest.raises(UnknownEngineError, match="unknown"):
+            resolve_engine("warp:4", "assignment")

@@ -1,0 +1,258 @@
+"""Differential tests of the sharded multiprocess backend.
+
+The in-process differential suites parametrise over in-process engines only;
+this suite holds the multi-process ``sharded`` engine to its two documented
+contracts (see :mod:`repro.backends.sharded`):
+
+* **exact mode** replays the sequential RNG contract and must be
+  bit-identical to the ``reference`` engine — one-shot and windowed, static
+  and queueing, for several fleet sizes (including the degenerate
+  single-tile fleet);
+* **stale mode** relaxes only the *choice* of server (bounded by one round
+  of load-snapshot staleness); RNG stream positions, arrival counts and
+  tile dynamics stay exact, so aggregate statistics must track the
+  sequential run within the tolerance bands asserted here (and documented
+  in ``src/repro/README.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import resolve_engine
+from repro.catalog.library import FileLibrary
+from repro.exceptions import UnknownEngineError
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.session.queueing import open_queueing_session
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.arrivals import PoissonArrivalProcess
+from repro.workload.generators import UniformOriginWorkload
+
+SEED = 2026
+WORKER_COUNTS = [1, 2, 3]
+
+#: Snapshot keys that legitimately differ between runs (provenance, window
+#: bookkeeping) and are excluded from bit-identity comparison.
+SNAPSHOT_SKIP = ("engine", "num_windows")
+
+
+def _queueing_components(side=8, rate=0.9):
+    topology = Torus2D(side * side)
+    return (
+        topology,
+        FileLibrary(20),
+        PartitionPlacement(3),
+        PoissonArrivalProcess(rate_per_node=rate),
+    )
+
+
+def _queueing_snapshot(engine, partitions, *, side=8, radius=2.0, rate=0.9):
+    topology, library, placement, arrivals = _queueing_components(side, rate)
+    session = open_queueing_session(
+        topology,
+        library,
+        placement,
+        arrivals,
+        seed=SEED,
+        service_rate=1.0,
+        radius=radius,
+        engine=engine,
+    )
+    for until in partitions:
+        session.serve(until)
+    return session.snapshot()
+
+
+def _assert_snapshots_identical(got, expected):
+    for key, value in expected.items():
+        if key in SNAPSHOT_SKIP:
+            continue
+        assert got[key] == value, f"{key}: {got[key]!r} != {value!r}"
+
+
+class TestExactQueueing:
+    """Exact mode must be bit-identical to the reference engine."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_one_shot_bit_identical(self, workers):
+        reference = _queueing_snapshot("reference", [6.0])
+        got = _queueing_snapshot(f"sharded:{workers}", [6.0])
+        _assert_snapshots_identical(got, reference)
+
+    @pytest.mark.parametrize(
+        "partitions", [[1.5, 3.0, 6.0], [0.001, 6.0]], ids=["thirds", "tiny-first"]
+    )
+    def test_windowed_bit_identical(self, partitions):
+        reference = _queueing_snapshot("reference", [6.0])
+        got = _queueing_snapshot("sharded:2", partitions)
+        _assert_snapshots_identical(got, reference)
+
+    def test_unconstrained_radius_bit_identical(self):
+        # radius = inf makes every group boundary-crossing: the coordinator
+        # commits everything, workers only drain — the protocol's worst case.
+        reference = _queueing_snapshot("reference", [2.0], radius=np.inf)
+        got = _queueing_snapshot("sharded:2", [2.0], radius=np.inf)
+        _assert_snapshots_identical(got, reference)
+
+    def test_snapshot_records_full_spec(self):
+        snapshot = _queueing_snapshot("sharded:2", [1.0])
+        assert snapshot["engine"] == "sharded:2"
+
+
+class TestExactAssignment:
+    def _system(self, n=64):
+        topology = Torus2D(n)
+        library = FileLibrary(20)
+        cache = ProportionalPlacement(3).place(topology, library, seed=0)
+        requests = UniformOriginWorkload(500).generate(topology, library, seed=1)
+        return topology, cache, requests
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_two_choice_bit_identical(self, workers):
+        topology, cache, requests = self._system()
+        reference = ProximityTwoChoiceStrategy(radius=2, engine="reference").assign(
+            topology, cache, requests, seed=SEED
+        )
+        got = ProximityTwoChoiceStrategy(
+            radius=2, engine=f"sharded:{workers}"
+        ).assign(topology, cache, requests, seed=SEED)
+        np.testing.assert_array_equal(got.servers, reference.servers)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+        np.testing.assert_array_equal(got.fallback_mask, reference.fallback_mask)
+
+    def test_unconstrained_radius_bit_identical(self):
+        topology, cache, requests = self._system()
+        reference = ProximityTwoChoiceStrategy(
+            radius=np.inf, engine="reference"
+        ).assign(topology, cache, requests, seed=SEED)
+        got = ProximityTwoChoiceStrategy(radius=np.inf, engine="sharded:2").assign(
+            topology, cache, requests, seed=SEED
+        )
+        np.testing.assert_array_equal(got.servers, reference.servers)
+
+    def test_streaming_loads_round_trip(self):
+        # The session hooks: persistent loads must come back identical to the
+        # kernel engine's across two consecutive windows.
+        topology, cache, requests = self._system()
+        half = requests.num_requests // 2
+        kernel_fn = resolve_engine("kernel", "assignment").commit_fns["two_choice"]
+        sharded_fn = resolve_engine("sharded:2", "assignment").commit_fns["two_choice"]
+        from repro.rng import spawn_generators
+        from repro.strategies.base import FallbackPolicy
+        from repro.workload.request import RequestBatch
+
+        def windows(fn):
+            streams = spawn_generators(SEED, 2)
+            loads = np.zeros(topology.n, dtype=np.int64)
+            servers = []
+            for lo, hi in [(0, half), (half, requests.num_requests)]:
+                batch = RequestBatch(
+                    origins=requests.origins[lo:hi],
+                    files=requests.files[lo:hi],
+                    num_nodes=topology.n,
+                    num_files=requests.num_files,
+                )
+                result = fn(
+                    topology,
+                    cache,
+                    batch,
+                    None,
+                    radius=2.0,
+                    num_choices=2,
+                    fallback=FallbackPolicy.NEAREST,
+                    strategy_name="two_choice",
+                    streams=streams,
+                    loads=loads,
+                )
+                servers.append(result.servers)
+            return np.concatenate(servers), loads
+
+        kernel_servers, kernel_loads = windows(kernel_fn)
+        sharded_servers, sharded_loads = windows(sharded_fn)
+        np.testing.assert_array_equal(sharded_servers, kernel_servers)
+        np.testing.assert_array_equal(sharded_loads, kernel_loads)
+
+
+class TestStaleTolerance:
+    """Bounded-staleness mode: exact counts, bounded metric deviation."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        reference = _queueing_snapshot("reference", [8.0], side=16)
+        stale = _queueing_snapshot("sharded:3:stale", [8.0], side=16)
+        return reference, stale
+
+    def test_arrival_and_completion_counts(self, pair):
+        reference, stale = pair
+        # Every stream is consumed per arrival regardless of picks, so the
+        # arrival count is exact; completions shift only by jobs straddling
+        # the horizon.
+        assert stale["num_arrivals"] == reference["num_arrivals"]
+        assert stale["num_arrivals"] > 500
+        slack = max(5.0, 0.02 * reference["num_completed"])
+        assert abs(stale["num_completed"] - reference["num_completed"]) <= slack
+
+    def test_queue_metrics_within_tolerance(self, pair):
+        reference, stale = pair
+        for key in ("mean_queue_length", "mean_sojourn_time", "mean_waiting_time"):
+            rel = abs(stale[key] - reference[key]) / max(reference[key], 1e-9)
+            assert rel <= 0.15, f"{key}: {stale[key]} vs {reference[key]} ({rel:.1%})"
+
+    def test_communication_cost_within_tolerance(self, pair):
+        reference, stale = pair
+        rel = abs(stale["communication_cost"] - reference["communication_cost"]) / max(
+            reference["communication_cost"], 1e-9
+        )
+        assert rel <= 0.10
+
+    def test_windowed_stale_is_consistent(self):
+        # Windowed serving must produce sane cumulative accounting (worker
+        # accumulators survive the per-window overwrite merge).
+        whole = _queueing_snapshot("sharded:2:stale", [6.0])
+        split = _queueing_snapshot("sharded:2:stale", [0.001, 1.5, 6.0])
+        assert split["num_arrivals"] == whole["num_arrivals"]
+        assert abs(split["mean_queue_length"] - whole["mean_queue_length"]) <= (
+            0.05 * max(whole["mean_queue_length"], 1.0)
+        )
+
+    def test_static_stale_balances_load(self):
+        topology = Torus2D(256)
+        library = FileLibrary(20)
+        cache = ProportionalPlacement(3).place(topology, library, seed=0)
+        requests = UniformOriginWorkload(2000).generate(topology, library, seed=1)
+        reference = ProximityTwoChoiceStrategy(radius=2, engine="reference").assign(
+            topology, cache, requests, seed=SEED
+        )
+        stale = ProximityTwoChoiceStrategy(
+            radius=2, engine="sharded:3:stale"
+        ).assign(topology, cache, requests, seed=SEED)
+        ref_max = np.bincount(reference.servers, minlength=256).max()
+        stale_max = np.bincount(stale.servers, minlength=256).max()
+        assert stale_max <= ref_max + 3
+        # Distances obey the same radius constraint.
+        assert stale.distances.max() <= reference.distances.max()
+
+
+class TestSpecSurface:
+    def test_auto_never_resolves_to_sharded(self):
+        assert resolve_engine("auto", "queueing").name != "sharded"
+        assert resolve_engine("auto", "assignment").name != "sharded"
+
+    def test_malformed_options_rejected(self):
+        with pytest.raises(UnknownEngineError, match="invalid options"):
+            resolve_engine("sharded:fast", "queueing")
+        with pytest.raises(UnknownEngineError, match="invalid options"):
+            resolve_engine("sharded:0", "assignment")
+
+    def test_parse_options(self):
+        from repro.backends.sharded import default_worker_count, parse_options
+
+        assert parse_options("4") == (4, "exact")
+        assert parse_options("2:stale") == (2, "stale")
+        assert parse_options("stale:2") == (2, "stale")
+        assert parse_options("") == (default_worker_count(), "exact")
+        with pytest.raises(ValueError):
+            parse_options("turbo")

@@ -250,6 +250,11 @@ class TestEnginesCommand:
             import numba  # noqa: F401
         except ImportError:
             assert "numba: not importable" in out
+        # Auto resolution order is inspectable: the priority column plus the
+        # multi-process engine's resolved worker count.
+        assert "priority" in out
+        assert "sharded" in out
+        assert "workers by default" in out
 
     def test_unknown_engine_reports_registered_list(self, capsys):
         code = main(

@@ -175,6 +175,44 @@ class TestGroupStore:
         with pytest.raises(ValueError):
             GroupStore(max_groups=0)
 
+    @staticmethod
+    def _row(key):
+        nodes = np.asarray([key], dtype=np.int64)
+        return nodes, nodes + 100, False
+
+    def test_lru_eviction_at_capacity(self):
+        # Fill to capacity, touch the oldest key, insert a new one: the
+        # least-recently-*used* key goes, not the least-recently-inserted.
+        store = GroupStore(max_groups=3)
+        for key in (1, 2, 3):
+            store.put(key, *self._row(key))
+        assert store.get(1) is not None  # refresh key 1
+        store.put(4, *self._row(4))
+        assert len(store) == 3
+        assert store.get(2) is None  # LRU, evicted
+        for key in (1, 3, 4):
+            row = store.get(key)
+            assert row is not None
+            np.testing.assert_array_equal(row[0], [key])
+
+    def test_put_of_existing_key_refreshes_recency(self):
+        store = GroupStore(max_groups=2)
+        store.put(1, *self._row(1))
+        store.put(2, *self._row(2))
+        store.put(1, *self._row(1))  # re-put: now key 2 is LRU
+        store.put(3, *self._row(3))
+        assert len(store) == 2
+        assert store.get(2) is None
+        assert store.get(1) is not None and store.get(3) is not None
+
+    def test_capacity_never_exceeded_under_churn(self):
+        store = GroupStore(max_groups=4)
+        for key in range(20):
+            store.put(key, *self._row(key))
+            assert len(store) <= 4
+        # Only the four most recent keys survive.
+        assert [key for key in range(20) if store.get(key) is not None] == [16, 17, 18, 19]
+
 
 class TestGroupStoreRegistry:
     def test_same_key_returns_same_store(self):

@@ -1,0 +1,144 @@
+"""Unit tests of the spatial tiling helper (repro.topology.partition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    CompleteTopology,
+    Grid2D,
+    Ring,
+    TilePartition,
+    Torus2D,
+    tile_partition,
+)
+
+
+class TestTilePartitionStructure:
+    def test_bounds_cover_the_id_space(self):
+        part = tile_partition(Torus2D(64), 3)
+        assert part.bounds[0] == 0
+        assert part.bounds[-1] == 64
+        assert np.all(np.diff(part.bounds) > 0)
+        assert part.num_shards == 3
+
+    def test_shard_sizes_differ_by_at_most_one(self):
+        for n, shards in [(64, 3), (100, 7), (49, 4)]:
+            part = tile_partition(n, shards)
+            sizes = part.shard_sizes()
+            assert int(sizes.sum()) == n
+            assert int(sizes.max()) - int(sizes.min()) <= 1
+
+    def test_more_shards_than_nodes_clamps(self):
+        part = tile_partition(4, 16)
+        assert part.num_shards == 4
+        assert np.all(part.shard_sizes() == 1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(TopologyError):
+            tile_partition(Torus2D(64), 0)
+        with pytest.raises(TopologyError):
+            tile_partition(0, 2)
+
+    def test_shard_of_matches_bounds(self):
+        part = tile_partition(100, 7)
+        nodes = np.arange(100, dtype=np.int64)
+        shards = part.shard_of(nodes)
+        for s in range(part.num_shards):
+            lo, hi = part.shard_bounds(s)
+            assert np.all(shards[lo:hi] == s)
+        with pytest.raises(TopologyError):
+            part.shard_of(np.asarray([100]))
+        with pytest.raises(TopologyError):
+            part.shard_bounds(7)
+
+    def test_shard_span_detects_crossing_ranges(self):
+        part = tile_partition(64, 2)  # blocks [0, 32) and [32, 64)
+        mins = np.asarray([0, 31, 32, 31], dtype=np.int64)
+        maxs = np.asarray([31, 31, 63, 32], dtype=np.int64)
+        np.testing.assert_array_equal(
+            part.shard_span(mins, maxs), np.asarray([0, 0, 1, -1])
+        )
+
+
+class TestClassifyOrigins:
+    def _brute_force(self, part: TilePartition, topology, radius: float):
+        """Reference classification: enumerate every ball directly."""
+        out = np.empty(topology.n, dtype=np.int64)
+        for node in range(topology.n):
+            shards = np.unique(part.shard_of(topology.ball(node, radius)))
+            out[node] = shards[0] if shards.size == 1 else -1
+        return out
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    @pytest.mark.parametrize("radius", [0, 1, 2])
+    def test_torus_never_claims_false_interior(self, shards, radius):
+        topology = Torus2D(64)
+        part = tile_partition(topology, shards)
+        got = part.classify_origins(
+            topology, np.arange(topology.n, dtype=np.int64), radius
+        )
+        expected = self._brute_force(part, topology, radius)
+        # The lattice fast path is conservative: wherever it claims a shard,
+        # the brute-force ball agrees; it may only demote interior to -1.
+        claimed = got >= 0
+        np.testing.assert_array_equal(got[claimed], expected[claimed])
+        # Everything brute force calls boundary must stay boundary.
+        np.testing.assert_array_equal(got[expected == -1], -1)
+
+    def test_torus_interior_rows_are_claimed(self):
+        # side 8, 2 shards => rows 0-3 and 4-7; radius 1 keeps rows 1-2 and
+        # 5-6 strictly inside their strip.
+        topology = Torus2D(64)
+        part = tile_partition(topology, 2)
+        got = part.classify_origins(
+            topology, np.arange(topology.n, dtype=np.int64), 1
+        )
+        y = np.arange(64) // 8
+        assert np.all(got[(y == 1) | (y == 2)] == 0)
+        assert np.all(got[(y == 5) | (y == 6)] == 1)
+        assert np.all(got[(y == 0) | (y == 3) | (y == 4) | (y == 7)] == -1)
+
+    def test_grid_clips_at_the_border(self):
+        # On the bounded grid row 0's ball does not wrap, so the top strip
+        # stays interior right up to the boundary rows.
+        topology = Grid2D(64)
+        part = tile_partition(topology, 2)
+        got = part.classify_origins(
+            topology, np.arange(topology.n, dtype=np.int64), 1
+        )
+        expected = self._brute_force(part, topology, 1)
+        claimed = got >= 0
+        np.testing.assert_array_equal(got[claimed], expected[claimed])
+        y = np.arange(64) // 8
+        assert np.all(got[y == 0] == 0)  # clipped ball stays in rows 0-1
+
+    def test_generic_fallback_matches_brute_force(self):
+        topology = Ring(24)
+        part = tile_partition(topology, 3)
+        got = part.classify_origins(
+            topology, np.arange(topology.n, dtype=np.int64), 2
+        )
+        expected = self._brute_force(part, topology, 2)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_unconstrained_radius_is_all_boundary(self):
+        topology = CompleteTopology(16)
+        part = tile_partition(topology, 4)
+        got = part.classify_origins(topology, np.arange(16, dtype=np.int64), 1)
+        assert np.all(got == -1)
+
+    def test_single_shard_is_all_interior(self):
+        topology = Torus2D(64)
+        part = tile_partition(topology, 1)
+        got = part.classify_origins(
+            topology, np.arange(topology.n, dtype=np.int64), np.inf
+        )
+        assert np.all(got == 0)
+
+    def test_mismatched_topology_rejected(self):
+        part = tile_partition(64, 2)
+        with pytest.raises(TopologyError):
+            part.classify_origins(Torus2D(16), np.asarray([0]), 1)
