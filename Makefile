@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-differential bench bench-smoke bench-queueing bench-engines bench-sharded profile-precompute ci
+.PHONY: test test-differential test-service bench bench-smoke bench-queueing bench-engines bench-sharded bench-service profile-precompute ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -48,6 +48,20 @@ bench-engines:
 # benchmarks/results/sharded_speedup.txt.
 bench-sharded:
 	$(PYTHON) -m pytest benchmarks/test_bench_sharded.py -m bench_smoke -q -s --benchmark-disable
+
+# The dispatch-service suites alone: protocol/metrics/state units, the
+# end-to-end asyncio server tests (bit-identity under concurrency, batch
+# coalescing, 400s, snapshot staleness, graceful shutdown) and the load
+# generator.  The CI service job runs exactly this plus bench-service.
+test-service:
+	$(PYTHON) -m pytest tests/test_service_protocol.py tests/test_service_metrics.py tests/test_service_state.py tests/test_service_server.py tests/test_service_loadgen.py tests/test_session_snapshots.py -q
+
+# Dispatch-service bench: >= 50 concurrent clients bit-identical to the
+# offline session, plus an open-loop loadgen pass asserting the throughput
+# floor (REPRO_BENCH_SERVICE_FLOOR req/s, default 50); writes
+# benchmarks/results/service_latency.txt.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/test_bench_service.py -q -s --benchmark-disable
 
 # cProfile over the Strategy II precompute (group-index build + batched
 # distance matrices) at n = 4096; prints the top-10 by cumulative time.

@@ -20,6 +20,8 @@ import time
 
 import pytest
 
+from _bench_utils import host_header
+
 from repro.catalog.library import FileLibrary
 from repro.placement.partition import PartitionPlacement
 from repro.session.artifacts import ArtifactCache
@@ -79,6 +81,7 @@ def test_bench_queueing_kernel_speedup_over_reference(supermarket, artifact_dir)
     assert kernel_result == reference_result
     speedup = reference_time / kernel_time
     report = (
+        f"{host_header()}\n"
         f"supermarket model @ n={NUM_NODES}, K={NUM_FILES}, M={CACHE_SIZE}, "
         f"r={RADIUS}, rate={RATE}, mu=1, horizon={HORIZON:g} "
         f"({kernel_result.num_arrivals} arrivals)\n"

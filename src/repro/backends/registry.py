@@ -54,6 +54,7 @@ __all__ = [
     "Engine",
     "EngineSpec",
     "available_engines",
+    "engines_payload",
     "register_engine",
     "registered_engines",
     "resolve_engine",
@@ -244,6 +245,34 @@ def registered_engines(family: str) -> tuple[Engine, ...]:
 def available_engines(family: str) -> tuple[str, ...]:
     """Names of the engines that can actually run here, fastest first."""
     return tuple(e.name for e in registered_engines(family) if e.available)
+
+
+def engines_payload(family: str | None = None) -> list[dict]:
+    """Machine-readable engine availability (JSON-safe, fastest first).
+
+    One entry per registered engine: family, name, availability with the
+    skip reason for engines that cannot run here, ``"auto"`` resolution
+    order, priority and streaming capability.  Consumed by
+    ``repro engines --json``, the dispatch service's ``/healthz`` payload
+    and any script that needs to pick an engine without parsing tables.
+    """
+    families = FAMILIES if family is None else (family,)
+    payload = []
+    for fam in families:
+        for order, engine in enumerate(registered_engines(fam), start=1):
+            payload.append(
+                {
+                    "family": fam,
+                    "name": engine.name,
+                    "available": engine.available,
+                    "skip_reason": engine.unavailable_reason,
+                    "priority": engine.priority,
+                    "auto_order": order,
+                    "supports_streaming": engine.supports_streaming,
+                    "description": engine.description,
+                }
+            )
+    return payload
 
 
 def _registered_summary(family: str) -> str:

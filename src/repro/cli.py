@@ -32,7 +32,20 @@ Three subcommands cover the common workflows without writing Python:
 ``repro engines``
     List the execution backends registered for each engine family, their
     ``"auto"`` resolution order, and — for backends that cannot run here —
-    the reason they are skipped (e.g. ``numba: not importable``).
+    the reason they are skipped (e.g. ``numba: not importable``).  With
+    ``--json``, emit the same information as a machine-readable document
+    (the payload ``GET /healthz`` embeds).
+
+``repro serve``
+    Open one live session (static d-choice or queueing) and serve placement
+    decisions from it over async HTTP — ``POST /dispatch``,
+    ``POST /dispatch/batch``, ``GET /snapshot``, ``GET /healthz``,
+    ``GET /metrics`` (see :mod:`repro.service`).
+
+``repro loadgen``
+    Drive an open-loop Poisson load (optionally time-varying via thinning,
+    Zipf file popularity) against a running ``repro serve`` instance and
+    report the achieved rate plus client-side latency quantiles.
 
 Engine selection is one shared ``--engine`` flag (default ``auto``: the
 fastest available backend), accepted by every simulating subcommand and
@@ -243,7 +256,118 @@ def build_parser() -> argparse.ArgumentParser:
     engines = subparsers.add_parser(
         "engines", help="list registered execution backends and their availability"
     )
-    del engines  # no options; listed for completeness
+    engines.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve d-choice placement decisions from a live session over HTTP",
+        parents=[engine_flag],
+    )
+    serve.add_argument("--nodes", type=int, required=True, help="number of servers n")
+    serve.add_argument("--files", type=int, required=True, help="library size K")
+    serve.add_argument("--cache", type=int, required=True, help="cache slots per server M")
+    serve.add_argument(
+        "--queueing",
+        action="store_true",
+        help="serve a queueing (supermarket-model) session instead of static d-choice",
+    )
+    serve.add_argument(
+        "--strategy",
+        default="proximity_two_choice",
+        help="assignment strategy for static sessions (default: proximity_two_choice)",
+    )
+    serve.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="proximity radius r (default: unconstrained)",
+    )
+    serve.add_argument("--choices", type=int, default=2, help="number of choices d")
+    serve.add_argument("--topology", default="torus", help="topology name (default: torus)")
+    serve.add_argument(
+        "--popularity", default="uniform", help="popularity family (uniform or zipf)"
+    )
+    serve.add_argument("--gamma", type=float, default=None, help="Zipf exponent")
+    serve.add_argument(
+        "--placement", default="proportional", help="placement name (default: proportional)"
+    )
+    serve.add_argument(
+        "--mu", type=float, default=1.0, help="queueing service rate (default: 1.0)"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="random seed")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral; default: 8642)"
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.002,
+        help="micro-batch coalescing window in seconds (default: 0.002)",
+    )
+    serve.add_argument(
+        "--flush-max",
+        type=int,
+        default=512,
+        help="maximum requests per micro-batch commit (default: 512)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.05,
+        help="seconds between state snapshot publications (default: 0.05)",
+    )
+    serve.add_argument(
+        "--tick",
+        type=float,
+        default=0.001,
+        help="queueing virtual-clock advance per request in simulated seconds",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive open-loop load against a running dispatch server",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen.add_argument("--port", type=int, default=8642, help="server port")
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0, help="mean offered rate in requests/s"
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0, help="run length in seconds"
+    )
+    loadgen.add_argument(
+        "--zipf-gamma",
+        type=float,
+        default=0.8,
+        help="Zipf exponent of the file popularity (0 = uniform; default: 0.8)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="client connection pool size (default: 64)",
+    )
+    loadgen.add_argument(
+        "--batch", type=int, default=1, help="requests per client batch (default: 1)"
+    )
+    loadgen.add_argument(
+        "--wave-amplitude",
+        type=float,
+        default=0.0,
+        help="sinusoidal rate modulation amplitude in [0, 1] (default: constant rate)",
+    )
+    loadgen.add_argument(
+        "--wave-period",
+        type=float,
+        default=1.0,
+        help="sinusoidal rate modulation period in seconds (default: 1.0)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
 
     tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
     tables.add_argument(
@@ -437,7 +561,13 @@ def _command_supermarket(args: argparse.Namespace) -> int:
 
 
 def _command_engines(args: argparse.Namespace) -> int:
-    del args
+    if args.json:
+        import json
+
+        from repro.backends.registry import engines_payload
+
+        print(json.dumps(engines_payload(), indent=2))
+        return 0
     for family in FAMILIES:
         rows = []
         for order, engine in enumerate(registered_engines(family), start=1):
@@ -464,6 +594,107 @@ def _command_engines(args: argparse.Namespace) -> int:
         "order;\nexplicit names select one backend (unavailable ones are "
         "rejected with the reason above)."
     )
+    return 0
+
+
+def _build_serve_session(args: argparse.Namespace):
+    """The live session ``repro serve`` wraps (static or queueing)."""
+    if args.queueing:
+        from repro.catalog.library import FileLibrary
+        from repro.catalog.popularity import create_popularity
+        from repro.placement.factory import create_placement
+        from repro.session import open_queueing_session
+        from repro.topology.factory import create_topology
+        from repro.workload import PoissonArrivalProcess
+
+        popularity_params: dict[str, object] = {}
+        if args.popularity == "zipf":
+            if args.gamma is None:
+                print("error: --gamma is required with --popularity zipf", file=sys.stderr)
+                return None
+            popularity_params = {"gamma": args.gamma}
+        return open_queueing_session(
+            create_topology(args.topology, args.nodes),
+            FileLibrary(
+                args.files,
+                create_popularity(args.popularity, args.files, **popularity_params),
+            ),
+            create_placement(args.placement, args.cache),
+            # The service drives arrival times itself (the virtual clock); the
+            # process here only parameterises the utilisation warning.
+            PoissonArrivalProcess(rate_per_node=0.5),
+            seed=args.seed,
+            service_rate=args.mu,
+            radius=np.inf if args.radius is None else args.radius,
+            num_choices=args.choices,
+            engine=args.engine,
+        )
+    config = _build_point_config(args)
+    if config is None:
+        return None
+    return open_session(config, seed=args.seed, assignment_engine=args.engine)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DispatchServer
+
+    session = _build_serve_session(args)
+    if session is None:
+        return 2
+    server = DispatchServer(
+        session,
+        host=args.host,
+        port=args.port,
+        flush_interval=args.flush_interval,
+        flush_max=args.flush_max,
+        snapshot_interval=args.snapshot_interval,
+        tick=args.tick,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {server.kind} dispatch ({server.publisher.engine}) "
+            f"on http://{host}:{port} — POST /dispatch, GET /snapshot, "
+            f"GET /healthz, GET /metrics"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.loadgen import LoadGenConfig, run_loadgen
+
+    config = LoadGenConfig(
+        rate=args.rate,
+        duration=args.duration,
+        gamma=args.zipf_gamma,
+        concurrency=args.concurrency,
+        batch=args.batch,
+        wave_amplitude=args.wave_amplitude,
+        wave_period=args.wave_period,
+        seed=args.seed,
+    )
+    try:
+        report = asyncio.run(run_loadgen(args.host, args.port, config))
+    except ConnectionRefusedError:
+        print(
+            f"error: no dispatch server at {args.host}:{args.port} "
+            "(start one with 'repro serve')",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.format())
     return 0
 
 
@@ -528,6 +759,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _command_figures,
         "engines": _command_engines,
         "tables": _command_tables,
+        "serve": _command_serve,
+        "loadgen": _command_loadgen,
     }
     command = commands.get(args.command)
     if command is None:  # pragma: no cover

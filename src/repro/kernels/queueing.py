@@ -323,7 +323,7 @@ def queueing_kernel_window(
     store: GroupStore | None = None,
     node_weights: np.ndarray | None = None,
     commit=commit_window,
-) -> None:
+) -> tuple[IntArray, IntArray]:
     """Serve one time window ``[state's cursor, window_end)`` batched.
 
     ``requests``/``times`` hold the window's arrivals in time order;
@@ -334,9 +334,16 @@ def queueing_kernel_window(
     :func:`commit_window`) — the hook compiled backends plug into while
     sharing all of this precompute.  Updates ``state`` in place and finally
     drains every departure due by ``window_end``.
+
+    Returns the per-arrival dispatch decisions ``(servers, hops)`` (both
+    ``int64``, arrival order) so callers such as the dispatch service can
+    report which cache served each request; window-level consumers are free
+    to ignore them.
     """
     m = requests.num_requests
     rng_sample, rng_tie, rng_service = streams
+    servers = np.empty(0, dtype=np.int64)
+    hops = np.empty(0, dtype=np.int64)
     if m:
         unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
         index = build_group_index(
@@ -374,14 +381,16 @@ def queueing_kernel_window(
             sample_counts,
             sample_indptr,
         )
+        servers = sample_nodes[winners]
         if index.dists is not None:
-            state.sum_hops += int(index.dists[flat][winners].sum())
+            hops = index.dists[flat][winners].astype(np.int64)
         else:
-            servers = sample_nodes[winners]
-            state.sum_hops += int(
-                topology.distances_between(requests.origins, servers).sum()
+            hops = topology.distances_between(requests.origins, servers).astype(
+                np.int64
             )
+        state.sum_hops += int(hops.sum())
     drain_departures(state, window_end)
+    return servers, hops
 
 
 # ------------------------------------------------------------------ reference
@@ -399,7 +408,7 @@ def queueing_reference_window(
     window_end: float,
     store: GroupStore | None = None,
     node_weights: np.ndarray | None = None,
-) -> None:
+) -> tuple[IntArray, IntArray]:
     """Scalar per-arrival event loop under the queueing RNG-stream contract.
 
     The direct transcription of the supermarket dispatcher: per arrival one
@@ -408,13 +417,16 @@ def queueing_reference_window(
     no batching or CSR indexing to hide a kernel bug in.  ``store`` is
     accepted for signature parity and ignored.  Must stay bit-identical to
     :func:`queueing_kernel_window` for any seed; when the two disagree, this
-    engine is authoritative.
+    engine is authoritative.  Like the kernel window, returns the
+    per-arrival ``(servers, hops)`` decisions.
     """
     del store  # the scalar engine recomputes candidates per arrival
     m = requests.num_requests
     rng_sample, rng_tie, rng_service = streams
     unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
     scale = 1.0 / service_rate
+    out_servers = [0] * m
+    out_hops = [0] * m
 
     for i in range(m):
         now = float(times[i])
@@ -477,10 +489,17 @@ def queueing_reference_window(
         state.next_event_id += 1
 
         if candidate_dists is not None:
-            state.sum_hops += int(candidate_dists[selected[pick]])
+            hop = int(candidate_dists[selected[pick]])
         else:
-            state.sum_hops += int(
+            hop = int(
                 topology.distances_from(origin, np.asarray([server], dtype=np.int64))[0]
             )
+        state.sum_hops += hop
+        out_servers[i] = server
+        out_hops[i] = hop
     state.num_arrivals += m
     drain_departures(state, window_end)
+    return (
+        np.asarray(out_servers, dtype=np.int64),
+        np.asarray(out_hops, dtype=np.int64),
+    )

@@ -1,0 +1,46 @@
+"""Dispatch service: d-choice placement decisions from live sessions over HTTP.
+
+The serving layer of the reproduction — a stdlib-asyncio HTTP server
+(:class:`~repro.service.server.DispatchServer`) that owns one live session
+and answers placement questions online, the matching typed client
+(:class:`~repro.service.client.DispatchClient`) and an open-loop load
+generator (:func:`~repro.service.loadgen.run_loadgen`).  Exposed on the CLI
+as ``repro serve`` and ``repro loadgen``.
+"""
+
+from repro.service.client import DispatchClient, DispatchServiceError
+from repro.service.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, StreamingStats
+from repro.service.protocol import (
+    BatchDispatchRequest,
+    BatchDispatchResponse,
+    DispatchRequest,
+    DispatchResponse,
+    ErrorResponse,
+    ProtocolError,
+    SnapshotResponse,
+)
+from repro.service.server import DispatchServer
+from repro.service.state import MicroBatchQueue, SnapshotPublisher, StateSnapshot
+
+__all__ = [
+    "BatchDispatchRequest",
+    "BatchDispatchResponse",
+    "DispatchClient",
+    "DispatchRequest",
+    "DispatchResponse",
+    "DispatchServer",
+    "DispatchServiceError",
+    "ErrorResponse",
+    "LatencyHistogram",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "MicroBatchQueue",
+    "ProtocolError",
+    "ServiceMetrics",
+    "SnapshotPublisher",
+    "SnapshotResponse",
+    "StateSnapshot",
+    "StreamingStats",
+    "run_loadgen",
+]

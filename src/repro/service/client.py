@@ -1,0 +1,200 @@
+"""Asyncio client for the dispatch service.
+
+:class:`DispatchClient` speaks the same :mod:`repro.service.protocol`
+messages the server does, over a pool of keep-alive HTTP/1.1 connections.
+Stdlib only — ``asyncio.open_connection`` plus hand-written request framing,
+mirroring the server's hand-written parsing.
+
+Connections are pooled per client: each request checks one out, reuses it
+when the server kept it alive and reconnects transparently when it did not.
+The pool bounds concurrency to ``pool_size`` sockets, which is what the load
+generator leans on to run many in-flight requests over few descriptors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service.protocol import (
+    BatchDispatchRequest,
+    BatchDispatchResponse,
+    DispatchRequest,
+    DispatchResponse,
+    ErrorResponse,
+    ProtocolError,
+    SnapshotResponse,
+    decode,
+    encode,
+)
+
+__all__ = ["DispatchClient", "DispatchServiceError"]
+
+
+class DispatchServiceError(RuntimeError):
+    """The server answered with a non-2xx status."""
+
+    def __init__(self, status: int, error: ErrorResponse) -> None:
+        super().__init__(f"HTTP {status}: {error.error}" + (f" ({error.detail})" if error.detail else ""))
+        self.status = status
+        self.error = error
+
+
+class _Connection:
+    """One keep-alive socket to the server."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+
+    async def close(self) -> None:
+        self.alive = False
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class DispatchClient:
+    """Typed asyncio client for one dispatch server.
+
+    Usage::
+
+        async with DispatchClient(host, port) as client:
+            decision = await client.dispatch(origin=3, file=17)
+    """
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 8) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self._host = host
+        self._port = port
+        self._idle: list[_Connection] = []
+        self._slots = asyncio.Semaphore(pool_size)
+        self._closed = False
+
+    async def __aenter__(self) -> "DispatchClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            await conn.close()
+
+    # ----------------------------------------------------------------- wire io
+    async def _checkout(self) -> _Connection:
+        while self._idle:
+            conn = self._idle.pop()
+            if conn.alive:
+                return conn
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        return _Connection(reader, writer)
+
+    def _checkin(self, conn: _Connection) -> None:
+        if conn.alive and not self._closed:
+            self._idle.append(conn)
+        elif not conn.alive:
+            conn.writer.close()
+
+    async def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        body = encode(payload) if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {self._host}:{self._port}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            "\r\n"
+        )
+        async with self._slots:
+            conn = await self._checkout()
+            try:
+                conn.writer.write(head.encode("latin-1") + body)
+                await conn.writer.drain()
+                status, response = await self._read_response(conn)
+            except Exception:
+                await conn.close()
+                raise
+            self._checkin(conn)
+        if status >= 400:
+            try:
+                error = ErrorResponse.from_payload(response)
+            except ProtocolError:
+                error = ErrorResponse(error=f"HTTP {status}", detail=str(response))
+            raise DispatchServiceError(status, error)
+        return response
+
+    @staticmethod
+    async def _read_response(conn: _Connection) -> tuple[int, dict[str, Any]]:
+        status_line = await conn.reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ProtocolError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await conn.reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionResetError("server closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            value = value.strip()
+            if name == "content-length":
+                length = int(value)
+            elif name == "connection":
+                keep_alive = value.lower() != "close"
+        body = await conn.reader.readexactly(length) if length else b"{}"
+        conn.alive = keep_alive
+        return status, decode(body)
+
+    # --------------------------------------------------------------- endpoints
+    async def dispatch(
+        self, origin: int, file: int, *, time: float | None = None
+    ) -> DispatchResponse:
+        """``POST /dispatch`` — one placement decision."""
+        request = DispatchRequest(origin=origin, file=file, time=time)
+        payload = await self._request("POST", "/dispatch", request.to_payload())
+        return DispatchResponse.from_payload(payload)
+
+    async def dispatch_batch(
+        self,
+        origins,
+        files,
+        *,
+        times=None,
+    ) -> BatchDispatchResponse:
+        """``POST /dispatch/batch`` — a client-side micro-batch."""
+        request = BatchDispatchRequest(
+            origins=tuple(int(o) for o in origins),
+            files=tuple(int(f) for f in files),
+            times=tuple(float(t) for t in times) if times is not None else None,
+        )
+        payload = await self._request("POST", "/dispatch/batch", request.to_payload())
+        return BatchDispatchResponse.from_payload(payload)
+
+    async def snapshot(self) -> SnapshotResponse:
+        """``GET /snapshot`` — the latest published state snapshot."""
+        return SnapshotResponse.from_payload(await self._request("GET", "/snapshot"))
+
+    async def healthz(self) -> dict[str, Any]:
+        """``GET /healthz`` — liveness + session shape + engine availability."""
+        return await self._request("GET", "/healthz")
+
+    async def metrics(self) -> dict[str, Any]:
+        """``GET /metrics`` — the server's streaming accumulators."""
+        return await self._request("GET", "/metrics")

@@ -1,0 +1,202 @@
+"""Streaming accumulators for the dispatch service's ``/metrics`` endpoint.
+
+The service must account for every request it ever served without growing
+memory, so both accumulators here are O(1) per observation:
+
+* :class:`LatencyHistogram` — a fixed, geometrically-bucketed histogram
+  (ten buckets per decade from 1 µs to 100 s) with streaming count/sum/min/
+  max.  Quantiles are answered by walking the cumulative bucket counts and
+  interpolating linearly inside the winning bucket, which bounds the error
+  of any reported quantile by the bucket width (≈ 26 % relative — plenty
+  for p50/p99 tails spanning orders of magnitude).
+* :class:`StreamingStats` — plain count/sum/min/max/mean, used for batch
+  sizes.
+
+:class:`ServiceMetrics` aggregates one histogram, the batch-size stats and
+per-endpoint request/error counters into the JSON payload ``GET /metrics``
+returns; the load generator reuses :class:`LatencyHistogram` for its
+client-observed latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "StreamingStats"]
+
+
+class LatencyHistogram:
+    """Fixed-bucket streaming latency histogram with quantile queries.
+
+    Bucket upper bounds are ``low * step**k`` with ten buckets per decade;
+    observations below ``low`` land in the first bucket and observations
+    beyond ``high`` in a final overflow bucket, so :meth:`record` never
+    rejects a value.
+    """
+
+    #: Buckets per decade; 10 keeps the relative quantile error ≈ 26 %.
+    PER_DECADE = 10
+
+    def __init__(self, low: float = 1e-6, high: float = 100.0) -> None:
+        if not (0 < low < high):
+            raise ValueError(f"need 0 < low < high, got low={low}, high={high}")
+        self._low = float(low)
+        self._log_low = math.log10(low)
+        decades = math.log10(high) - self._log_low
+        self._num_buckets = int(math.ceil(decades * self.PER_DECADE)) + 1
+        self._counts = [0] * (self._num_buckets + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def _bucket(self, value: float) -> int:
+        if value <= self._low:
+            return 0
+        index = int((math.log10(value) - self._log_low) * self.PER_DECADE) + 1
+        return min(index, self._num_buckets)
+
+    def _bucket_bounds(self, index: int) -> tuple[float, float]:
+        """``[lower, upper)`` of bucket ``index`` (in seconds)."""
+        if index == 0:
+            return 0.0, self._low
+        step = 10.0 ** (1.0 / self.PER_DECADE)
+        lower = self._low * step ** (index - 1)
+        return lower, lower * step
+
+    def record(self, seconds: float) -> None:
+        """Account one observation (non-negative, in seconds)."""
+        seconds = float(seconds)
+        if seconds < 0 or not math.isfinite(seconds):
+            raise ValueError(f"latency must be finite and non-negative, got {seconds}")
+        self._counts[self._bucket(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean observed latency in seconds (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile in seconds (0 when empty).
+
+        Exact count bookkeeping, linear interpolation inside the winning
+        bucket; the answer is clamped to the observed ``[min, max]`` so tiny
+        samples report sane values.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if index == self._num_buckets:
+                    # Overflow bucket: no meaningful upper bound to
+                    # interpolate against — report the observed maximum.
+                    return self.max
+                lower, upper = self._bucket_bounds(index)
+                fraction = (target - cumulative) / bucket_count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict[str, float]:
+        """Headline figures in milliseconds (JSON-friendly)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "min_ms": (self.min if self.count else 0.0) * 1e3,
+            "max_ms": self.max * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p90_ms": self.p90 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+        }
+
+
+class StreamingStats:
+    """O(1) count/sum/min/max accumulator (used for micro-batch sizes)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class ServiceMetrics:
+    """Everything ``GET /metrics`` reports, updated by the server in place."""
+
+    def __init__(self) -> None:
+        self.dispatch_latency = LatencyHistogram()
+        self.batch_sizes = StreamingStats()
+        self.requests: Counter[str] = Counter()
+        self.errors: Counter[int] = Counter()
+        self.dispatched = 0
+        self.flushes = 0
+
+    def record_request(self, path: str) -> None:
+        self.requests[path] += 1
+
+    def record_error(self, status: int) -> None:
+        self.errors[status] += 1
+
+    def record_flush(self, batch_size: int) -> None:
+        self.flushes += 1
+        self.dispatched += batch_size
+        self.batch_sizes.record(batch_size)
+
+    def payload(self) -> dict[str, Any]:
+        """The JSON document of ``GET /metrics``."""
+        return {
+            "requests": dict(self.requests),
+            "errors": {str(status): count for status, count in self.errors.items()},
+            "dispatched": self.dispatched,
+            "flushes": self.flushes,
+            "batch_size": self.batch_sizes.summary(),
+            "dispatch_latency": self.dispatch_latency.summary(),
+        }

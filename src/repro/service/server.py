@@ -1,0 +1,606 @@
+"""The asyncio HTTP dispatch server (``repro serve``).
+
+A :class:`DispatchServer` wraps one live session — a
+:class:`~repro.session.core.CacheNetworkSession` (static d-choice dispatch)
+or a :class:`~repro.session.queueing.QueueingSession` (supermarket dispatch)
+— in a long-lived HTTP/1.1 service answering "which cache gets this
+request?".  Everything is stdlib asyncio: ``asyncio.start_server`` plus a
+small hand-rolled HTTP layer (request line, headers, ``Content-Length``
+bodies, keep-alive), no dependencies.
+
+Endpoints
+---------
+
+``POST /dispatch``
+    One request (``{"origin": u, "file": f}``) → the chosen cache, its hop
+    distance and the request's global commit-order ``seq``.
+``POST /dispatch/batch``
+    A client-side micro-batch (parallel arrays) committed as one window.
+``GET /snapshot``
+    The latest *published* state snapshot (version + age; see
+    :mod:`repro.service.state` for the staleness semantics).
+``GET /healthz``
+    Liveness plus the session shape (n, K, engine, kind) and the
+    machine-readable engine availability of ``repro engines --json``.
+``GET /metrics``
+    Request counters, dispatch-latency histogram (p50/p90/p99) and
+    micro-batch size statistics.
+
+Concurrency model
+-----------------
+
+Handlers validate and enqueue; the single **writer task** owns the session.
+It collects everything that arrived within ``flush_interval`` seconds (or up
+to ``flush_max`` requests) into one batch, commits it through the session's
+synchronous :meth:`dispatch_batch` entry point, stamps global sequence
+numbers in commit order and resolves the per-unit futures.  Because both
+session stacks consume randomness strictly per request, the decision stream
+is a pure function of the commit order and the server's seed — replaying the
+requests in ``seq`` order through an offline session reproduces every
+decision bit for bit, which is exactly what the service test suite asserts.
+
+Queueing sessions need arrival *times*: the server keeps a virtual clock
+that advances ``tick`` simulated seconds per arrival; clients may pin
+explicit times, which are clamped to be non-decreasing (a request cannot
+arrive in the simulated past) and echoed back in the response.
+
+Graceful shutdown: :meth:`shutdown` stops accepting connections, closes the
+micro-batch queue (new dispatches get 503), lets the writer drain every
+in-flight request, waits for their responses to be written, then tears the
+connections down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+import numpy as np
+
+from repro.backends.registry import engines_payload
+from repro.exceptions import NoReplicaError, ReproError
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    BatchDispatchRequest,
+    BatchDispatchResponse,
+    DispatchRequest,
+    DispatchResponse,
+    ErrorResponse,
+    ProtocolError,
+    decode,
+    encode,
+)
+from repro.service.state import (
+    MicroBatchQueue,
+    PendingDispatch,
+    SnapshotPublisher,
+    session_kind,
+)
+from repro.session.core import CacheNetworkSession
+from repro.session.queueing import QueueingSession
+
+__all__ = ["DispatchServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest accepted request body (1 MiB ≈ a 40k-request batch).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _HttpError(Exception):
+    """Internal: maps a handler failure to an HTTP status + error document."""
+
+    def __init__(self, status: int, error: str, detail: str = "") -> None:
+        super().__init__(detail or error)
+        self.status = status
+        self.response = ErrorResponse(error=error, detail=detail)
+
+
+class DispatchServer:
+    """Serve d-choice placement decisions from one live session over HTTP.
+
+    Parameters
+    ----------
+    session:
+        The live :class:`CacheNetworkSession` or :class:`QueueingSession`;
+        the server becomes its single writer — do not advance it elsewhere
+        while the server runs.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    flush_interval, flush_max:
+        Micro-batch coalescing knobs (seconds of patience after the first
+        pending request / maximum requests per commit).
+    snapshot_interval:
+        Seconds between snapshot publications; also the staleness bound
+        ``GET /snapshot`` clients observe.
+    tick:
+        Queueing sessions only: simulated seconds the virtual arrival clock
+        advances per dispatched request.
+    """
+
+    def __init__(
+        self,
+        session: CacheNetworkSession | QueueingSession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_interval: float = 0.002,
+        flush_max: int = 512,
+        snapshot_interval: float = 0.05,
+        tick: float = 0.001,
+    ) -> None:
+        if snapshot_interval <= 0:
+            raise ValueError(f"snapshot_interval must be positive, got {snapshot_interval}")
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self._session = session
+        self._kind = session_kind(session)
+        self._host = host
+        self._port = port
+        self._queue = MicroBatchQueue(flush_interval=flush_interval, flush_max=flush_max)
+        self._publisher = SnapshotPublisher(session)
+        self._metrics = ServiceMetrics()
+        self._snapshot_interval = float(snapshot_interval)
+        self._tick = float(tick)
+        self._num_nodes = session.topology.n
+        self._num_files = session.library.num_files
+        # Files cached nowhere can never be dispatched; rejecting them at the
+        # door (400) keeps NoReplicaError out of the writer and the decision
+        # stream a pure function of the accepted request sequence.
+        self._uncached = frozenset(int(f) for f in session.cache.uncached_files())
+        if self._kind == "queueing":
+            self._virtual_time = float(session.served_until)
+        else:
+            self._virtual_time = 0.0
+        self._seq = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._refresh_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._closing = False
+        self._started_at: float | None = None
+
+    # -------------------------------------------------------------- properties
+    @property
+    def session(self) -> CacheNetworkSession | QueueingSession:
+        """The wrapped session (owned by the writer task while serving)."""
+        return self._session
+
+    @property
+    def kind(self) -> str:
+        """``"assignment"`` (static) or ``"queueing"`` (supermarket)."""
+        return self._kind
+
+    @property
+    def publisher(self) -> SnapshotPublisher:
+        """The snapshot publisher backing ``GET /snapshot``."""
+        return self._publisher
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The accumulators backing ``GET /metrics``."""
+        return self._metrics
+
+    @property
+    def requests_dispatched(self) -> int:
+        """Requests committed so far (the next ``seq`` to be assigned)."""
+        return self._seq
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> "DispatchServer":
+        """Bind, start the writer and snapshot-refresh tasks."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._writer_task = asyncio.create_task(self._writer_loop())
+        self._refresh_task = asyncio.create_task(self._refresh_loop())
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (then shut down gracefully)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Drain in-flight requests, then stop.
+
+        New connections are refused and new dispatches answered 503 the
+        moment shutdown begins; every request already accepted into the
+        micro-batch queue is committed and answered before the connections
+        close.
+        """
+        if self._server is None or self._closing:
+            return
+        self._closing = True
+        self._server.close()
+        self._queue.close()
+        if self._writer_task is not None:
+            await self._writer_task
+        # The writer resolved every pending future; give the handlers the
+        # loop time to write their responses out before tearing down.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 5.0
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            try:
+                await self._refresh_task
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self._server.wait_closed()
+
+    async def __aenter__(self) -> "DispatchServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------- writer task
+    async def _writer_loop(self) -> None:
+        while True:
+            batch = await self._queue.collect()
+            if batch is None:
+                return
+            self._flush(batch)
+
+    def _flush(self, batch: list[PendingDispatch]) -> None:
+        """Commit one coalesced micro-batch and resolve its futures."""
+        loop = asyncio.get_running_loop()
+        origins = np.concatenate([item.origins for item in batch])
+        files = np.concatenate([item.files for item in batch])
+        total = int(origins.size)
+        times: np.ndarray | None = None
+        fallbacks: np.ndarray
+        try:
+            if self._kind == "queueing":
+                times = self._assign_times(batch, total)
+                servers, distances = self._session.dispatch_batch(
+                    origins, files, times
+                )
+                fallbacks = np.zeros(total, dtype=bool)
+            else:
+                result = self._session.dispatch_batch(origins, files)
+                servers = result.servers
+                distances = result.distances
+                fallbacks = result.fallback_mask
+        except Exception as exc:  # resolve every waiter; the writer survives
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            # Consume the exceptions of abandoned futures (disconnected
+            # clients) so the loop does not log them as unretrieved.
+            for item in batch:
+                if item.future.cancelled():
+                    continue
+                item.future.exception()
+            return
+        seq_start = self._seq
+        self._seq += total
+        offset = 0
+        now = loop.time()
+        for item in batch:
+            size = len(item)
+            window = slice(offset, offset + size)
+            if not item.future.done():
+                item.future.set_result(
+                    (
+                        seq_start + offset,
+                        servers[window],
+                        distances[window],
+                        fallbacks[window],
+                        times[window] if times is not None else None,
+                    )
+                )
+            self._metrics.dispatch_latency.record(max(0.0, now - item.enqueued_at))
+            offset += size
+        self._metrics.record_flush(total)
+
+    def _assign_times(self, batch: list[PendingDispatch], total: int) -> np.ndarray:
+        """Arrival times for a queueing batch from the virtual clock.
+
+        Untimed requests advance the clock by ``tick`` each; explicit client
+        times are honoured but clamped to be non-decreasing across the
+        commit order (the simulated clock cannot run backwards).
+        """
+        times = np.empty(total, dtype=np.float64)
+        cursor = self._virtual_time
+        position = 0
+        for item in batch:
+            for index in range(len(item)):
+                if item.times is not None:
+                    cursor = max(cursor, float(item.times[index]))
+                else:
+                    cursor += self._tick
+                times[position] = cursor
+                position += 1
+        self._virtual_time = cursor
+        return times
+
+    async def _refresh_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._snapshot_interval)
+            self._publisher.refresh()
+
+    # ---------------------------------------------------------------- dispatch
+    def _validate_request(self, origin: int, file_id: int) -> None:
+        if origin >= self._num_nodes:
+            raise _HttpError(
+                400, "invalid origin", f"origin {origin} >= n={self._num_nodes}"
+            )
+        if file_id >= self._num_files:
+            raise _HttpError(
+                400, "invalid file", f"file {file_id} >= K={self._num_files}"
+            )
+        if file_id in self._uncached:
+            raise _HttpError(
+                400,
+                "uncached file",
+                f"file {file_id} is cached on no server; dispatch is impossible",
+            )
+
+    async def _enqueue(
+        self,
+        origins: np.ndarray,
+        files: np.ndarray,
+        times: np.ndarray | None,
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        if self._closing or self._queue.closed:
+            raise _HttpError(503, "shutting down", "server is draining; retry elsewhere")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._queue.put(
+            PendingDispatch(
+                origins=origins,
+                files=files,
+                times=times,
+                future=future,
+                enqueued_at=loop.time(),
+            )
+        )
+        try:
+            return await future
+        except asyncio.CancelledError:
+            raise
+        except NoReplicaError as exc:
+            raise _HttpError(400, "no replica", str(exc)) from exc
+        except ReproError as exc:
+            raise _HttpError(400, "dispatch rejected", str(exc)) from exc
+
+    async def _handle_dispatch(self, body: bytes) -> dict[str, Any]:
+        request = DispatchRequest.from_payload(decode(body))
+        self._validate_request(request.origin, request.file)
+        times = None
+        if request.time is not None:
+            times = np.asarray([request.time], dtype=np.float64)
+        seq, servers, distances, fallbacks, committed = await self._enqueue(
+            np.asarray([request.origin], dtype=np.int64),
+            np.asarray([request.file], dtype=np.int64),
+            times,
+        )
+        return DispatchResponse(
+            server=int(servers[0]),
+            distance=int(distances[0]),
+            seq=seq,
+            fallback=bool(fallbacks[0]),
+            time=float(committed[0]) if committed is not None else None,
+        ).to_payload()
+
+    async def _handle_dispatch_batch(self, body: bytes) -> dict[str, Any]:
+        request = BatchDispatchRequest.from_payload(decode(body))
+        for origin, file_id in zip(request.origins, request.files):
+            self._validate_request(origin, file_id)
+        times = None
+        if request.times is not None:
+            times = np.asarray(request.times, dtype=np.float64)
+            if np.any(np.diff(times) < 0):
+                raise _HttpError(
+                    400, "invalid times", "batch times must be non-decreasing"
+                )
+        seq_start, servers, distances, fallbacks, committed = await self._enqueue(
+            np.asarray(request.origins, dtype=np.int64),
+            np.asarray(request.files, dtype=np.int64),
+            times,
+        )
+        return BatchDispatchResponse(
+            servers=tuple(int(s) for s in servers),
+            distances=tuple(int(d) for d in distances),
+            fallbacks=tuple(bool(f) for f in fallbacks),
+            seq_start=seq_start,
+            times=tuple(float(t) for t in committed) if committed is not None else None,
+        ).to_payload()
+
+    # ------------------------------------------------------------------- reads
+    def _handle_snapshot(self) -> dict[str, Any]:
+        return self._publisher.current.response(self._publisher.now()).to_payload()
+
+    def _handle_healthz(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        uptime = loop.time() - self._started_at if self._started_at is not None else 0.0
+        payload: dict[str, Any] = {
+            "status": "draining" if self._closing else "ok",
+            "kind": self._kind,
+            "engine": self._publisher.engine,
+            "nodes": self._num_nodes,
+            "files": self._num_files,
+            "dispatched": self._seq,
+            "uptime_seconds": uptime,
+            "snapshot_version": self._publisher.current.version,
+            "engines": engines_payload(),
+        }
+        if self._kind == "queueing":
+            payload["served_until"] = self._virtual_time
+        return payload
+
+    # -------------------------------------------------------------------- http
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    self._metrics.record_error(exc.status)
+                    self._write_response(
+                        writer, exc.status, exc.response.to_payload(), keep_alive=False
+                    )
+                    await writer.drain()
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    ValueError,
+                ):
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                self._inflight += 1
+                try:
+                    status, payload = await self._route(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, exc.response.to_payload()
+                except ProtocolError as exc:
+                    status = 400
+                    payload = ErrorResponse("protocol error", str(exc)).to_payload()
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # defensive: never kill the connection loop
+                    status = 500
+                    payload = ErrorResponse("internal error", str(exc)).to_payload()
+                finally:
+                    self._inflight -= 1
+                self._metrics.record_request(path)
+                if status >= 400:
+                    self._metrics.record_error(status)
+                try:
+                    self._write_response(writer, status, payload, keep_alive=keep_alive)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/dispatch":
+            if method != "POST":
+                raise _HttpError(405, "method not allowed", "POST /dispatch")
+            return 200, await self._handle_dispatch(body)
+        if path == "/dispatch/batch":
+            if method != "POST":
+                raise _HttpError(405, "method not allowed", "POST /dispatch/batch")
+            return 200, await self._handle_dispatch_batch(body)
+        if path == "/snapshot":
+            if method != "GET":
+                raise _HttpError(405, "method not allowed", "GET /snapshot")
+            return 200, self._handle_snapshot()
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "method not allowed", "GET /healthz")
+            return 200, self._handle_healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "method not allowed", "GET /metrics")
+            return 200, self._metrics.payload()
+        raise _HttpError(404, "not found", f"unknown path {path!r}")
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line", request_line.decode("latin-1", "replace").strip())
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                return None
+            if len(headers) > 64:
+                raise _HttpError(400, "too many headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "malformed header", name.strip())
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "malformed content-length", length_text) from None
+        if length < 0:
+            raise _HttpError(400, "malformed content-length", length_text)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "payload too large", f"{length} > {MAX_BODY_BYTES}")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = encode(payload)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)

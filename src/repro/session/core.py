@@ -481,6 +481,31 @@ class CacheNetworkSession:
             elapsed_seconds=timer.elapsed,
         )
 
+    def dispatch_batch(self, origins, files) -> AssignmentResult:
+        """Assign one externally-supplied micro-batch of requests.
+
+        The synchronous entry point the dispatch service's writer task
+        drives: builds the :class:`~repro.workload.request.RequestBatch` from
+        parallel origin/file arrays and serves it with the uncached policy
+        skipped — clients ask for concrete files, so a request for a file no
+        server cached raises :class:`~repro.exceptions.NoReplicaError`
+        instead of being silently redrawn.  Because the workload stream is
+        never consumed, the decision sequence is a pure function of the
+        request sequence and the strategy seed: any partition of the same
+        sequence into successive calls is bit-identical (the windowed-serving
+        RNG contract).
+
+        Returns this batch's :class:`~repro.strategies.base.AssignmentResult`
+        (chosen server and hop distance per request, request order).
+        """
+        requests = RequestBatch(
+            origins=np.asarray(origins, dtype=np.int64),
+            files=np.asarray(files, dtype=np.int64),
+            num_nodes=self._topology.n,
+            num_files=self._library.num_files,
+        )
+        return self.serve(requests, resolve_uncached=False).assignment
+
     def serve_stream(
         self, windows: Iterable[RequestBatch], *, resolve_uncached: bool = True
     ) -> Iterator[WindowResult]:

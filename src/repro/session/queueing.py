@@ -339,6 +339,79 @@ class QueueingSession:
             elapsed_seconds=timer.elapsed,
         )
 
+    def dispatch_batch(
+        self,
+        origins,
+        files,
+        times=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dispatch one externally-supplied micro-batch of arrivals.
+
+        The synchronous entry point the dispatch service's writer task
+        drives: unlike :meth:`serve`, which draws arrivals from the
+        session's own arrival stream, the caller supplies the arrivals
+        (``origins``/``files`` plus optional absolute ``times``).  ``times``
+        must be finite, non-decreasing and start at or beyond
+        :attr:`served_until`; omitting it places every arrival at
+        ``served_until`` (zero inter-arrival gaps).  The batch advances the
+        clock to the last arrival's time, so — by the per-arrival RNG
+        contract of :mod:`repro.kernels.queueing` — any partition of the
+        same timed sequence into successive calls yields bit-identical
+        decisions.
+
+        Returns the per-arrival dispatch decisions ``(servers, hops)``,
+        both ``int64`` in arrival order.
+        """
+        requests = RequestBatch(
+            origins=np.asarray(origins, dtype=np.int64),
+            files=np.asarray(files, dtype=np.int64),
+            num_nodes=self._topology.n,
+            num_files=self._library.num_files,
+        )
+        m = requests.num_requests
+        if times is None:
+            times_arr = np.full(m, self._served_until, dtype=np.float64)
+        else:
+            times_arr = np.asarray(times, dtype=np.float64)
+            if times_arr.shape != (m,):
+                raise ConfigurationError(
+                    f"times must match the batch length {m}, got shape "
+                    f"{times_arr.shape}"
+                )
+            if m and not np.all(np.isfinite(times_arr)):
+                raise ConfigurationError("arrival times must be finite")
+            if m and np.any(np.diff(times_arr) < 0):
+                raise ConfigurationError("arrival times must be non-decreasing")
+            if m and times_arr[0] < self._served_until:
+                raise ConfigurationError(
+                    f"arrival times must not precede served_until="
+                    f"{self._served_until:g}, got {times_arr[0]:g}"
+                )
+        window_end = float(times_arr[-1]) if m else self._served_until
+        decisions = self._window_fn(
+            self._topology,
+            self._cache,
+            self._state,
+            requests,
+            times_arr,
+            self._streams,
+            radius=self._radius,
+            num_choices=self._num_choices,
+            service_rate=self._service_rate,
+            window_end=window_end,
+            store=self._store,
+            node_weights=self._node_weights,
+        )
+        if decisions is None:
+            raise ConfigurationError(
+                f"engine {self._engine!r} does not report per-arrival dispatch "
+                "decisions; open the session with an in-process engine "
+                "(e.g. 'kernel') to use dispatch_batch"
+            )
+        self._served_until = window_end
+        self._windows += 1
+        return decisions
+
     def serve_windows(
         self, window: float, num_windows: int
     ) -> Iterator[QueueingWindowResult]:

@@ -256,6 +256,40 @@ class TestEnginesCommand:
         assert "sharded" in out
         assert "workers by default" in out
 
+    def test_json_mode_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["engines", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        families = {entry["family"] for entry in payload}
+        assert families == {"assignment", "queueing"}
+        names = {(entry["family"], entry["name"]) for entry in payload}
+        assert ("assignment", "kernel") in names
+        assert ("queueing", "reference") in names
+        for entry in payload:
+            assert set(entry) == {
+                "family",
+                "name",
+                "available",
+                "skip_reason",
+                "priority",
+                "auto_order",
+                "supports_streaming",
+                "description",
+            }
+            assert isinstance(entry["available"], bool)
+            # Unavailable engines must say why; available ones carry no reason.
+            if entry["available"]:
+                assert entry["skip_reason"] is None
+            else:
+                assert isinstance(entry["skip_reason"], str) and entry["skip_reason"]
+        # auto_order is 1-based and contiguous within each family.
+        for family in families:
+            orders = sorted(e["auto_order"] for e in payload if e["family"] == family)
+            assert orders == list(range(1, len(orders) + 1))
+
     def test_unknown_engine_reports_registered_list(self, capsys):
         code = main(
             [

@@ -37,11 +37,17 @@ class TestExamplesImportable:
             "supermarket_queueing.py",
             "reproduce_figures.py",
             "streaming_session.py",
+            "dispatch_service.py",
         ],
     )
     def test_importable_and_has_main(self, name):
         module = _load_example(name)
         assert callable(getattr(module, "main"))
+
+    def test_dispatch_service_round_trip(self):
+        # The demo asserts served-vs-offline bit-identity itself.
+        module = _load_example("dispatch_service.py")
+        module.main()
 
     def test_streaming_session_partition_invariance(self):
         module = _load_example("streaming_session.py")

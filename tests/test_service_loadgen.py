@@ -1,0 +1,160 @@
+"""Load-generator tests: arrival statistics, thinning, and a live run.
+
+The open-loop generator's contract: arrival counts match the offered rate
+in expectation, IPPP thinning realises the time-varying profile, the same
+seed reproduces the same schedule exactly, and a run against an in-process
+server reports achieved rate and latency quantiles from real round trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.catalog.library import FileLibrary
+from repro.placement.proportional import ProportionalPlacement
+from repro.service import DispatchServer
+from repro.service.loadgen import LoadGenConfig, generate_arrivals, run_loadgen
+from repro.session import CacheNetworkSession
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+
+
+class TestLoadGenConfig:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=10.0, duration=0.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=10.0, duration=1.0, wave_amplitude=1.5)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=10.0, duration=1.0, wave_period=0.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=10.0, duration=1.0, concurrency=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate=10.0, duration=1.0, batch=0)
+
+    def test_instantaneous_rate_profiles(self):
+        constant = LoadGenConfig(rate=100.0, duration=1.0)
+        assert constant.instantaneous_rate(0.37) == 100.0
+        assert constant.peak_rate == 100.0
+        wave = LoadGenConfig(
+            rate=100.0, duration=1.0, wave_amplitude=0.5, wave_period=1.0
+        )
+        assert wave.instantaneous_rate(0.25) == pytest.approx(150.0)  # sin peak
+        assert wave.instantaneous_rate(0.75) == pytest.approx(50.0)  # sin trough
+        assert wave.peak_rate == pytest.approx(150.0)
+        custom = LoadGenConfig(
+            rate=100.0, duration=1.0, rate_fn=lambda t: 40.0 if t < 0.5 else -5.0
+        )
+        assert custom.instantaneous_rate(0.1) == 40.0
+        assert custom.instantaneous_rate(0.9) == 0.0  # negative rates clamp
+
+
+class TestGenerateArrivals:
+    def test_constant_rate_count_matches_expectation(self):
+        config = LoadGenConfig(rate=2000.0, duration=2.0)
+        counts = [
+            generate_arrivals(config, np.random.default_rng(seed)).size
+            for seed in range(5)
+        ]
+        expected = config.rate * config.duration
+        # 5 draws of Poisson(4000): all within 5 sigma of the mean.
+        margin = 5 * np.sqrt(expected)
+        assert all(abs(count - expected) < margin for count in counts)
+
+    def test_arrivals_are_sorted_and_within_horizon(self):
+        config = LoadGenConfig(rate=500.0, duration=1.5)
+        offsets = generate_arrivals(config, np.random.default_rng(8))
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets.size == 0 or (offsets[0] >= 0 and offsets[-1] < 1.5)
+
+    def test_same_seed_reproduces_schedule_exactly(self):
+        config = LoadGenConfig(rate=300.0, duration=1.0, wave_amplitude=0.4)
+        first = generate_arrivals(config, np.random.default_rng(99))
+        second = generate_arrivals(config, np.random.default_rng(99))
+        np.testing.assert_array_equal(first, second)
+
+    def test_thinning_realises_time_varying_profile(self):
+        # rate(t) = 0 in the second half → essentially no arrivals there.
+        config = LoadGenConfig(
+            rate=2000.0,
+            duration=1.0,
+            rate_fn=lambda t: 4000.0 if t < 0.5 else 0.0,
+            wave_amplitude=1.0,  # peak envelope 4000 dominates the profile
+        )
+        offsets = generate_arrivals(config, np.random.default_rng(5))
+        first_half = int(np.sum(offsets < 0.5))
+        second_half = int(np.sum(offsets >= 0.5))
+        assert first_half > 1000
+        assert second_half == 0
+
+    def test_thinning_preserves_mean_rate_of_sinusoid(self):
+        config = LoadGenConfig(
+            rate=2000.0, duration=2.0, wave_amplitude=0.8, wave_period=0.25
+        )
+        offsets = generate_arrivals(config, np.random.default_rng(17))
+        # Whole periods of the sinusoid average back to the base rate.
+        expected = config.rate * config.duration
+        assert abs(offsets.size - expected) < 5 * np.sqrt(expected)
+
+
+class TestRunLoadgen:
+    def test_live_run_reports_completions_and_latency(self):
+        async def scenario():
+            session = CacheNetworkSession(
+                topology=Torus2D(36),
+                library=FileLibrary(12),
+                placement=ProportionalPlacement(3),
+                strategy=ProximityTwoChoiceStrategy(radius=3),
+                seed=11,
+            )
+            async with DispatchServer(session, flush_interval=0.002) as server:
+                host, port = server.address
+                config = LoadGenConfig(
+                    rate=400.0, duration=0.5, concurrency=16, seed=4
+                )
+                report = await run_loadgen(host, port, config)
+                metrics_dispatched = server.metrics.dispatched
+            assert report.offered > 0
+            assert report.errors == 0
+            assert report.completed == report.offered
+            assert metrics_dispatched == report.completed
+            assert report.achieved_rate > 0
+            assert report.latency.count == report.completed
+            summary = report.latency.summary()
+            assert 0 < summary["p50_ms"] <= summary["p99_ms"]
+            payload = report.to_payload()
+            assert payload["completed"] == report.completed
+            assert "latency" in payload
+            text = report.format()
+            assert "achieved" in text and "p99" in text
+
+        asyncio.run(scenario())
+
+    def test_batched_run_uses_batch_endpoint(self):
+        async def scenario():
+            session = CacheNetworkSession(
+                topology=Torus2D(36),
+                library=FileLibrary(12),
+                placement=ProportionalPlacement(3),
+                strategy=ProximityTwoChoiceStrategy(radius=3),
+                seed=11,
+            )
+            async with DispatchServer(session, flush_interval=0.002) as server:
+                host, port = server.address
+                config = LoadGenConfig(
+                    rate=300.0, duration=0.4, concurrency=8, batch=4, seed=4
+                )
+                report = await run_loadgen(host, port, config)
+                requests = dict(server.metrics.requests)
+            assert report.errors == 0
+            assert report.completed == report.offered
+            assert requests.get("/dispatch/batch", 0) > 0
+            # Only a trailing remainder of size one may use the single path.
+            assert requests.get("/dispatch", 0) <= 1
+
+        asyncio.run(scenario())

@@ -1,0 +1,138 @@
+"""Unit tests for the service's streaming accumulators.
+
+The latency histogram's contract: O(1) memory, every observation accounted,
+quantiles within one geometric bucket (≈ 26 % relative) of the exact value
+and always inside the observed ``[min, max]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, StreamingStats
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["min_ms"] == 0.0
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.004)
+        assert histogram.count == 1
+        assert histogram.min == histogram.max == 0.004
+        # Clamping to [min, max] makes every quantile exact for one sample.
+        assert histogram.p50 == pytest.approx(0.004)
+        assert histogram.p99 == pytest.approx(0.004)
+
+    def test_quantiles_within_bucket_resolution(self):
+        rng = np.random.default_rng(11)
+        samples = rng.lognormal(mean=np.log(3e-3), sigma=0.8, size=20_000)
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(samples, q))
+            approx = histogram.quantile(q)
+            # One bucket spans a factor of 10**(1/10) ≈ 1.26; allow a shade
+            # more for interpolation at the bucket edges.
+            assert exact / 1.3 <= approx <= exact * 1.3, (q, exact, approx)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        rng = np.random.default_rng(7)
+        histogram = LatencyHistogram()
+        for value in rng.exponential(0.01, size=5_000):
+            histogram.record(value)
+        quantiles = [histogram.quantile(q) for q in np.linspace(0, 1, 21)]
+        assert all(a <= b + 1e-12 for a, b in zip(quantiles, quantiles[1:]))
+        assert quantiles[0] >= histogram.min
+        assert quantiles[-1] <= histogram.max
+
+    def test_out_of_range_observations_never_reject(self):
+        histogram = LatencyHistogram(low=1e-6, high=100.0)
+        histogram.record(0.0)  # below low → first bucket
+        histogram.record(1e-9)
+        histogram.record(5000.0)  # beyond high → overflow bucket
+        assert histogram.count == 3
+        assert histogram.max == 5000.0
+        assert histogram.quantile(1.0) == 5000.0
+
+    def test_mean_and_totals_are_exact(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.total == pytest.approx(0.006)
+
+    def test_rejects_invalid_observations(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(-0.001)
+        with pytest.raises(ValueError):
+            histogram.record(float("nan"))
+        with pytest.raises(ValueError):
+            histogram.record(float("inf"))
+
+    def test_rejects_invalid_construction_and_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(low=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(low=1.0, high=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_summary_is_in_milliseconds(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        summary = histogram.summary()
+        assert summary["mean_ms"] == pytest.approx(10.0)
+        assert summary["p50_ms"] == pytest.approx(10.0)
+
+
+class TestStreamingStats:
+    def test_accumulates_count_sum_min_max(self):
+        stats = StreamingStats()
+        for value in (4, 1, 7, 2):
+            stats.record(value)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(3.5)
+        assert stats.min == 1
+        assert stats.max == 7
+
+    def test_empty_summary_is_json_safe(self):
+        summary = StreamingStats().summary()
+        assert summary == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+class TestServiceMetrics:
+    def test_payload_aggregates_all_accumulators(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("/dispatch")
+        metrics.record_request("/dispatch")
+        metrics.record_request("/snapshot")
+        metrics.record_error(400)
+        metrics.record_flush(3)
+        metrics.record_flush(5)
+        metrics.dispatch_latency.record(0.002)
+        payload = metrics.payload()
+        assert payload["requests"] == {"/dispatch": 2, "/snapshot": 1}
+        assert payload["errors"] == {"400": 1}
+        assert payload["dispatched"] == 8
+        assert payload["flushes"] == 2
+        assert payload["batch_size"]["mean"] == pytest.approx(4.0)
+        assert payload["dispatch_latency"]["count"] == 1
+
+    def test_payload_is_json_serialisable(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_flush(1)
+        json.dumps(metrics.payload())  # must not raise
