@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-differential test-service bench bench-smoke bench-queueing bench-engines bench-sharded bench-service profile-precompute ci
+.PHONY: test test-differential test-service test-chaos bench bench-smoke bench-queueing bench-engines bench-sharded bench-service bench-recovery profile-precompute ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -62,6 +62,21 @@ test-service:
 # benchmarks/results/service_latency.txt.
 bench-service:
 	$(PYTHON) -m pytest benchmarks/test_bench_service.py -q -s --benchmark-disable
+
+# Fault-tolerance suites: the dispatch journal (write/replay/fingerprints),
+# client resilience (timeouts, backoff, idempotency keys), the deterministic
+# chaos harness (seeded duplicates/drops/delays, watchdog degradation, the
+# SIGKILL-mid-stream subprocess gate) and sharded-fleet supervision.  The CI
+# chaos job runs exactly this plus bench-recovery.
+test-chaos:
+	$(PYTHON) -m pytest tests/test_service_journal.py tests/test_service_resilience.py tests/test_chaos_service.py tests/test_chaos_recovery.py tests/test_chaos_sharded.py -q
+
+# Crash-recovery bench: journal 4096 requests, replay them through a fresh
+# session with fingerprint verification, and assert the replay-rate floor
+# (REPRO_BENCH_RECOVERY_FLOOR req/s, default 2000); writes
+# benchmarks/results/recovery.txt.
+bench-recovery:
+	$(PYTHON) -m pytest benchmarks/test_bench_recovery.py -q -s --benchmark-disable
 
 # cProfile over the Strategy II precompute (group-index build + batched
 # distance matrices) at n = 4096; prints the top-10 by cumulative time.

@@ -107,7 +107,9 @@ def test_bench_service_throughput_and_latency(artifact_dir):
         f"open-loop load: target {report.target_rate:g} req/s for "
         f"{LOAD_DURATION:g}s, {NUM_CLIENTS} connections, Zipf(0.8) files\n"
         f"offered   {report.offered} requests\n"
-        f"completed {report.completed} ({report.errors} errors)\n"
+        f"completed {report.completed} ({report.errors} errors: "
+        f"{report.timeouts} timeouts, {report.connection_errors} connection, "
+        f"{report.rejected_4xx} 4xx, {report.degraded_503} 503)\n"
         f"achieved  {report.achieved_rate:.1f} req/s\n"
         f"client latency: p50 {latency['p50_ms']:.3f} ms, "
         f"p90 {latency['p90_ms']:.3f} ms, p99 {latency['p99_ms']:.3f} ms, "

@@ -63,6 +63,35 @@ arrays are inherited as plain numpy views (children never open
 :class:`~repro.kernels.queueing.QueueingState` they serve and are torn down
 when the state is garbage collected; the stateless assignment fleets are
 pooled per ``(num_nodes, num_workers)`` and closed at interpreter exit.
+
+Supervision (PR 8)
+------------------
+
+Worker death (OOM kill, crash, SIGKILL) surfaces as a pipe failure on the
+coordinator side.  The fleet is *supervised*: :meth:`_ShardedRuntime.
+heartbeat` probes liveness over the pipes, :meth:`_ShardedRuntime.rebuild`
+re-forks the whole fleet over the same shared-memory segments under a
+bounded respawn budget (:data:`MAX_RESPAWNS` per fleet), and the window
+protocols are wrapped so an interrupted window is **re-executed from its
+precomputed randomness, never half-applied**:
+
+* ``exact`` (queueing and assignment) — the coordinator state is only
+  mutated *after* the worker protocol completes (the sequential replay /
+  the caller's ``loads`` write-back), so at the moment of a failure the
+  coordinator still holds the authoritative pre-window state.  The fleet is
+  rebuilt, re-initialised from that state, and the whole window re-run with
+  the same pre-drawn samples/ties/services — bit-identical to a run that
+  never crashed.
+* ``stale`` assignment — stateless per window (workers re-seed from the
+  shipped ``init`` vector), so the same re-run guarantee holds.
+* ``stale`` queueing — the per-tile departure heaps live *only* in the
+  workers (the coordinator's heap is intentionally empty); a dead worker's
+  future departures are unrecoverable, so the failure is surfaced as
+  :class:`~repro.exceptions.WorkerFleetError` instead of silently serving
+  wrong dynamics.
+
+A fleet whose respawn budget is exhausted raises
+:class:`~repro.exceptions.WorkerFleetError` and closes itself.
 """
 
 from __future__ import annotations
@@ -76,7 +105,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerFleetError
 from repro.kernels.commit import commit_least_loaded_of_sample
 from repro.kernels.group_index import GroupStore, build_group_index, segmented_arange
 from repro.kernels.queueing import QueueingState, commit_window, drain_departures
@@ -87,6 +116,7 @@ from repro.topology.partition import BOUNDARY, tile_partition
 
 __all__ = [
     "DEFAULT_MODE",
+    "MAX_RESPAWNS",
     "MODES",
     "STALE_ROUNDS",
     "default_worker_count",
@@ -107,6 +137,15 @@ STALE_ROUNDS = 4
 
 #: Cap on the default fleet size (explicit ``sharded:N`` overrides it).
 MAX_DEFAULT_WORKERS = 8
+
+#: Respawn budget per fleet: how many times dead workers may be re-forked
+#: before the fleet gives up with :class:`WorkerFleetError` (a crash that
+#: reproduces on every re-run would otherwise retry forever).
+MAX_RESPAWNS = 3
+
+#: Coordinator-side symptoms of a dead worker: its pipe end breaks.
+#: ``OSError`` covers platform variants (EPIPE on send, bad fd after close).
+_PIPE_FAILURES = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
 
 _STALE_TOKENS = ("stale", "staleness", "bounded")
 
@@ -269,13 +308,26 @@ class _ShardedRuntime:
             target = _assignment_worker_main
             views = (self.shared_loads,)
 
+        self._ctx = ctx
+        self._target = target
+        self._views = views
+        self.respawns_remaining = MAX_RESPAWNS
+        self.respawns_used = 0
+        self.pipes: list = []
+        self.workers: list = []
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        """Fork one worker per tile over the existing shared arrays."""
         self.pipes = []
         self.workers = []
         for shard in range(self.partition.num_shards):
             lo, hi = self.partition.shard_bounds(shard)
-            parent_end, child_end = ctx.Pipe()
-            proc = ctx.Process(
-                target=target, args=(child_end, lo, hi) + views, daemon=True
+            parent_end, child_end = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=self._target,
+                args=(child_end, lo, hi) + self._views,
+                daemon=True,
             )
             proc.start()
             child_end.close()
@@ -286,12 +338,83 @@ class _ShardedRuntime:
     def num_workers(self) -> int:
         return self.partition.num_shards
 
+    @property
+    def processes(self) -> list:
+        """The live worker processes, indexed by shard (for chaos tests)."""
+        return self.workers
+
     def send_all(self, messages) -> None:
         for pipe, message in zip(self.pipes, messages):
             pipe.send(message)
 
     def recv_all(self) -> list:
         return [pipe.recv() for pipe in self.pipes]
+
+    # ------------------------------------------------------------- supervision
+    def dead_workers(self) -> list[int]:
+        """Shards whose worker process is no longer alive."""
+        return [
+            shard
+            for shard, proc in enumerate(self.workers)
+            if not proc.is_alive()
+        ]
+
+    def heartbeat(self, timeout: float = 1.0) -> list[bool]:
+        """Probe worker liveness over the pipes (ping/pong per shard).
+
+        Only call between window protocols — a ping racing a window exchange
+        would interleave with protocol messages.  Returns one boolean per
+        shard; ``False`` means dead process, broken pipe, or no pong within
+        ``timeout`` seconds.
+        """
+        alive: list[bool] = []
+        for pipe, proc in zip(self.pipes, self.workers):
+            if not proc.is_alive():
+                alive.append(False)
+                continue
+            try:
+                pipe.send(("ping",))
+                if pipe.poll(timeout):
+                    alive.append(pipe.recv() == ("pong",))
+                else:
+                    alive.append(False)
+            except _PIPE_FAILURES:
+                alive.append(False)
+        return alive
+
+    def rebuild(self, cause: BaseException | None = None) -> None:
+        """Re-fork the whole fleet over the same shared arrays.
+
+        Survivors are terminated too: they may hold mid-window state from an
+        interrupted protocol, and the re-executed window must start from a
+        clean, uniformly re-initialised fleet.  Each rebuild consumes one
+        unit of the respawn budget; an exhausted budget closes the fleet and
+        raises :class:`WorkerFleetError`.
+        """
+        if self.closed:
+            raise WorkerFleetError("cannot rebuild a closed worker fleet")
+        if self.respawns_remaining <= 0:
+            self.close()
+            raise WorkerFleetError(
+                f"sharded fleet exhausted its respawn budget "
+                f"({MAX_RESPAWNS} rebuilds); giving up"
+            ) from cause
+        self.respawns_remaining -= 1
+        self.respawns_used += 1
+        for proc in self.workers:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=1.0)
+        for pipe in self.pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+        self._spawn_workers()
 
     def close(self) -> None:
         if self.closed:
@@ -356,6 +479,26 @@ def _close_static_pool() -> None:  # pragma: no cover - interpreter teardown
     _STATIC_POOL.clear()
 
 
+def _run_supervised(runtime: _ShardedRuntime, fn, *, reinit=None):
+    """Run one window protocol, rebuilding the fleet on worker death.
+
+    ``fn`` must be safe to re-execute from scratch (all randomness pre-drawn,
+    no coordinator state mutated before it returns); ``reinit`` re-ships the
+    coordinator's authoritative state to the fresh fleet before the retry.
+    The retry count is bounded by the fleet's respawn budget —
+    :meth:`_ShardedRuntime.rebuild` raises once it is exhausted.
+    """
+    while True:
+        try:
+            return fn()
+        except _PIPE_FAILURES as exc:
+            runtime.rebuild(cause=exc)
+            if reinit is not None:
+                reinit()
+            # Loop: the interrupted window is re-executed in full against
+            # the re-initialised fleet (never half-applied).
+
+
 def _queueing_runtime(state: QueueingState, num_workers: int) -> _ShardedRuntime:
     """The fleet attached to ``state``, created (and initialised) on demand."""
     runtime = getattr(state, "_sharded_runtime", None)
@@ -369,6 +512,21 @@ def _queueing_runtime(state: QueueingState, num_workers: int) -> _ShardedRuntime
             )
         return runtime
     runtime = _ShardedRuntime(num_nodes, num_workers, _FAMILY_QUEUEING)
+    _init_fleet_from_state(runtime, state)
+    state._sharded_runtime = runtime
+    weakref.finalize(state, runtime.close)
+    return runtime
+
+
+def _init_fleet_from_state(runtime: _ShardedRuntime, state: QueueingState) -> None:
+    """(Re-)initialise every worker from the coordinator's queueing state.
+
+    Used both on first attach and after :meth:`_ShardedRuntime.rebuild` in
+    ``exact`` mode, where the coordinator state is authoritative (the
+    sequential replay keeps its queues, busy times *and* departure heap
+    bit-exact), so a freshly forked fleet resumes exactly where the dead one
+    stood at the start of the interrupted window.
+    """
     runtime.shared_queue[:] = state.queue_lengths
     runtime.shared_busy[:] = state.busy_until
     pending: list[list[tuple[float, int]]] = [[] for _ in range(runtime.num_workers)]
@@ -381,9 +539,6 @@ def _queueing_runtime(state: QueueingState, num_workers: int) -> _ShardedRuntime
             for w in range(runtime.num_workers)
         ]
     )
-    state._sharded_runtime = runtime
-    weakref.finalize(state, runtime.close)
-    return runtime
 
 
 # ------------------------------------------------------------- worker mains
@@ -396,7 +551,9 @@ def _queueing_worker_main(conn, lo, hi, shared_queue, shared_busy):
             tag = message[0]
             if tag == "stop":
                 break
-            if tag == "init":
+            if tag == "ping":
+                conn.send(("pong",))
+            elif tag == "init":
                 state = _init_worker_state(message)
             elif tag == "exact":
                 _worker_exact_window(conn, state, message[1], lo, hi, shared_queue, shared_busy)
@@ -528,7 +685,9 @@ def _assignment_worker_main(conn, lo, hi, shared_loads):
             tag = message[0]
             if tag == "stop":
                 break
-            if tag == "assign_exact":
+            if tag == "ping":
+                conn.send(("pong",))
+            elif tag == "assign_exact":
                 _worker_assign_exact(conn, message[1], lo, hi, num_nodes, shared_loads)
             elif tag == "assign_stale":
                 _worker_assign_stale(conn, message[1], lo, hi, num_nodes, shared_loads)
@@ -626,7 +785,14 @@ def sharded_queueing_window(
     runtime = _queueing_runtime(state, workers)
     if m == 0:
         if mode == "stale":
-            _stale_empty_window(runtime, state, window_end)
+            try:
+                _stale_empty_window(runtime, state, window_end)
+            except _PIPE_FAILURES as exc:
+                runtime.close()
+                raise WorkerFleetError(
+                    "a worker died during a queueing 'stale' window; its "
+                    "local departure events are unrecoverable"
+                ) from exc
         else:
             drain_departures(state, window_end)
         return
@@ -665,16 +831,23 @@ def sharded_queueing_window(
     shard_of_request = _classify_requests(index, runtime.partition)
 
     if mode == "exact":
-        winners_pos = _exact_queueing(
+        winners_pos = _run_supervised(
             runtime,
-            times_arr,
-            services,
-            tie_uniforms,
-            sample_nodes,
-            sample_counts,
-            sample_indptr,
-            shard_of_request,
-            float(window_end),
+            lambda: _exact_queueing(
+                runtime,
+                times_arr,
+                services,
+                tie_uniforms,
+                sample_nodes,
+                sample_counts,
+                sample_indptr,
+                shard_of_request,
+                float(window_end),
+            ),
+            # The coordinator's replayed state is authoritative: it was last
+            # mutated at the *end* of the previous window, so re-shipping it
+            # restores the fleet to the interrupted window's start.
+            reinit=lambda: _init_fleet_from_state(runtime, state),
         )
         winners_flat = sample_indptr[:-1] + winners_pos
         # Replay the winner sequence through the sequential kernel: each
@@ -693,18 +866,29 @@ def sharded_queueing_window(
         _add_hops(state, index, flat, winners_flat, topology, requests, sample_nodes)
         drain_departures(state, window_end)
     else:
-        winners_pos = _stale_queueing(
-            runtime,
-            state,
-            times_arr,
-            services,
-            tie_uniforms,
-            sample_nodes,
-            sample_counts,
-            sample_indptr,
-            shard_of_request,
-            float(window_end),
-        )
+        try:
+            winners_pos = _stale_queueing(
+                runtime,
+                state,
+                times_arr,
+                services,
+                tie_uniforms,
+                sample_nodes,
+                sample_counts,
+                sample_indptr,
+                shard_of_request,
+                float(window_end),
+            )
+        except _PIPE_FAILURES as exc:
+            # The dead tile's departure heap existed only in the worker;
+            # there is no authoritative copy to rebuild from.  Fail loudly
+            # rather than serve dynamics with silently vanished departures.
+            runtime.close()
+            raise WorkerFleetError(
+                "a worker died during a queueing 'stale' window; its local "
+                "departure events are unrecoverable — re-run with the "
+                "'exact' mode for supervised fault tolerance"
+            ) from exc
         winners_flat = sample_indptr[:-1] + winners_pos
         _add_hops(state, index, flat, winners_flat, topology, requests, sample_nodes)
 
@@ -968,16 +1152,18 @@ def sharded_two_choice(
         if loads is not None
         else np.zeros(n, dtype=np.int64)
     )
-    if mode == "exact":
-        winners_pos = _exact_assignment(
+    # Both assignment protocols are stateless per window (every worker
+    # re-seeds from the shipped ``initial`` vector and the caller's ``loads``
+    # is written back only after success), so a supervised re-run over the
+    # same precomputed randomness is bit-identical.
+    protocol = _exact_assignment if mode == "exact" else _stale_assignment
+    winners_pos = _run_supervised(
+        runtime,
+        lambda: protocol(
             runtime, initial, tie_uniforms, sample_nodes, sample_counts,
             sample_indptr, shard_of_request,
-        )
-    else:
-        winners_pos = _stale_assignment(
-            runtime, initial, tie_uniforms, sample_nodes, sample_counts,
-            sample_indptr, shard_of_request,
-        )
+        ),
+    )
     if loads is not None:
         loads[:] = runtime.shared_loads
     winners_flat = sample_indptr[:-1] + winners_pos

@@ -267,9 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve d-choice placement decisions from a live session over HTTP",
         parents=[engine_flag],
     )
-    serve.add_argument("--nodes", type=int, required=True, help="number of servers n")
-    serve.add_argument("--files", type=int, required=True, help="library size K")
-    serve.add_argument("--cache", type=int, required=True, help="cache slots per server M")
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="number of servers n (required unless --recover)",
+    )
+    serve.add_argument(
+        "--files", type=int, default=None, help="library size K (required unless --recover)"
+    )
+    serve.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        help="cache slots per server M (required unless --recover)",
+    )
     serve.add_argument(
         "--queueing",
         action="store_true",
@@ -327,6 +339,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.001,
         help="queueing virtual-clock advance per request in simulated seconds",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead dispatch journal path (enables crash recovery)",
+    )
+    serve.add_argument(
+        "--journal-fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="journal durability policy (default: interval = fsync at checkpoints)",
+    )
+    serve.add_argument(
+        "--journal-checkpoint",
+        type=int,
+        default=16,
+        help="batches between journal checkpoints (default: 16)",
+    )
+    serve.add_argument(
+        "--recover",
+        default=None,
+        metavar="JOURNAL",
+        help="rebuild the session from this journal by deterministic replay, "
+        "then continue serving (and appending) where the crashed server stopped",
+    )
+    serve.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        help="writer stall deadline in seconds before degrading to "
+        "snapshot-only reads (default: disabled)",
+    )
+    serve.add_argument(
+        "--chaos-crash-after-batches",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # test-only: SIGKILL after N journaled batches
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -368,6 +417,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="sinusoidal rate modulation period in seconds (default: 1.0)",
     )
     loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-request timeout in seconds (0 = disabled; default: 5)",
+    )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per request on transport errors and 503 (default: 0)",
+    )
 
     tables = subparsers.add_parser("tables", help="produce the theorem-check tables")
     tables.add_argument(
@@ -635,14 +696,82 @@ def _build_serve_session(args: argparse.Namespace):
     return open_session(config, seed=args.seed, assignment_engine=args.engine)
 
 
+def _serve_spec(args: argparse.Namespace) -> dict[str, object]:
+    """The declarative session spec journaled so --recover can rebuild it."""
+    return {
+        "kind": "queueing" if args.queueing else "assignment",
+        "seed": args.seed,
+        "engine": args.engine,
+        "topology": args.topology,
+        "nodes": args.nodes,
+        "files": args.files,
+        "cache": args.cache,
+        "popularity": args.popularity,
+        "gamma": args.gamma,
+        "placement": args.placement,
+        "mu": args.mu,
+        "radius": args.radius,
+        "choices": args.choices,
+        "strategy": args.strategy,
+    }
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service import DispatchServer
+    from repro.service.chaos import ServerChaos
+    from repro.service.journal import DispatchJournal, JournalError, recover_session
 
-    session = _build_serve_session(args)
-    if session is None:
+    if args.recover is None and None in (args.nodes, args.files, args.cache):
+        print(
+            "error: --nodes, --files and --cache are required "
+            "(unless recovering with --recover)",
+            file=sys.stderr,
+        )
         return 2
+
+    journal = None
+    initial_seq = 0
+    recovered = None
+    if args.recover is not None:
+        try:
+            recovered = recover_session(args.recover)
+        except (JournalError, OSError) as exc:
+            print(f"error: recovery failed: {exc}", file=sys.stderr)
+            return 2
+        session = recovered.session
+        initial_seq = recovered.next_seq
+        journal = DispatchJournal.open_append(
+            args.recover,
+            fsync=args.journal_fsync,
+            checkpoint_every=args.journal_checkpoint,
+        )
+        print(
+            f"recovered {recovered.kind} session from {args.recover}: "
+            f"{recovered.batches} batches / {recovered.requests} requests "
+            f"replayed, {recovered.checkpoints_verified} checkpoints verified, "
+            f"resuming at seq {initial_seq}",
+            flush=True,
+        )
+    else:
+        session = _build_serve_session(args)
+        if session is None:
+            return 2
+        if args.journal is not None:
+            journal = DispatchJournal.create(
+                args.journal,
+                kind="queueing" if args.queueing else "assignment",
+                spec=_serve_spec(args),
+                seed=args.seed,
+                fsync=args.journal_fsync,
+                checkpoint_every=args.journal_checkpoint,
+            )
+
+    chaos = None
+    if args.chaos_crash_after_batches is not None:
+        chaos = ServerChaos(crash_after_batches=args.chaos_crash_after_batches)
+
     server = DispatchServer(
         session,
         host=args.host,
@@ -651,7 +780,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         flush_max=args.flush_max,
         snapshot_interval=args.snapshot_interval,
         tick=args.tick,
+        journal=journal,
+        initial_seq=initial_seq,
+        watchdog=args.watchdog,
+        chaos=chaos,
     )
+    if recovered is not None and recovered.idempotency:
+        server.idempotency.preload(recovered.idempotency)
 
     async def _run() -> None:
         await server.start()
@@ -659,7 +794,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {server.kind} dispatch ({server.publisher.engine}) "
             f"on http://{host}:{port} — POST /dispatch, GET /snapshot, "
-            f"GET /healthz, GET /metrics"
+            f"GET /healthz, GET /metrics",
+            flush=True,
         )
         await server.serve_forever()
 
@@ -684,6 +820,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         wave_amplitude=args.wave_amplitude,
         wave_period=args.wave_period,
         seed=args.seed,
+        timeout=args.timeout if args.timeout > 0 else None,
+        retries=args.retries,
     )
     try:
         report = asyncio.run(run_loadgen(args.host, args.port, config))

@@ -17,6 +17,8 @@ __all__ = [
     "UnknownEngineError",
     "WorkloadError",
     "ExperimentError",
+    "WorkerFleetError",
+    "JournalError",
 ]
 
 
@@ -67,6 +69,26 @@ class UnknownEngineError(StrategyError):
 
 class WorkloadError(ReproError, ValueError):
     """Request workload generation or parsing failed."""
+
+
+class WorkerFleetError(ReproError, RuntimeError):
+    """A sharded worker fleet died and could not (or must not) be recovered.
+
+    Raised when the respawn budget of a fleet is exhausted, or when a worker
+    died holding state the coordinator cannot reconstruct (queueing ``stale``
+    mode, whose departure heaps live only in the workers — see
+    :mod:`repro.backends.sharded` for the recovery guarantees per mode).
+    """
+
+
+class JournalError(ReproError, RuntimeError):
+    """A dispatch journal is corrupt, inconsistent, or failed verification.
+
+    Raised by :mod:`repro.service.journal` for mid-file corruption, commit
+    sequence gaps, and recovery fingerprint mismatches.  A torn final line
+    (the crash case journals exist for) is *not* an error — it is truncated
+    away on read.
+    """
 
 
 class ExperimentError(ReproError, RuntimeError):

@@ -8,7 +8,15 @@ generator (:func:`~repro.service.loadgen.run_loadgen`).  Exposed on the CLI
 as ``repro serve`` and ``repro loadgen``.
 """
 
-from repro.service.client import DispatchClient, DispatchServiceError
+from repro.service.chaos import ChaosClient, ServerChaos, kill_shard_worker
+from repro.service.client import DispatchClient, DispatchServiceError, DispatchTimeout
+from repro.service.journal import (
+    DispatchJournal,
+    RecoveredSession,
+    build_session_from_spec,
+    read_journal,
+    recover_session,
+)
 from repro.service.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
 from repro.service.metrics import LatencyHistogram, ServiceMetrics, StreamingStats
 from repro.service.protocol import (
@@ -21,26 +29,41 @@ from repro.service.protocol import (
     SnapshotResponse,
 )
 from repro.service.server import DispatchServer
-from repro.service.state import MicroBatchQueue, SnapshotPublisher, StateSnapshot
+from repro.service.state import (
+    IdempotencyIndex,
+    MicroBatchQueue,
+    SnapshotPublisher,
+    StateSnapshot,
+)
 
 __all__ = [
     "BatchDispatchRequest",
     "BatchDispatchResponse",
+    "ChaosClient",
     "DispatchClient",
+    "DispatchJournal",
     "DispatchRequest",
     "DispatchResponse",
     "DispatchServer",
     "DispatchServiceError",
+    "DispatchTimeout",
     "ErrorResponse",
+    "IdempotencyIndex",
     "LatencyHistogram",
     "LoadGenConfig",
     "LoadGenReport",
     "MicroBatchQueue",
     "ProtocolError",
+    "RecoveredSession",
+    "ServerChaos",
     "ServiceMetrics",
     "SnapshotPublisher",
     "SnapshotResponse",
     "StateSnapshot",
     "StreamingStats",
+    "build_session_from_spec",
+    "kill_shard_worker",
+    "read_journal",
+    "recover_session",
     "run_loadgen",
 ]

@@ -9,11 +9,24 @@ Connections are pooled per client: each request checks one out, reuses it
 when the server kept it alive and reconnects transparently when it did not.
 The pool bounds concurrency to ``pool_size`` sockets, which is what the load
 generator leans on to run many in-flight requests over few descriptors.
+
+Resilience
+----------
+
+Every request runs under a per-request ``timeout`` (a wedged server raises
+:class:`DispatchTimeout` instead of hanging the caller forever).  With
+``retries > 0`` the client retries transport failures and 503 responses
+with capped exponential backoff and deterministic jitter; mutating requests
+are made safe to retry by client-generated **idempotency keys** (enabled
+with ``key_prefix``): the key is drawn once per logical request, *before*
+the retry loop, so every redelivery carries the same key and the server's
+dedup index commits it exactly once.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any
 
 from repro.service.protocol import (
@@ -28,16 +41,38 @@ from repro.service.protocol import (
     encode,
 )
 
-__all__ = ["DispatchClient", "DispatchServiceError"]
+__all__ = ["DispatchClient", "DispatchServiceError", "DispatchTimeout"]
+
+#: Transport-level failures worth retrying (the request may or may not have
+#: reached the server — exactly the case idempotency keys exist for).
+#: ``TimeoutError`` (and hence :class:`DispatchTimeout`) subclasses
+#: ``OSError`` since Python 3.10, so order matters wherever both are caught.
+_RETRYABLE = (ConnectionError, asyncio.IncompleteReadError, OSError)
 
 
 class DispatchServiceError(RuntimeError):
-    """The server answered with a non-2xx status."""
+    """The server answered with a non-2xx status.
 
-    def __init__(self, status: int, error: ErrorResponse) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` header (seconds)
+    when present — degraded-mode 503s advertise when to come back.
+    """
+
+    def __init__(
+        self, status: int, error: ErrorResponse, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {error.error}" + (f" ({error.detail})" if error.detail else ""))
         self.status = status
         self.error = error
+        self.retry_after = retry_after
+
+
+class DispatchTimeout(OSError):
+    """A request exceeded the client's per-request timeout."""
+
+    def __init__(self, method: str, path: str, timeout: float) -> None:
+        super().__init__(f"{method} {path} timed out after {timeout:g}s")
+        self.path = path
+        self.timeout = timeout
 
 
 class _Connection:
@@ -64,16 +99,63 @@ class DispatchClient:
 
         async with DispatchClient(host, port) as client:
             decision = await client.dispatch(origin=3, file=17)
+
+    Parameters
+    ----------
+    pool_size:
+        Maximum concurrent sockets (and in-flight requests).
+    timeout:
+        Per-request deadline in seconds (``None`` disables; default 5).
+        Expiry raises :class:`DispatchTimeout` and discards the socket (a
+        late response on a reused connection would corrupt framing).
+    retries:
+        Additional attempts after a retryable failure (transport errors and
+        503).  ``0`` (the default) preserves fail-fast behaviour.
+    backoff, backoff_cap:
+        Exponential backoff base and cap in seconds; attempt ``k`` sleeps
+        ``min(cap, backoff * 2**k)`` scaled by jitter in ``[0.5, 1.0]``.
+    jitter_seed:
+        Seed of the jitter RNG — deterministic backoff for reproducible
+        chaos tests.
+    key_prefix:
+        When set, :meth:`dispatch` and :meth:`dispatch_batch` stamp every
+        logical request with an idempotency key ``"{prefix}-{n}"`` drawn
+        before the retry loop, so retries are deduplicated server-side.
     """
 
-    def __init__(self, host: str, port: int, *, pool_size: int = 8) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 8,
+        timeout: float | None = 5.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
+        key_prefix: str | None = None,
+    ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0 or backoff_cap < 0:
+            raise ValueError("backoff and backoff_cap must be non-negative")
         self._host = host
         self._port = port
         self._idle: list[_Connection] = []
         self._slots = asyncio.Semaphore(pool_size)
         self._closed = False
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._backoff_cap = float(backoff_cap)
+        self._jitter = random.Random(jitter_seed)
+        self._key_prefix = key_prefix
+        self._key_counter = 0
 
     async def __aenter__(self) -> "DispatchClient":
         return self
@@ -87,6 +169,14 @@ class DispatchClient:
         idle, self._idle = self._idle, []
         for conn in idle:
             await conn.close()
+
+    def _next_key(self) -> str | None:
+        """One idempotency key per *logical* request (shared by retries)."""
+        if self._key_prefix is None:
+            return None
+        key = f"{self._key_prefix}-{self._key_counter}"
+        self._key_counter += 1
+        return key
 
     # ----------------------------------------------------------------- wire io
     async def _checkout(self) -> _Connection:
@@ -103,12 +193,10 @@ class DispatchClient:
         elif not conn.alive:
             conn.writer.close()
 
-    async def _request(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
-    ) -> dict[str, Any]:
-        if self._closed:
-            raise RuntimeError("client is closed")
-        body = encode(payload) if payload is not None else b""
+    async def _perform(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any], float | None]:
+        """One attempt: write the request, read the response, under timeout."""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"host: {self._host}:{self._port}\r\n"
@@ -116,26 +204,74 @@ class DispatchClient:
             f"content-length: {len(body)}\r\n"
             "\r\n"
         )
+
         async with self._slots:
             conn = await self._checkout()
             try:
                 conn.writer.write(head.encode("latin-1") + body)
-                await conn.writer.drain()
-                status, response = await self._read_response(conn)
+
+                async def roundtrip() -> tuple[int, dict[str, Any], float | None]:
+                    await conn.writer.drain()
+                    return await self._read_response(conn)
+
+                if self._timeout is not None:
+                    try:
+                        result = await asyncio.wait_for(roundtrip(), self._timeout)
+                    except asyncio.TimeoutError:
+                        raise DispatchTimeout(method, path, self._timeout) from None
+                else:
+                    result = await roundtrip()
             except Exception:
                 await conn.close()
                 raise
             self._checkin(conn)
-        if status >= 400:
+        return result
+
+    async def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        body = encode(payload) if payload is not None else b""
+        attempt = 0
+        while True:
+            retry_hint: float | None = None
             try:
-                error = ErrorResponse.from_payload(response)
-            except ProtocolError:
-                error = ErrorResponse(error=f"HTTP {status}", detail=str(response))
-            raise DispatchServiceError(status, error)
-        return response
+                status, response, retry_after = await self._perform(method, path, body)
+            except DispatchTimeout:
+                if attempt >= self._retries:
+                    raise
+            except _RETRYABLE:
+                if attempt >= self._retries:
+                    raise
+            else:
+                if status < 400:
+                    return response
+                try:
+                    error = ErrorResponse.from_payload(response)
+                except ProtocolError:
+                    error = ErrorResponse(error=f"HTTP {status}", detail=str(response))
+                exc = DispatchServiceError(status, error, retry_after=retry_after)
+                # Only 503 (draining / degraded) is worth retrying — 4xx
+                # rejections are deterministic and would fail identically.
+                if status != 503 or attempt >= self._retries:
+                    raise exc
+                retry_hint = retry_after
+            await asyncio.sleep(self._backoff_delay(attempt, retry_hint))
+            attempt += 1
+
+    def _backoff_delay(self, attempt: int, retry_hint: float | None) -> float:
+        delay = min(self._backoff_cap, self._backoff * (2.0 ** attempt))
+        delay *= 0.5 + 0.5 * self._jitter.random()
+        if retry_hint is not None:
+            # Never come back sooner than the server asked (but stay capped).
+            delay = min(max(delay, retry_hint), self._backoff_cap)
+        return delay
 
     @staticmethod
-    async def _read_response(conn: _Connection) -> tuple[int, dict[str, Any]]:
+    async def _read_response(
+        conn: _Connection,
+    ) -> tuple[int, dict[str, Any], float | None]:
         status_line = await conn.reader.readline()
         if not status_line:
             raise ConnectionResetError("server closed the connection")
@@ -145,6 +281,7 @@ class DispatchClient:
         status = int(parts[1])
         length = 0
         keep_alive = True
+        retry_after: float | None = None
         while True:
             line = await conn.reader.readline()
             if line in (b"\r\n", b"\n"):
@@ -158,16 +295,23 @@ class DispatchClient:
                 length = int(value)
             elif name == "connection":
                 keep_alive = value.lower() != "close"
+            elif name == "retry-after":
+                try:
+                    retry_after = float(value)
+                except ValueError:
+                    retry_after = None
         body = await conn.reader.readexactly(length) if length else b"{}"
         conn.alive = keep_alive
-        return status, decode(body)
+        return status, decode(body), retry_after
 
     # --------------------------------------------------------------- endpoints
     async def dispatch(
         self, origin: int, file: int, *, time: float | None = None
     ) -> DispatchResponse:
         """``POST /dispatch`` — one placement decision."""
-        request = DispatchRequest(origin=origin, file=file, time=time)
+        request = DispatchRequest(
+            origin=origin, file=file, time=time, key=self._next_key()
+        )
         payload = await self._request("POST", "/dispatch", request.to_payload())
         return DispatchResponse.from_payload(payload)
 
@@ -183,6 +327,7 @@ class DispatchClient:
             origins=tuple(int(o) for o in origins),
             files=tuple(int(f) for f in files),
             times=tuple(float(t) for t in times) if times is not None else None,
+            key=self._next_key(),
         )
         payload = await self._request("POST", "/dispatch/batch", request.to_payload())
         return BatchDispatchResponse.from_payload(payload)

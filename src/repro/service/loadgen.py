@@ -28,7 +28,11 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.catalog.popularity import UniformPopularity, ZipfPopularity
-from repro.service.client import DispatchClient, DispatchServiceError
+from repro.service.client import (
+    DispatchClient,
+    DispatchServiceError,
+    DispatchTimeout,
+)
 from repro.service.metrics import LatencyHistogram
 
 __all__ = ["LoadGenConfig", "LoadGenReport", "generate_arrivals", "run_loadgen"]
@@ -53,11 +57,17 @@ class LoadGenConfig:
     wave_amplitude: float = 0.0
     wave_period: float = 1.0
     seed: int = 0
+    timeout: float | None = 5.0
+    retries: int = 0
     rate_fn: Callable[[float], float] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
         if not 0.0 <= self.wave_amplitude <= 1.0:
@@ -89,7 +99,15 @@ class LoadGenConfig:
 
 @dataclass(frozen=True)
 class LoadGenReport:
-    """What one run observed from the client side."""
+    """What one run observed from the client side.
+
+    ``errors`` is the total failed request count; the four breakdown fields
+    partition it by *cause* — timeouts and connection errors are transport
+    failures (the server may or may not have committed), 4xx are
+    deterministic protocol rejections, and ``degraded_503`` counts requests
+    the server turned away while draining or degraded.  Conflating them
+    hides exactly the distinction fault-tolerance work cares about.
+    """
 
     offered: int
     completed: int
@@ -98,12 +116,20 @@ class LoadGenReport:
     target_rate: float
     achieved_rate: float
     latency: LatencyHistogram = field(compare=False)
+    timeouts: int = 0
+    connection_errors: int = 0
+    rejected_4xx: int = 0
+    degraded_503: int = 0
 
     def to_payload(self) -> dict[str, Any]:
         return {
             "offered": self.offered,
             "completed": self.completed,
             "errors": self.errors,
+            "timeouts": self.timeouts,
+            "connection_errors": self.connection_errors,
+            "rejected_4xx": self.rejected_4xx,
+            "degraded_503": self.degraded_503,
             "duration_seconds": self.duration,
             "target_rate": self.target_rate,
             "achieved_rate": self.achieved_rate,
@@ -116,7 +142,9 @@ class LoadGenReport:
         return (
             f"offered {self.offered} requests over {self.duration:.2f}s "
             f"(target {self.target_rate:.1f}/s)\n"
-            f"completed {self.completed}  errors {self.errors}  "
+            f"completed {self.completed}  errors {self.errors} "
+            f"(timeouts {self.timeouts}, connection {self.connection_errors}, "
+            f"4xx {self.rejected_4xx}, 503 {self.degraded_503})  "
             f"achieved {self.achieved_rate:.1f}/s\n"
             f"latency p50 {latency['p50_ms']:.3f} ms  "
             f"p90 {latency['p90_ms']:.3f} ms  "
@@ -160,7 +188,14 @@ async def run_loadgen(
     config: LoadGenConfig,
 ) -> LoadGenReport:
     """Drive one open-loop run against a live dispatch server."""
-    async with DispatchClient(host, port, pool_size=config.concurrency) as client:
+    async with DispatchClient(
+        host,
+        port,
+        pool_size=config.concurrency,
+        timeout=config.timeout,
+        retries=config.retries,
+        jitter_seed=config.seed,
+    ) as client:
         health = await client.healthz()
         num_nodes = int(health["nodes"])
         num_files = int(health["files"])
@@ -189,11 +224,16 @@ async def run_loadgen(
         latency = LatencyHistogram()
         completed = 0
         errors = 0
+        timeouts = 0
+        connection_errors = 0
+        rejected_4xx = 0
+        degraded_503 = 0
         loop = asyncio.get_running_loop()
         start = loop.time()
 
         async def fire(index: int, size: int) -> None:
-            nonlocal completed, errors
+            nonlocal completed, errors, timeouts, connection_errors
+            nonlocal rejected_4xx, degraded_503
             delay = offsets[index] - (loop.time() - start)
             if delay > 0:
                 await asyncio.sleep(delay)
@@ -204,8 +244,22 @@ async def run_loadgen(
                 else:
                     window = slice(index, index + size)
                     await client.dispatch_batch(origins[window], files[window])
-            except (DispatchServiceError, ConnectionError, asyncio.IncompleteReadError):
+            # DispatchTimeout subclasses OSError (as ConnectionError does),
+            # so the catch order below is load-bearing.
+            except DispatchTimeout:
                 errors += size
+                timeouts += size
+                return
+            except DispatchServiceError as exc:
+                errors += size
+                if exc.status == 503:
+                    degraded_503 += size
+                elif 400 <= exc.status < 500:
+                    rejected_4xx += size
+                return
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                errors += size
+                connection_errors += size
                 return
             latency.record(loop.time() - sent)
             completed += size
@@ -225,4 +279,8 @@ async def run_loadgen(
         target_rate=config.rate,
         achieved_rate=completed / elapsed if elapsed > 0 else 0.0,
         latency=latency,
+        timeouts=timeouts,
+        connection_errors=connection_errors,
+        rejected_4xx=rejected_4xx,
+        degraded_503=degraded_503,
     )

@@ -178,12 +178,26 @@ class ServiceMetrics:
         self.errors: Counter[int] = Counter()
         self.dispatched = 0
         self.flushes = 0
+        self.duplicates = 0
+        self.degraded_rejections = 0
+        self.journal_batches = 0
 
     def record_request(self, path: str) -> None:
         self.requests[path] += 1
 
     def record_error(self, status: int) -> None:
         self.errors[status] += 1
+
+    def record_duplicate(self) -> None:
+        """A request was answered from the idempotency index (no commit)."""
+        self.duplicates += 1
+
+    def record_degraded(self) -> None:
+        """A dispatch was rejected with 503 because the server is degraded."""
+        self.degraded_rejections += 1
+
+    def record_journal_batch(self) -> None:
+        self.journal_batches += 1
 
     def record_flush(self, batch_size: int) -> None:
         self.flushes += 1
@@ -197,6 +211,9 @@ class ServiceMetrics:
             "errors": {str(status): count for status, count in self.errors.items()},
             "dispatched": self.dispatched,
             "flushes": self.flushes,
+            "duplicates": self.duplicates,
+            "degraded_rejections": self.degraded_rejections,
+            "journal_batches": self.journal_batches,
             "batch_size": self.batch_sizes.summary(),
             "dispatch_latency": self.dispatch_latency.summary(),
         }

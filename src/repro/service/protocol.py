@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 __all__ = [
+    "MAX_KEY_LENGTH",
     "ProtocolError",
     "DispatchRequest",
     "DispatchResponse",
@@ -90,6 +91,26 @@ def _optional_time(payload: Mapping[str, Any], key: str = "time") -> float | Non
     return float(value)
 
 
+#: Idempotency keys are bounded so the server's dedup index cannot be used
+#: to balloon journal records or response caches.
+MAX_KEY_LENGTH = 128
+
+
+def _validate_key(value: Any) -> str | None:
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ProtocolError(f"field 'key' must be a string, got {value!r}")
+    if not value:
+        raise ProtocolError("field 'key' must be non-empty when present")
+    if len(value) > MAX_KEY_LENGTH:
+        raise ProtocolError(
+            f"field 'key' must be at most {MAX_KEY_LENGTH} characters, "
+            f"got {len(value)}"
+        )
+    return value
+
+
 def _int_sequence(payload: Mapping[str, Any], key: str) -> tuple[int, ...]:
     if key not in payload:
         raise ProtocolError(f"missing field {key!r}")
@@ -109,20 +130,29 @@ def _int_sequence(payload: Mapping[str, Any], key: str) -> tuple[int, ...]:
 # ------------------------------------------------------------------ dispatch
 @dataclass(frozen=True)
 class DispatchRequest:
-    """One placement question: which cache serves ``file`` for ``origin``?"""
+    """One placement question: which cache serves ``file`` for ``origin``?
+
+    ``key`` is an optional client-generated idempotency key: the server
+    deduplicates retried or duplicated deliveries carrying the same key and
+    returns the original committed decision instead of committing twice.
+    """
 
     origin: int
     file: int
     time: float | None = None
+    key: str | None = None
 
     def __post_init__(self) -> None:
         if self.origin < 0 or self.file < 0:
             raise ProtocolError("origin and file must be non-negative")
+        object.__setattr__(self, "key", _validate_key(self.key))
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"origin": self.origin, "file": self.file}
         if self.time is not None:
             payload["time"] = self.time
+        if self.key is not None:
+            payload["key"] = self.key
         return payload
 
     @classmethod
@@ -131,6 +161,7 @@ class DispatchRequest:
             origin=_require_int(payload, "origin"),
             file=_require_int(payload, "file"),
             time=_optional_time(payload),
+            key=_validate_key(payload.get("key")),
         )
 
 
@@ -178,15 +209,18 @@ class DispatchResponse:
 @dataclass(frozen=True)
 class BatchDispatchRequest:
     """A client-side micro-batch: parallel origin/file (and optional time)
-    arrays, committed through the kernels as one window."""
+    arrays, committed through the kernels as one window.  ``key`` optionally
+    makes the whole batch idempotent (deduplicated as one unit)."""
 
     origins: tuple[int, ...]
     files: tuple[int, ...]
     times: tuple[float, ...] | None = None
+    key: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "origins", tuple(self.origins))
         object.__setattr__(self, "files", tuple(self.files))
+        object.__setattr__(self, "key", _validate_key(self.key))
         if self.times is not None:
             object.__setattr__(self, "times", tuple(float(t) for t in self.times))
         if len(self.origins) != len(self.files):
@@ -212,6 +246,8 @@ class BatchDispatchRequest:
         }
         if self.times is not None:
             payload["times"] = list(self.times)
+        if self.key is not None:
+            payload["key"] = self.key
         return payload
 
     @classmethod
@@ -233,6 +269,7 @@ class BatchDispatchRequest:
             origins=_int_sequence(payload, "origins"),
             files=_int_sequence(payload, "files"),
             times=times,
+            key=_validate_key(payload.get("key")),
         )
 
 

@@ -48,12 +48,32 @@ Graceful shutdown: :meth:`shutdown` stops accepting connections, closes the
 micro-batch queue (new dispatches get 503), lets the writer drain every
 in-flight request, waits for their responses to be written, then tears the
 connections down.
+
+Fault tolerance (PR 8)
+----------------------
+
+* **Journal-before-ack.**  With a :class:`~repro.service.journal.
+  DispatchJournal` attached, the writer appends every committed micro-batch
+  (seq, request arrays, committed times, idempotency keys) *before* any
+  client future resolves — an acknowledged decision is always durable under
+  the journal's fsync policy, and ``repro serve --recover`` rebuilds the
+  session bit-identically by replay.
+* **Idempotency.**  Requests carrying a ``key`` are deduplicated through a
+  bounded LRU: a duplicate of a committed request gets the original payload
+  back, a duplicate of an in-flight request awaits the original — the
+  session (and its RNG streams) never sees the duplicate.
+* **Graceful degradation.**  A watchdog monitors the writer; if a flush (or
+  the queue's oldest pending unit) stalls past the deadline the server
+  degrades to snapshot-only reads — dispatches get 503 with ``Retry-After``,
+  ``/healthz`` reports ``degraded`` — instead of hanging connections.  The
+  next completed flush clears the condition.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+import math
+from typing import Any, Awaitable, Callable
 
 import numpy as np
 
@@ -71,6 +91,7 @@ from repro.service.protocol import (
     encode,
 )
 from repro.service.state import (
+    IdempotencyIndex,
     MicroBatchQueue,
     PendingDispatch,
     SnapshotPublisher,
@@ -98,10 +119,18 @@ MAX_BODY_BYTES = 1 << 20
 class _HttpError(Exception):
     """Internal: maps a handler failure to an HTTP status + error document."""
 
-    def __init__(self, status: int, error: str, detail: str = "") -> None:
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        detail: str = "",
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(detail or error)
         self.status = status
         self.response = ErrorResponse(error=error, detail=detail)
+        self.headers = headers or {}
 
 
 class DispatchServer:
@@ -125,6 +154,23 @@ class DispatchServer:
     tick:
         Queueing sessions only: simulated seconds the virtual arrival clock
         advances per dispatched request.
+    journal:
+        An open :class:`~repro.service.journal.DispatchJournal`; every
+        committed micro-batch is appended *before* its futures resolve
+        (journal-before-ack).  Closed by :meth:`shutdown`.
+    initial_seq:
+        First ``seq`` to assign — a recovered server continues the crashed
+        server's commit order instead of restarting at zero.
+    idempotency_capacity:
+        Bound of the key → response LRU deduplicating retried deliveries.
+    watchdog:
+        Seconds a flush (or the oldest queued unit) may stall before the
+        server degrades to snapshot-only reads; ``None`` disables the
+        watchdog.
+    chaos:
+        Optional fault injector (see :mod:`repro.service.chaos`): awaited
+        before each flush (``before_flush``) and called after each journal
+        append (``after_journal``).  Test-only.
     """
 
     def __init__(
@@ -137,11 +183,20 @@ class DispatchServer:
         flush_max: int = 512,
         snapshot_interval: float = 0.05,
         tick: float = 0.001,
+        journal=None,
+        initial_seq: int = 0,
+        idempotency_capacity: int = 4096,
+        watchdog: float | None = None,
+        chaos=None,
     ) -> None:
         if snapshot_interval <= 0:
             raise ValueError(f"snapshot_interval must be positive, got {snapshot_interval}")
         if tick <= 0:
             raise ValueError(f"tick must be positive, got {tick}")
+        if initial_seq < 0:
+            raise ValueError(f"initial_seq must be >= 0, got {initial_seq}")
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError(f"watchdog must be positive, got {watchdog}")
         self._session = session
         self._kind = session_kind(session)
         self._host = host
@@ -161,10 +216,18 @@ class DispatchServer:
             self._virtual_time = float(session.served_until)
         else:
             self._virtual_time = 0.0
-        self._seq = 0
+        self._seq = int(initial_seq)
+        self._journal = journal
+        self._idempotency = IdempotencyIndex(idempotency_capacity)
+        self._watchdog = float(watchdog) if watchdog is not None else None
+        self._chaos = chaos
+        self._degraded = False
+        self._flush_index = 0
+        self._writer_busy_since: float | None = None
         self._server: asyncio.base_events.Server | None = None
         self._writer_task: asyncio.Task | None = None
         self._refresh_task: asyncio.Task | None = None
+        self._watchdog_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._inflight = 0
         self._closing = False
@@ -197,6 +260,21 @@ class DispatchServer:
         return self._seq
 
     @property
+    def idempotency(self) -> IdempotencyIndex:
+        """The key → response dedup index (preloadable after recovery)."""
+        return self._idempotency
+
+    @property
+    def journal(self):
+        """The attached write-ahead journal, or ``None``."""
+        return self._journal
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the watchdog put the server in snapshot-only read mode."""
+        return self._degraded
+
+    @property
     def address(self) -> tuple[str, int]:
         """``(host, port)`` actually bound (resolves ``port=0``)."""
         if self._server is None or not self._server.sockets:
@@ -215,6 +293,8 @@ class DispatchServer:
         self._started_at = loop.time()
         self._writer_task = asyncio.create_task(self._writer_loop())
         self._refresh_task = asyncio.create_task(self._refresh_loop())
+        if self._watchdog is not None:
+            self._watchdog_task = asyncio.create_task(self._watchdog_loop())
         return self
 
     async def serve_forever(self) -> None:
@@ -250,12 +330,15 @@ class DispatchServer:
         deadline = loop.time() + 5.0
         while self._inflight > 0 and loop.time() < deadline:
             await asyncio.sleep(0.005)
-        if self._refresh_task is not None:
-            self._refresh_task.cancel()
-            try:
-                await self._refresh_task
-            except asyncio.CancelledError:
-                pass
+        for timer in (self._refresh_task, self._watchdog_task):
+            if timer is not None:
+                timer.cancel()
+                try:
+                    await timer
+                except asyncio.CancelledError:
+                    pass
+        if self._journal is not None:
+            self._journal.close()
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -270,11 +353,39 @@ class DispatchServer:
 
     # ------------------------------------------------------------- writer task
     async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             batch = await self._queue.collect()
             if batch is None:
                 return
-            self._flush(batch)
+            self._writer_busy_since = loop.time()
+            try:
+                if self._chaos is not None:
+                    # The injection point for writer-stall scenarios: the
+                    # real flush below is synchronous, so only an awaited
+                    # hook can make the writer observably wedged.
+                    await self._chaos.before_flush(self._flush_index)
+                self._flush(batch)
+            finally:
+                self._flush_index += 1
+                self._writer_busy_since = None
+            # A completed flush is proof the writer is healthy again.
+            self._degraded = False
+
+    async def _watchdog_loop(self) -> None:
+        assert self._watchdog is not None
+        interval = self._watchdog / 4.0
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            stalled_flush = (
+                self._writer_busy_since is not None
+                and now - self._writer_busy_since > self._watchdog
+            )
+            stalled_queue = self._queue.oldest_pending_age(now) > self._watchdog
+            if stalled_flush or stalled_queue:
+                self._degraded = True
 
     def _flush(self, batch: list[PendingDispatch]) -> None:
         """Commit one coalesced micro-batch and resolve its futures."""
@@ -308,6 +419,26 @@ class DispatchServer:
                 item.future.exception()
             return
         seq_start = self._seq
+        if self._journal is not None:
+            # Journal-before-ack: the batch becomes durable (under the
+            # journal's fsync policy) before any client future resolves, so
+            # a crash can only lose work nobody was told succeeded.
+            self._journal.append_batch(
+                seq_start,
+                origins,
+                files,
+                times,
+                [(len(item), item.key) for item in batch],
+            )
+            self._metrics.record_journal_batch()
+            if self._chaos is not None:
+                self._chaos.after_journal(self._metrics.journal_batches)
+            if self._journal.checkpoint_due:
+                self._journal.append_checkpoint(
+                    seq_start + total,
+                    self._session.state_digest(),
+                    self._virtual_time,
+                )
         self._seq += total
         offset = 0
         now = loop.time()
@@ -376,9 +507,20 @@ class DispatchServer:
         origins: np.ndarray,
         files: np.ndarray,
         times: np.ndarray | None,
+        key: str | None = None,
     ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
         if self._closing or self._queue.closed:
             raise _HttpError(503, "shutting down", "server is draining; retry elsewhere")
+        if self._degraded:
+            self._metrics.record_degraded()
+            retry_after = max(1, math.ceil(self._watchdog or 1.0))
+            raise _HttpError(
+                503,
+                "degraded",
+                "writer stalled past the watchdog deadline; "
+                "serving snapshots only — retry later",
+                headers={"retry-after": str(retry_after)},
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._queue.put(
@@ -388,6 +530,7 @@ class DispatchServer:
                 times=times,
                 future=future,
                 enqueued_at=loop.time(),
+                key=key,
             )
         )
         try:
@@ -399,48 +542,94 @@ class DispatchServer:
         except ReproError as exc:
             raise _HttpError(400, "dispatch rejected", str(exc)) from exc
 
+    async def _dispatch_idempotent(
+        self, key: str, commit: Callable[[], Awaitable[dict[str, Any]]]
+    ) -> dict[str, Any]:
+        """Run ``commit`` exactly once per idempotency key.
+
+        A duplicate of a committed request gets the stored payload; a
+        duplicate racing the original awaits the original's payload future.
+        Either way the duplicate never reaches the queue, so it cannot
+        double-commit or advance the session's RNG streams.  A *failed*
+        commit drops the key, so a retry after an error re-attempts cleanly.
+        """
+        entry = self._idempotency.lookup(key)
+        if entry is not None:
+            state, value = entry
+            self._metrics.record_duplicate()
+            if state == "done":
+                return value
+            return await asyncio.shield(value)
+        self._idempotency.begin(key)
+        try:
+            payload = await commit()
+        except asyncio.CancelledError:
+            self._idempotency.forget(key)
+            raise
+        except BaseException as exc:
+            self._idempotency.fail(key, exc)
+            raise
+        self._idempotency.finish(key, payload)
+        return payload
+
     async def _handle_dispatch(self, body: bytes) -> dict[str, Any]:
         request = DispatchRequest.from_payload(decode(body))
-        self._validate_request(request.origin, request.file)
-        times = None
-        if request.time is not None:
-            times = np.asarray([request.time], dtype=np.float64)
-        seq, servers, distances, fallbacks, committed = await self._enqueue(
-            np.asarray([request.origin], dtype=np.int64),
-            np.asarray([request.file], dtype=np.int64),
-            times,
-        )
-        return DispatchResponse(
-            server=int(servers[0]),
-            distance=int(distances[0]),
-            seq=seq,
-            fallback=bool(fallbacks[0]),
-            time=float(committed[0]) if committed is not None else None,
-        ).to_payload()
+
+        async def commit() -> dict[str, Any]:
+            self._validate_request(request.origin, request.file)
+            times = None
+            if request.time is not None:
+                times = np.asarray([request.time], dtype=np.float64)
+            seq, servers, distances, fallbacks, committed = await self._enqueue(
+                np.asarray([request.origin], dtype=np.int64),
+                np.asarray([request.file], dtype=np.int64),
+                times,
+                key=request.key,
+            )
+            return DispatchResponse(
+                server=int(servers[0]),
+                distance=int(distances[0]),
+                seq=seq,
+                fallback=bool(fallbacks[0]),
+                time=float(committed[0]) if committed is not None else None,
+            ).to_payload()
+
+        if request.key is not None:
+            return await self._dispatch_idempotent(request.key, commit)
+        return await commit()
 
     async def _handle_dispatch_batch(self, body: bytes) -> dict[str, Any]:
         request = BatchDispatchRequest.from_payload(decode(body))
-        for origin, file_id in zip(request.origins, request.files):
-            self._validate_request(origin, file_id)
-        times = None
-        if request.times is not None:
-            times = np.asarray(request.times, dtype=np.float64)
-            if np.any(np.diff(times) < 0):
-                raise _HttpError(
-                    400, "invalid times", "batch times must be non-decreasing"
-                )
-        seq_start, servers, distances, fallbacks, committed = await self._enqueue(
-            np.asarray(request.origins, dtype=np.int64),
-            np.asarray(request.files, dtype=np.int64),
-            times,
-        )
-        return BatchDispatchResponse(
-            servers=tuple(int(s) for s in servers),
-            distances=tuple(int(d) for d in distances),
-            fallbacks=tuple(bool(f) for f in fallbacks),
-            seq_start=seq_start,
-            times=tuple(float(t) for t in committed) if committed is not None else None,
-        ).to_payload()
+
+        async def commit() -> dict[str, Any]:
+            for origin, file_id in zip(request.origins, request.files):
+                self._validate_request(origin, file_id)
+            times = None
+            if request.times is not None:
+                times = np.asarray(request.times, dtype=np.float64)
+                if np.any(np.diff(times) < 0):
+                    raise _HttpError(
+                        400, "invalid times", "batch times must be non-decreasing"
+                    )
+            seq_start, servers, distances, fallbacks, committed = await self._enqueue(
+                np.asarray(request.origins, dtype=np.int64),
+                np.asarray(request.files, dtype=np.int64),
+                times,
+                key=request.key,
+            )
+            return BatchDispatchResponse(
+                servers=tuple(int(s) for s in servers),
+                distances=tuple(int(d) for d in distances),
+                fallbacks=tuple(bool(f) for f in fallbacks),
+                seq_start=seq_start,
+                times=tuple(float(t) for t in committed)
+                if committed is not None
+                else None,
+            ).to_payload()
+
+        if request.key is not None:
+            return await self._dispatch_idempotent(request.key, commit)
+        return await commit()
 
     # ------------------------------------------------------------------- reads
     def _handle_snapshot(self) -> dict[str, Any]:
@@ -449,8 +638,14 @@ class DispatchServer:
     def _handle_healthz(self) -> dict[str, Any]:
         loop = asyncio.get_running_loop()
         uptime = loop.time() - self._started_at if self._started_at is not None else 0.0
+        if self._closing:
+            status = "draining"
+        elif self._degraded:
+            status = "degraded"
+        else:
+            status = "ok"
         payload: dict[str, Any] = {
-            "status": "draining" if self._closing else "ok",
+            "status": status,
             "kind": self._kind,
             "engine": self._publisher.engine,
             "nodes": self._num_nodes,
@@ -462,6 +657,8 @@ class DispatchServer:
         }
         if self._kind == "queueing":
             payload["served_until"] = self._virtual_time
+        if self._journal is not None:
+            payload["journal"] = self._journal.path
         return payload
 
     # -------------------------------------------------------------------- http
@@ -493,10 +690,12 @@ class DispatchServer:
                 method, path, headers, body = parsed
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 self._inflight += 1
+                extra_headers: dict[str, str] = {}
                 try:
                     status, payload = await self._route(method, path, body)
                 except _HttpError as exc:
                     status, payload = exc.status, exc.response.to_payload()
+                    extra_headers = exc.headers
                 except ProtocolError as exc:
                     status = 400
                     payload = ErrorResponse("protocol error", str(exc)).to_payload()
@@ -511,7 +710,13 @@ class DispatchServer:
                 if status >= 400:
                     self._metrics.record_error(status)
                 try:
-                    self._write_response(writer, status, payload, keep_alive=keep_alive)
+                    self._write_response(
+                        writer,
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        extra_headers=extra_headers,
+                    )
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):
                     break
@@ -594,6 +799,7 @@ class DispatchServer:
         payload: dict[str, Any],
         *,
         keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = encode(payload)
         head = (
@@ -601,6 +807,8 @@ class DispatchServer:
             f"content-type: application/json\r\n"
             f"content-length: {len(body)}\r\n"
             f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         writer.write(head.encode("latin-1") + body)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -32,6 +33,7 @@ from repro.session.core import CacheNetworkSession
 from repro.session.queueing import QueueingSession
 
 __all__ = [
+    "IdempotencyIndex",
     "MicroBatchQueue",
     "PendingDispatch",
     "SnapshotPublisher",
@@ -171,16 +173,111 @@ class SnapshotPublisher:
 
 @dataclass
 class PendingDispatch:
-    """One enqueued dispatch unit (a single request or a client batch)."""
+    """One enqueued dispatch unit (a single request or a client batch).
+
+    ``key`` carries the client's idempotency key (if any) so the writer can
+    journal it with the committed batch and recovery can repopulate the
+    dedup index.
+    """
 
     origins: np.ndarray
     files: np.ndarray
     times: np.ndarray | None
     future: asyncio.Future
     enqueued_at: float = field(default=0.0)
+    key: str | None = None
 
     def __len__(self) -> int:
         return int(self.origins.size)
+
+
+class IdempotencyIndex:
+    """Bounded LRU of idempotency keys → committed response payloads.
+
+    The server consults this before enqueueing: a key seen before returns
+    either the committed payload (``done``) or a future the duplicate can
+    await (``pending``, the original is still in flight).  Duplicates are
+    therefore answered without ever reaching the session, so retried
+    deliveries cannot double-commit or advance strategy RNG streams.
+
+    Capacity is enforced by evicting the oldest *resolved* entry; pending
+    entries are never evicted (evicting one would let a concurrent duplicate
+    of an in-flight request re-commit).  The index is asyncio-single-thread
+    safe: all mutation happens on the event loop.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        # key -> ("pending", Future[payload]) | ("done", payload)
+        self._entries: "OrderedDict[str, tuple[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def lookup(self, key: str) -> tuple[str, Any] | None:
+        """The entry for ``key`` (refreshing its recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def begin(self, key: str) -> asyncio.Future:
+        """Register an in-flight request under ``key``.
+
+        Returns the payload future duplicates will await; the caller must
+        eventually :meth:`finish`, :meth:`fail`, or :meth:`forget` the key.
+        """
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._entries[key] = ("pending", future)
+        self._entries.move_to_end(key)
+        self._evict()
+        return future
+
+    def finish(self, key: str, payload: dict[str, Any]) -> None:
+        """Commit ``key``: resolve its pending future and store the payload."""
+        entry = self._entries.get(key)
+        self._entries[key] = ("done", payload)
+        self._entries.move_to_end(key)
+        if entry is not None and entry[0] == "pending" and not entry[1].done():
+            entry[1].set_result(payload)
+        self._evict()
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Drop ``key`` after a failed commit so a retry can re-attempt it."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and entry[0] == "pending" and not entry[1].done():
+            entry[1].set_exception(exc)
+            # Mark retrieved: duplicates may have already given up waiting.
+            entry[1].exception()
+
+    def forget(self, key: str) -> None:
+        """Drop ``key`` without resolving (cancelled before commit)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and entry[0] == "pending" and not entry[1].done():
+            entry[1].cancel()
+
+    def preload(self, entries: "list[tuple[str, dict[str, Any]]]") -> None:
+        """Bulk-insert recovered (key, payload) pairs in journal order."""
+        for key, payload in entries:
+            self._entries[key] = ("done", payload)
+            self._entries.move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self._capacity:
+            victim = next(
+                (k for k, (state, _) in self._entries.items() if state == "done"),
+                None,
+            )
+            if victim is None:
+                break  # everything in flight; allow temporary overshoot
+            del self._entries[victim]
 
 
 class MicroBatchQueue:
@@ -207,6 +304,8 @@ class MicroBatchQueue:
         self._flush_max = int(flush_max)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed = False
+        self._pending = 0
+        self._oldest_pending: float | None = None
 
     @property
     def closed(self) -> bool:
@@ -226,6 +325,19 @@ class MicroBatchQueue:
         if self._closed:
             raise RuntimeError("dispatch queue is closed")
         self._queue.put_nowait(item)
+        self._pending += 1
+        if self._oldest_pending is None:
+            self._oldest_pending = item.enqueued_at
+
+    def oldest_pending_age(self, now: float) -> float:
+        """Seconds the oldest uncollected unit has waited (0 when empty).
+
+        The watchdog uses this to detect a wedged writer: work is queued but
+        nothing is being collected.
+        """
+        if self._oldest_pending is None:
+            return 0.0
+        return max(0.0, now - self._oldest_pending)
 
     def close(self) -> None:
         """Refuse new work; already-queued units will still be collected."""
@@ -267,4 +379,8 @@ class MicroBatchQueue:
                 break
             batch.append(item)
             total += len(item)
+        self._pending -= len(batch)
+        # Anything still queued arrived after the units just collected, so
+        # "now" under-estimates its wait — conservative for the watchdog.
+        self._oldest_pending = None if self._pending <= 0 else loop.time()
         return batch

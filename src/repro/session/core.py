@@ -519,6 +519,36 @@ class CacheNetworkSession:
         for window in windows:
             yield self.serve(window, resolve_uncached=resolve_uncached)
 
+    def state_digest(self) -> str:
+        """Content fingerprint of the session's full mutable state.
+
+        Hashes the load vector, the cumulative counters and the *exact* RNG
+        stream positions (the strategy pair's bit-generator states), so two
+        sessions agree on the digest iff they would serve every future
+        request identically.  This is what journaled crash recovery asserts:
+        a replayed session matching the digest recorded at a checkpoint is
+        bit-identical to the session that wrote it.
+        """
+        import hashlib
+        import json
+
+        digest = hashlib.sha256()
+        digest.update(self._loads.tobytes())
+        meta = {
+            "windows": self._windows,
+            "requests": self._total_requests,
+            "hops": self._total_hops,
+            "fallbacks": self._total_fallbacks,
+            "remapped": self._total_remapped,
+            "streams": (
+                [g.bit_generator.state for g in self._streams]
+                if self._streams is not None
+                else None
+            ),
+        }
+        digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
     # ---------------------------------------------------------------- snapshots
     def snapshot(self) -> SessionSnapshot:
         """The session's cumulative state as an immutable snapshot."""

@@ -450,6 +450,40 @@ class QueueingSession:
             **finalize_result_fields(self._state, self._served_until),
         }
 
+    def state_digest(self) -> str:
+        """Content fingerprint of the session's full mutable state.
+
+        Hashes the queue/busy vectors, the pending departure events, every
+        streaming accumulator and the *exact* RNG stream positions (all
+        three dispatch generators), so two sessions agree on the digest iff
+        they would dispatch every future arrival identically — the equality
+        journaled crash recovery asserts at checkpoints.
+        """
+        import hashlib
+        import json
+
+        state = self._state
+        digest = hashlib.sha256()
+        digest.update(np.asarray(state.queue_lengths, dtype=np.int64).tobytes())
+        digest.update(np.asarray(state.busy_until, dtype=np.float64).tobytes())
+        meta = {
+            "events": sorted(state.events),
+            "next_event_id": state.next_event_id,
+            "clock": state.clock,
+            "in_system": state.in_system,
+            "num_arrivals": state.num_arrivals,
+            "completed": state.completed,
+            "max_queue": state.max_queue,
+            "area_queue": state.area_queue,
+            "sum_wait": state.sum_wait,
+            "sum_sojourn": state.sum_sojourn,
+            "sum_hops": state.sum_hops,
+            "served_until": self._served_until,
+            "streams": [g.bit_generator.state for g in self._streams],
+        }
+        digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
     def __repr__(self) -> str:
         radius = "inf" if np.isinf(self._radius) else f"{self._radius:g}"
         return (

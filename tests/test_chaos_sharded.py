@@ -1,0 +1,152 @@
+"""Chaos against the sharded fleet: SIGKILL a worker, demand bit-identity.
+
+The supervision contract of :mod:`repro.backends.sharded` (PR 8): worker
+death is *detected* (heartbeat, dead pipes), the fleet is rebuilt within a
+bounded respawn budget, and the interrupted window is re-executed in full —
+never half-applied — so ``exact`` mode results remain bit-identical to an
+undisturbed run.  ``stale`` queueing mode cannot offer that (dead workers
+take their local departure heaps with them), so it must fail fast with
+:class:`WorkerFleetError` instead of silently serving wrong dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.sharded import MAX_RESPAWNS, _static_runtime
+from repro.catalog.library import FileLibrary
+from repro.exceptions import WorkerFleetError
+from repro.placement.partition import PartitionPlacement
+from repro.placement.proportional import ProportionalPlacement
+from repro.service.chaos import kill_shard_worker
+from repro.session.queueing import open_queueing_session
+from repro.strategies.proximity_two_choice import ProximityTwoChoiceStrategy
+from repro.topology.torus import Torus2D
+from repro.workload.arrivals import PoissonArrivalProcess
+from repro.workload.generators import UniformOriginWorkload
+
+SEED = 2026
+
+#: Snapshot keys excluded from bit-identity (provenance / window count).
+SNAPSHOT_SKIP = ("engine", "num_windows")
+
+
+def open_sharded_queueing(engine, *, side=8, rate=0.9, radius=2.0):
+    return open_queueing_session(
+        Torus2D(side * side),
+        FileLibrary(20),
+        PartitionPlacement(3),
+        PoissonArrivalProcess(rate_per_node=rate),
+        seed=SEED,
+        service_rate=1.0,
+        radius=radius,
+        engine=engine,
+    )
+
+
+def runtime_of(session):
+    """The fleet attached to a queueing session's state (post first serve)."""
+    runtime = getattr(session._state, "_sharded_runtime", None)
+    assert runtime is not None, "serve a window first to spin the fleet up"
+    return runtime
+
+
+def assert_snapshots_identical(got, expected):
+    for key, value in expected.items():
+        if key in SNAPSHOT_SKIP:
+            continue
+        assert got[key] == value, f"{key}: {got[key]!r} != {value!r}"
+
+
+class TestExactQueueingSupervision:
+    def test_killed_worker_window_is_bit_identical_after_respawn(self):
+        """The shard-death gate: kill → respawn → identical final state."""
+        reference = open_sharded_queueing("reference")
+        for until in (2.0, 4.0, 6.0):
+            reference.serve(until)
+
+        session = open_sharded_queueing("sharded:2")
+        session.serve(2.0)
+        runtime = runtime_of(session)
+        kill_shard_worker(runtime, 0)
+        assert 0 in runtime.dead_workers()
+        session.serve(4.0)  # supervision detects, rebuilds, re-runs
+        assert runtime.respawns_used == 1
+        assert runtime.dead_workers() == []
+        session.serve(6.0)  # the respawned fleet keeps serving correctly
+        assert_snapshots_identical(session.snapshot(), reference.snapshot())
+
+    def test_killing_both_workers_still_recovers(self):
+        reference = open_sharded_queueing("reference")
+        for until in (2.0, 4.0):
+            reference.serve(until)
+
+        session = open_sharded_queueing("sharded:2")
+        session.serve(2.0)
+        runtime = runtime_of(session)
+        kill_shard_worker(runtime, 0)
+        kill_shard_worker(runtime, 1)
+        session.serve(4.0)
+        assert_snapshots_identical(session.snapshot(), reference.snapshot())
+
+    def test_heartbeat_detects_dead_worker(self):
+        session = open_sharded_queueing("sharded:2")
+        session.serve(1.0)
+        runtime = runtime_of(session)
+        assert runtime.heartbeat() == [True, True]
+        kill_shard_worker(runtime, 1)
+        beat = runtime.heartbeat(timeout=0.5)
+        assert beat[1] is False
+        assert runtime.dead_workers() == [1]
+
+    def test_respawn_budget_exhaustion_raises(self):
+        session = open_sharded_queueing("sharded:2")
+        session.serve(1.0)
+        runtime = runtime_of(session)
+        assert runtime.respawns_remaining == MAX_RESPAWNS
+        runtime.respawns_remaining = 0
+        kill_shard_worker(runtime, 0)
+        with pytest.raises(WorkerFleetError, match="respawn budget"):
+            session.serve(2.0)
+        assert runtime.closed
+
+
+class TestStaleQueueingFailsFast:
+    def test_worker_death_raises_worker_fleet_error(self):
+        """Stale mode loses worker-local departure heaps — no silent recovery."""
+        session = open_sharded_queueing("sharded:2:stale")
+        session.serve(2.0)
+        runtime = runtime_of(session)
+        kill_shard_worker(runtime, 0)
+        with pytest.raises(WorkerFleetError):
+            session.serve(4.0)
+        assert runtime.closed
+
+
+class TestExactAssignmentSupervision:
+    def _system(self, n=64):
+        topology = Torus2D(n)
+        library = FileLibrary(20)
+        cache = ProportionalPlacement(3).place(topology, library, seed=0)
+        requests = UniformOriginWorkload(400).generate(topology, library, seed=1)
+        return topology, cache, requests
+
+    def test_killed_worker_assignment_is_bit_identical(self):
+        topology, cache, requests = self._system()
+        reference = ProximityTwoChoiceStrategy(radius=2, engine="reference").assign(
+            topology, cache, requests, seed=SEED
+        )
+        # Prime (or reuse) the pooled fleet, then kill a worker under it:
+        # the next window must detect the death, rebuild, and re-run the
+        # whole window over the same pre-drawn randomness.
+        runtime = _static_runtime(topology.n, 2)
+        respawns_before = runtime.respawns_used
+        kill_shard_worker(runtime, 0)
+        got = ProximityTwoChoiceStrategy(radius=2, engine="sharded:2").assign(
+            topology, cache, requests, seed=SEED
+        )
+        assert runtime.respawns_used == respawns_before + 1
+        np.testing.assert_array_equal(got.servers, reference.servers)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+        np.testing.assert_array_equal(got.fallback_mask, reference.fallback_mask)

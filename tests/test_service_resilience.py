@@ -1,0 +1,254 @@
+"""Client-side resilience: timeouts, retries with backoff, idempotency keys.
+
+Driven against stub asyncio servers (a socket that never answers, a script
+of canned HTTP responses) so each behaviour is isolated from the real
+dispatch pipeline: the typed :class:`DispatchTimeout`, the retry loop's
+policy (transport errors and 503 only, same idempotency key on every
+attempt, ``Retry-After`` floors), and the deterministic jittered backoff
+schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import DispatchClient, DispatchServiceError, DispatchTimeout
+from repro.service.protocol import (
+    MAX_KEY_LENGTH,
+    BatchDispatchRequest,
+    DispatchRequest,
+    ProtocolError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class ScriptedServer:
+    """Answers each HTTP request with the next canned (status, payload).
+
+    Records every parsed request body so tests can assert what the client
+    actually sent (e.g. the same idempotency key across retries).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.bodies: list[dict] = []
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def address(self):
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value.strip())
+                body = await reader.readexactly(length) if length else b"{}"
+                self.bodies.append(json.loads(body))
+                if not self.script:
+                    status, payload, headers = 200, {}, {}
+                else:
+                    entry = self.script.pop(0)
+                    status, payload = entry[0], entry[1]
+                    headers = entry[2] if len(entry) > 2 else {}
+                if status is None:  # scripted transport failure
+                    writer.close()
+                    return
+                encoded = json.dumps(payload).encode()
+                head = (
+                    f"HTTP/1.1 {status} X\r\n"
+                    f"content-length: {len(encoded)}\r\n"
+                    "content-type: application/json\r\n"
+                )
+                for name, value in headers.items():
+                    head += f"{name}: {value}\r\n"
+                head += "\r\n"
+                writer.write(head.encode() + encoded)
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+
+
+OK_DISPATCH = {"server": 3, "distance": 1, "seq": 0, "fallback": False}
+
+
+class TestTimeout:
+    def test_wedged_server_raises_dispatch_timeout(self):
+        async def scenario():
+            async def never_answer(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(never_answer, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                async with DispatchClient(host, port, timeout=0.05) as client:
+                    with pytest.raises(DispatchTimeout) as info:
+                        await client.dispatch(0, 0)
+                    assert info.value.timeout == 0.05
+                    assert "/dispatch" in info.value.path
+                    assert isinstance(info.value, OSError)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            DispatchClient("h", 1, timeout=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            DispatchClient("h", 1, retries=-1)
+
+
+class TestRetries:
+    def test_retries_transport_failure_then_succeeds(self):
+        async def scenario():
+            async with ScriptedServer([(None, None), (200, OK_DISPATCH)]) as stub:
+                host, port = stub.address
+                async with DispatchClient(
+                    host, port, retries=2, backoff=0.001
+                ) as client:
+                    response = await client.dispatch(0, 0)
+                    assert response.server == 3
+
+        run(scenario())
+
+    def test_retries_503_honouring_retry_after(self):
+        async def scenario():
+            async with ScriptedServer(
+                [
+                    (503, {"error": "degraded"}, {"retry-after": "0.01"}),
+                    (200, OK_DISPATCH),
+                ]
+            ) as stub:
+                host, port = stub.address
+                async with DispatchClient(
+                    host, port, retries=1, backoff=0.001
+                ) as client:
+                    response = await client.dispatch(0, 0)
+                    assert response.server == 3
+                assert len(stub.bodies) == 2
+
+        run(scenario())
+
+    def test_4xx_is_never_retried(self):
+        async def scenario():
+            async with ScriptedServer([(400, {"error": "invalid origin"})] * 4) as stub:
+                host, port = stub.address
+                async with DispatchClient(
+                    host, port, retries=3, backoff=0.001
+                ) as client:
+                    with pytest.raises(DispatchServiceError) as info:
+                        await client.dispatch(0, 0)
+                    assert info.value.status == 400
+                assert len(stub.bodies) == 1  # one attempt, no retries
+
+        run(scenario())
+
+    def test_retries_exhausted_surfaces_503(self):
+        async def scenario():
+            script = [(503, {"error": "degraded"}, {"retry-after": "0.001"})] * 3
+            async with ScriptedServer(script) as stub:
+                host, port = stub.address
+                async with DispatchClient(
+                    host, port, retries=2, backoff=0.001
+                ) as client:
+                    with pytest.raises(DispatchServiceError) as info:
+                        await client.dispatch(0, 0)
+                    assert info.value.status == 503
+                    assert info.value.retry_after == pytest.approx(0.001)
+                assert len(stub.bodies) == 3  # initial + 2 retries
+
+        run(scenario())
+
+    def test_retries_reuse_the_same_idempotency_key(self):
+        """The key is drawn before the retry loop — every redelivery carries it."""
+
+        async def scenario():
+            async with ScriptedServer(
+                [(None, None), (None, None), (200, OK_DISPATCH), (200, OK_DISPATCH)]
+            ) as stub:
+                host, port = stub.address
+                async with DispatchClient(
+                    host, port, retries=3, backoff=0.001, key_prefix="cli"
+                ) as client:
+                    await client.dispatch(0, 0)
+                    await client.dispatch(1, 1)
+                keys = [body["key"] for body in stub.bodies]
+                # 3 deliveries of the first request, 1 of the second —
+                # same key within a logical request, fresh across requests.
+                assert keys == ["cli-0", "cli-0", "cli-0", "cli-1"]
+
+        run(scenario())
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_and_capped(self):
+        a = DispatchClient("h", 1, backoff=0.1, backoff_cap=0.4, jitter_seed=42)
+        b = DispatchClient("h", 1, backoff=0.1, backoff_cap=0.4, jitter_seed=42)
+        schedule_a = [a._backoff_delay(k, None) for k in range(6)]
+        schedule_b = [b._backoff_delay(k, None) for k in range(6)]
+        assert schedule_a == schedule_b
+        assert all(delay <= 0.4 for delay in schedule_a)
+        assert all(delay > 0 for delay in schedule_a)
+
+    def test_jitter_seed_changes_schedule(self):
+        a = DispatchClient("h", 1, backoff=0.1, jitter_seed=1)
+        b = DispatchClient("h", 1, backoff=0.1, jitter_seed=2)
+        assert [a._backoff_delay(k, None) for k in range(4)] != [
+            b._backoff_delay(k, None) for k in range(4)
+        ]
+
+    def test_retry_after_floors_the_delay(self):
+        client = DispatchClient("h", 1, backoff=0.001, backoff_cap=5.0, jitter_seed=0)
+        assert client._backoff_delay(0, 2.0) == 2.0
+        # ... but never past the cap.
+        capped = DispatchClient("h", 1, backoff=0.001, backoff_cap=0.5, jitter_seed=0)
+        assert capped._backoff_delay(0, 2.0) == 0.5
+
+
+class TestKeyProtocol:
+    def test_keys_roundtrip_on_the_wire(self):
+        request = DispatchRequest(origin=1, file=2, key="abc")
+        assert DispatchRequest.from_payload(request.to_payload()).key == "abc"
+        batch = BatchDispatchRequest(origins=(1,), files=(2,), key="xyz")
+        assert BatchDispatchRequest.from_payload(batch.to_payload()).key == "xyz"
+
+    def test_key_omitted_when_unset(self):
+        assert "key" not in DispatchRequest(origin=1, file=2).to_payload()
+
+    def test_invalid_keys_rejected(self):
+        with pytest.raises(ProtocolError):
+            DispatchRequest(origin=1, file=2, key="")
+        with pytest.raises(ProtocolError):
+            DispatchRequest(origin=1, file=2, key="x" * (MAX_KEY_LENGTH + 1))
+        with pytest.raises(ProtocolError):
+            DispatchRequest.from_payload({"origin": 1, "file": 2, "key": 7})
+
+    def test_client_generates_sequential_keys(self):
+        client = DispatchClient("h", 1, key_prefix="p")
+        assert [client._next_key() for _ in range(3)] == ["p-0", "p-1", "p-2"]
+        assert DispatchClient("h", 1)._next_key() is None

@@ -20,6 +20,7 @@ from repro.catalog.library import FileLibrary
 from repro.placement.partition import PartitionPlacement
 from repro.placement.proportional import ProportionalPlacement
 from repro.service.state import (
+    IdempotencyIndex,
     MicroBatchQueue,
     PendingDispatch,
     SnapshotPublisher,
@@ -248,3 +249,156 @@ class TestMicroBatchQueue:
             MicroBatchQueue(flush_interval=-0.1)
         with pytest.raises(ValueError):
             MicroBatchQueue(flush_max=0)
+
+
+class TestMicroBatchQueueShutdownEdges:
+    """Graceful-shutdown races: every accepted unit is answered exactly once."""
+
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_shutdown_mid_commit_drains_every_accepted_unit(self):
+        """Close lands while the writer is mid-flush; nothing is stranded."""
+
+        async def scenario():
+            queue = MicroBatchQueue(flush_interval=0.0, flush_max=2)
+            accepted = [unit([i], [i]) for i in range(5)]
+            for item in accepted:
+                queue.put(item)
+            answered = 0
+            # Writer loop: the close() arrives between two collect() calls,
+            # exactly as DispatchServer.shutdown interleaves with _writer_loop.
+            while True:
+                batch = await queue.collect()
+                if batch is None:
+                    break
+                for item in batch:
+                    item.future.set_result(answered)
+                    answered += 1
+                if not queue.closed:
+                    queue.close()
+            assert answered == 5
+            assert all(item.future.done() for item in accepted)
+            # Each future resolved exactly once, in arrival order.
+            assert [item.future.result() for item in accepted] == list(range(5))
+
+        self.run(scenario())
+
+    def test_enqueue_racing_drain(self):
+        """Puts racing the writer's collect loop are either answered or rejected."""
+
+        async def scenario():
+            queue = MicroBatchQueue(flush_interval=0.001, flush_max=4)
+            answered: list[int] = []
+            rejected: list[int] = []
+
+            async def writer():
+                while True:
+                    batch = await queue.collect()
+                    if batch is None:
+                        return
+                    for item in batch:
+                        item.future.set_result(None)
+
+            async def producer(index):
+                await asyncio.sleep(0.0005 * index)
+                try:
+                    queue.put(unit([index], [index]))
+                except RuntimeError:
+                    rejected.append(index)
+                    return
+                answered.append(index)
+
+            writer_task = asyncio.create_task(writer())
+            producers = [asyncio.create_task(producer(i)) for i in range(20)]
+            await asyncio.sleep(0.004)
+            queue.close()
+            await asyncio.gather(*producers)
+            await writer_task
+            # The accounting is total: every producer either got in (and its
+            # unit was collected) or was crisply refused — no silent drops.
+            assert sorted(answered + rejected) == list(range(20))
+            assert len(answered) >= 1
+
+        self.run(scenario())
+
+    def test_oldest_pending_age_tracks_queue_head(self):
+        async def scenario():
+            queue = MicroBatchQueue(flush_interval=0.0)
+            loop = asyncio.get_running_loop()
+            assert queue.oldest_pending_age(loop.time()) == 0.0
+            item = unit([0], [0])
+            item.enqueued_at = loop.time() - 1.5
+            queue.put(item)
+            assert queue.oldest_pending_age(loop.time()) >= 1.5
+            await queue.collect()
+            assert queue.oldest_pending_age(loop.time()) == 0.0
+
+        self.run(scenario())
+
+
+class TestIdempotencyIndex:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_begin_finish_lookup(self):
+        async def scenario():
+            index = IdempotencyIndex()
+            assert index.lookup("k") is None
+            future = index.begin("k")
+            state, pending = index.lookup("k")
+            assert state == "pending" and pending is future
+            index.finish("k", {"seq": 7})
+            assert index.lookup("k") == ("done", {"seq": 7})
+            assert future.result() == {"seq": 7}
+
+        self.run(scenario())
+
+    def test_fail_drops_key_for_clean_retry(self):
+        async def scenario():
+            index = IdempotencyIndex()
+            index.begin("k")
+            index.fail("k", RuntimeError("boom"))
+            assert index.lookup("k") is None  # a retry re-attempts cleanly
+
+        self.run(scenario())
+
+    def test_forget_cancels_waiters(self):
+        async def scenario():
+            index = IdempotencyIndex()
+            future = index.begin("k")
+            index.forget("k")
+            assert future.cancelled()
+            assert index.lookup("k") is None
+
+        self.run(scenario())
+
+    def test_capacity_evicts_oldest_done_only(self):
+        async def scenario():
+            index = IdempotencyIndex(capacity=2)
+            index.begin("inflight")
+            index.begin("a")
+            index.finish("a", {"seq": 0})
+            index.begin("b")
+            index.finish("b", {"seq": 1})
+            # "a" (oldest done) was evicted; the pending entry survived even
+            # though it is older — evicting it would allow a re-commit.
+            assert index.lookup("a") is None
+            assert index.lookup("inflight") is not None
+            assert index.lookup("b") == ("done", {"seq": 1})
+
+        self.run(scenario())
+
+    def test_preload_restores_recovered_entries(self):
+        async def scenario():
+            index = IdempotencyIndex()
+            index.preload([("x", {"seq": 0}), ("y", {"seq": 1})])
+            assert index.lookup("x") == ("done", {"seq": 0})
+            assert index.lookup("y") == ("done", {"seq": 1})
+            assert len(index) == 2
+
+        self.run(scenario())
+
+    def test_rejects_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IdempotencyIndex(capacity=0)
