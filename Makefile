@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-differential test-service test-chaos bench bench-smoke bench-queueing bench-engines bench-sharded bench-service bench-recovery profile-precompute ci
+.PHONY: test test-differential test-service test-chaos bench bench-smoke bench-queueing bench-engines bench-sharded bench-service bench-recovery bench-precompute profile-precompute ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -33,7 +33,7 @@ bench-queueing:
 # the numba-transcription fallback suite and the registry unit tests.  The
 # CI numba and sharded jobs run exactly this plus their bench gates.
 test-differential:
-	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_backends_sharded_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
+	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_kernels_precompute_differential.py tests/test_backends_sharded_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
 
 # Cross-engine comparison (reference/kernel/numba where available) on both
 # stacks at n = 4096; writes benchmarks/results/engine_speedup.txt and gates
@@ -78,7 +78,17 @@ test-chaos:
 bench-recovery:
 	$(PYTHON) -m pytest benchmarks/test_bench_recovery.py -q -s --benchmark-disable
 
+# Precompute speedup gate: warm (store-backed) group-index build at n = 4096
+# must beat the pre-PR per-key loop build by >= 3x
+# (REPRO_BENCH_PRECOMPUTE_FLOOR overrides the floor); writes
+# benchmarks/results/precompute_speedup.txt.
+bench-precompute:
+	$(PYTHON) -m pytest benchmarks/test_bench_precompute.py -m bench_smoke -q -s --benchmark-disable
+
 # cProfile over the Strategy II precompute (group-index build + batched
-# distance matrices) at n = 4096; prints the top-10 by cumulative time.
+# distance matrices) at n = 4096; prints the top-10 by cumulative time and
+# writes benchmarks/results/precompute_profile.txt.  Pass --warm (via
+# `python benchmarks/profile_precompute.py --warm`) to profile the
+# store-backed second window instead of the cold build.
 profile-precompute:
 	$(PYTHON) benchmarks/profile_precompute.py

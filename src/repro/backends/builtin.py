@@ -63,19 +63,29 @@ def _assignment_numba_fns():
     from repro.backends import numba_backend as nb
     from repro.kernels import engine as kernel
 
-    # The load-independent strategies have no commit loop to compile; they
-    # run the kernel engine's single vectorised pass unchanged.
+    # Every store-building strategy gets the compiled precompute row (a no-op
+    # off the torus); the commit loops compile where they exist.
+    # ``nearest_replica`` never materialises candidate sets, so it runs the
+    # kernel engine's single vectorised pass unchanged.
     return {
         "two_choice": partial(
-            kernel.two_choice_kernel, commit=nb.commit_least_loaded_of_sample
+            kernel.two_choice_kernel,
+            commit=nb.commit_least_loaded_of_sample,
+            row_kernel=nb.torus_row_kernel,
         ),
         "least_loaded": partial(
-            kernel.least_loaded_kernel, commit=nb.commit_least_loaded_scan
+            kernel.least_loaded_kernel,
+            commit=nb.commit_least_loaded_scan,
+            row_kernel=nb.torus_row_kernel,
         ),
         "threshold_hybrid": partial(
-            kernel.threshold_hybrid_kernel, commit=nb.commit_threshold_hybrid
+            kernel.threshold_hybrid_kernel,
+            commit=nb.commit_threshold_hybrid,
+            row_kernel=nb.torus_row_kernel,
         ),
-        "random_replica": kernel.random_replica_kernel,
+        "random_replica": partial(
+            kernel.random_replica_kernel, row_kernel=nb.torus_row_kernel
+        ),
         "nearest_replica": kernel.nearest_replica_kernel,
     }
 
@@ -96,7 +106,13 @@ def _queueing_numba_fns():
     from repro.backends import numba_backend as nb
     from repro.kernels.queueing import queueing_kernel_window
 
-    return {"window": partial(queueing_kernel_window, commit=nb.commit_window)}
+    return {
+        "window": partial(
+            queueing_kernel_window,
+            commit=nb.commit_window,
+            row_kernel=nb.torus_row_kernel,
+        )
+    }
 
 
 def _assignment_sharded_fns(num_workers=None, mode=None):
@@ -170,7 +186,7 @@ register_engine(
     requires=("numba",),
     priority=20,
     supports_streaming=True,
-    description="batched precompute + @njit-compiled commit loop",
+    description="@njit-compiled precompute row + commit loop",
 )
 
 register_engine(
@@ -208,7 +224,7 @@ register_engine(
     requires=("numba",),
     priority=20,
     supports_streaming=True,
-    description="event-batched precompute + @njit-compiled event loop",
+    description="@njit-compiled precompute row + event loop",
 )
 register_engine(
     "sharded",

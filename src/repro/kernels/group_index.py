@@ -23,7 +23,6 @@ alias the cache's own arrays via per-group ``starts``/``counts``.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -145,8 +144,17 @@ class GroupIndex:
         return self.starts[self.request_group]
 
 
+#: Generation stamp of a dead (evicted / never-allocated) slot.  The LRU
+#: eviction argmin runs over the whole slot arena, so dead slots carry the
+#: maximum stamp and can never be picked while a live slot exists.
+_DEAD = np.iinfo(np.int64).max
+
+#: Pool bytes below which compaction is never worth the copy.
+_MIN_COMPACT = 1024
+
+
 class GroupStore:
-    """Memo of materialised candidate rows, one ``(origin, file)`` group each.
+    """Batch-first memo of materialised candidate rows, one group per key.
 
     A store is only valid for one combination of cache state, topology,
     ``radius``, ``fallback`` and ``need_dists`` — callers (the session layer's
@@ -156,49 +164,308 @@ class GroupStore:
     (or the trials of a multi-run) recurring ``(origin, file)`` pairs skip
     their distance computation entirely.
 
+    Storage is array-native: all retained rows live in one flat CSR pool
+    (``nodes`` / ``dists`` int64 slabs) addressed by per-slot
+    ``starts`` / ``counts`` arrays, so the batch interface —
+    :meth:`get_many` / :meth:`put_many` — moves whole windows with a handful
+    of vectorised gathers instead of one Python call per group.  The scalar
+    ``get`` / ``put`` protocol is preserved on top of the same pool and is
+    the semantic reference for the batch calls.
+
     Entries are capped at ``max_groups`` with least-recently-used eviction:
-    at capacity, inserting a new row evicts the row whose last ``get`` hit
-    (or insertion) is oldest, so a working set that fits keeps its hot
-    groups even when the full key population does not.
+    every hit or insertion stamps the slot with a monotone generation
+    counter, and at capacity the minimum-generation (least recently touched)
+    row is evicted — exactly the order the previous ``OrderedDict`` protocol
+    produced under any interleaving of gets and puts.  Replaced and evicted
+    rows leave garbage in the pool, which is compacted away once it exceeds
+    half the live payload.
     """
 
-    __slots__ = ("_rows", "_max_groups", "hits", "misses")
+    __slots__ = (
+        "_slots",
+        "_keys",
+        "_starts",
+        "_counts",
+        "_fallback",
+        "_has_dists",
+        "_gen",
+        "_free",
+        "_n_alloc",
+        "_pool_nodes",
+        "_pool_dists",
+        "_pool_used",
+        "_garbage",
+        "_clock",
+        "_max_groups",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, max_groups: int = 1 << 20) -> None:
         if max_groups <= 0:
             raise ValueError(f"max_groups must be positive, got {max_groups}")
-        self._rows: OrderedDict[int, tuple[IntArray, IntArray | None, bool]] = (
-            OrderedDict()
-        )
         self._max_groups = int(max_groups)
+        self._slots: dict[int, int] = {}
+        cap = 16
+        self._keys = np.empty(cap, dtype=np.int64)
+        self._starts = np.zeros(cap, dtype=np.int64)
+        self._counts = np.zeros(cap, dtype=np.int64)
+        self._fallback = np.zeros(cap, dtype=bool)
+        self._has_dists = np.zeros(cap, dtype=bool)
+        self._gen = np.full(cap, _DEAD, dtype=np.int64)
+        self._free: list[int] = []
+        self._n_alloc = 0
+        self._pool_nodes = np.empty(64, dtype=np.int64)
+        self._pool_dists = np.empty(64, dtype=np.int64)
+        self._pool_used = 0
+        self._garbage = 0
+        self._clock = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._slots)
 
     @property
     def max_groups(self) -> int:
         """Maximum number of retained group rows."""
         return self._max_groups
 
-    def get(self, key: int) -> tuple[IntArray, IntArray | None, bool] | None:
-        """The ``(nodes, dists, fallback)`` row of packed group ``key``, if seen."""
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-            self._rows.move_to_end(key)
-        return row
+    def keys(self) -> list[int]:
+        """The retained packed group keys (unordered; for tests/diagnostics)."""
+        return list(self._slots)
 
-    def put(self, key: int, nodes: IntArray, dists: IntArray | None, fallback: bool) -> None:
+    # ------------------------------------------------------------- internals
+    def _tick(self) -> int:
+        tick = self._clock
+        self._clock = tick + 1
+        return tick
+
+    def _ensure_slots(self, extra: int) -> None:
+        need = self._n_alloc + extra
+        cap = self._keys.size
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        for name in ("_keys", "_starts", "_counts", "_gen"):
+            old = getattr(self, name)
+            if name == "_gen":
+                fresh = np.full(new_cap, _DEAD, dtype=np.int64)
+            elif name == "_counts":
+                fresh = np.zeros(new_cap, dtype=np.int64)
+            else:
+                fresh = np.empty(new_cap, dtype=np.int64)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+        for name in ("_fallback", "_has_dists"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap, dtype=bool)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+
+    def _alloc_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        self._ensure_slots(1)
+        slot = self._n_alloc
+        self._n_alloc = slot + 1
+        return slot
+
+    def _ensure_pool(self, extra: int) -> None:
+        need = self._pool_used + extra
+        cap = self._pool_nodes.size
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        for name in ("_pool_nodes", "_pool_dists"):
+            old = getattr(self, name)
+            fresh = np.empty(new_cap, dtype=np.int64)
+            fresh[: self._pool_used] = old[: self._pool_used]
+            setattr(self, name, fresh)
+
+    def _evict_lru(self) -> None:
+        """Drop the least recently touched row (dead slots stamp ``_DEAD``)."""
+        slot = int(np.argmin(self._gen[: self._n_alloc]))
+        del self._slots[int(self._keys[slot])]
+        self._garbage += int(self._counts[slot])
+        self._gen[slot] = _DEAD
+        self._free.append(slot)
+
+    def _maybe_compact(self) -> None:
+        if self._garbage <= _MIN_COMPACT or 2 * self._garbage <= self._pool_used:
+            return
+        live = np.fromiter(
+            self._slots.values(), dtype=np.int64, count=len(self._slots)
+        )
+        counts = self._counts[live]
+        flat = np.repeat(self._starts[live], counts) + segmented_arange(counts)
+        self._pool_nodes = self._pool_nodes[flat]
+        self._pool_dists = self._pool_dists[flat]
+        total = int(counts.sum())
+        ends = np.cumsum(counts)
+        self._starts[live] = ends - counts
+        self._pool_used = total
+        self._garbage = 0
+
+    def _append_rows(
+        self, counts: IntArray, nodes: IntArray, dists: IntArray | None
+    ) -> IntArray:
+        """Copy a contiguous CSR slab into the pool; per-row pool starts."""
+        self._maybe_compact()
+        total = int(counts.sum())
+        self._ensure_pool(total)
+        base = self._pool_used
+        self._pool_nodes[base : base + total] = nodes
+        if dists is None:
+            self._pool_dists[base : base + total] = 0
+        else:
+            self._pool_dists[base : base + total] = dists
+        self._pool_used = base + total
+        return base + np.cumsum(counts) - counts
+
+    # --------------------------------------------------------- scalar protocol
+    def get(self, key: int) -> tuple[IntArray, IntArray | None, bool] | None:
+        """The ``(nodes, dists, fallback)`` row of packed group ``key``, if seen.
+
+        Returned arrays are views into the shared pool; callers must treat
+        them as read-only.
+        """
+        slot = self._slots.get(int(key))
+        if slot is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._gen[slot] = self._tick()
+        start = int(self._starts[slot])
+        stop = start + int(self._counts[slot])
+        nodes = self._pool_nodes[start:stop]
+        dists = self._pool_dists[start:stop] if self._has_dists[slot] else None
+        return nodes, dists, bool(self._fallback[slot])
+
+    def put(
+        self, key: int, nodes: IntArray, dists: IntArray | None, fallback: bool
+    ) -> None:
         """Retain a materialised group row, evicting the LRU row at capacity."""
-        if key in self._rows:
-            self._rows.move_to_end(key)
-        elif len(self._rows) >= self._max_groups:
-            self._rows.popitem(last=False)
-        self._rows[key] = (nodes, dists, fallback)
+        key = int(key)
+        slot = self._slots.get(key)
+        if slot is None:
+            if len(self._slots) >= self._max_groups:
+                self._evict_lru()
+            slot = self._alloc_slot()
+            self._slots[key] = slot
+            self._keys[slot] = key
+        else:
+            self._garbage += int(self._counts[slot])
+        nodes = np.asarray(nodes, dtype=np.int64)
+        row_count = np.asarray([nodes.size], dtype=np.int64)
+        start = self._append_rows(row_count, nodes, dists)
+        self._starts[slot] = start[0]
+        self._counts[slot] = nodes.size
+        self._fallback[slot] = bool(fallback)
+        self._has_dists[slot] = dists is not None
+        self._gen[slot] = self._tick()
+
+    # ---------------------------------------------------------- batch protocol
+    def get_many(
+        self, keys: IntArray
+    ) -> tuple[np.ndarray, IntArray, IntArray, IntArray, np.ndarray]:
+        """Vectorised lookup of a whole window of packed group keys.
+
+        Returns ``(hit_mask, counts, nodes, dists, fallback)`` where
+        ``hit_mask`` is boolean of ``keys.shape`` and the remaining arrays
+        describe the hit rows *in key order* as one contiguous CSR: group
+        ``i``'s candidates occupy the next ``counts[j]`` slots of ``nodes`` /
+        ``dists`` for its hit position ``j``.  Hits refresh LRU recency in
+        key order (identical to sequential :meth:`get` calls) and update the
+        ``hits`` / ``misses`` counters; rows stored without distances
+        contribute zeros to ``dists``.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        num_keys = int(keys.size)
+        if num_keys == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.zeros(0, dtype=bool), empty, empty, empty, np.zeros(0, dtype=bool)
+        lookup = self._slots.get
+        slots = np.fromiter(
+            (lookup(key, -1) for key in keys.tolist()), dtype=np.int64, count=num_keys
+        )
+        hit_mask = slots >= 0
+        hit_slots = slots[hit_mask]
+        num_hits = int(hit_slots.size)
+        self.hits += num_hits
+        self.misses += num_keys - num_hits
+        if num_hits:
+            self._gen[hit_slots] = np.arange(
+                self._clock, self._clock + num_hits, dtype=np.int64
+            )
+            self._clock += num_hits
+        counts = self._counts[hit_slots]
+        flat = np.repeat(self._starts[hit_slots], counts) + segmented_arange(counts)
+        return (
+            hit_mask,
+            counts,
+            self._pool_nodes[flat],
+            self._pool_dists[flat],
+            self._fallback[hit_slots],
+        )
+
+    def put_many(
+        self,
+        keys: IntArray,
+        counts: IntArray,
+        nodes: IntArray,
+        dists: IntArray | None,
+        fallback: np.ndarray,
+    ) -> None:
+        """Retain a batch of rows given as one contiguous CSR slab.
+
+        ``keys[i]``'s row is the next ``counts[i]`` slots of ``nodes`` /
+        ``dists``.  Keys must be distinct within one batch (the builder's
+        ``np.unique`` grouping guarantees this).  Semantically identical to
+        sequential :meth:`put` calls in array order (the batch degrades to
+        exactly that whenever eviction could occur); on the common
+        no-eviction path the whole slab is pooled with one copy and recency
+        is stamped vectorised.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        num_keys = int(keys.size)
+        if num_keys == 0:
+            return
+        if len(self._slots) + num_keys > self._max_groups:
+            # Eviction may interleave with the inserts; replay the scalar
+            # protocol row by row to keep LRU order exactly sequential.
+            ends = np.cumsum(counts)
+            for i, key in enumerate(keys.tolist()):
+                start, stop = int(ends[i] - counts[i]), int(ends[i])
+                self.put(
+                    key,
+                    nodes[start:stop],
+                    None if dists is None else dists[start:stop],
+                    bool(fallback[i]),
+                )
+            return
+        starts = self._append_rows(counts, nodes, dists)
+        slot_ids = np.empty(num_keys, dtype=np.int64)
+        self._ensure_slots(num_keys)
+        slots = self._slots
+        for i, key in enumerate(keys.tolist()):
+            slot = slots.get(key)
+            if slot is None:
+                slot = self._alloc_slot()
+                slots[key] = slot
+                self._keys[slot] = key
+            else:
+                self._garbage += int(self._counts[slot])
+            slot_ids[i] = slot
+        self._starts[slot_ids] = starts
+        self._counts[slot_ids] = counts
+        self._fallback[slot_ids] = np.asarray(fallback, dtype=bool)
+        self._has_dists[slot_ids] = dists is not None
+        self._gen[slot_ids] = np.arange(
+            self._clock, self._clock + num_keys, dtype=np.int64
+        )
+        self._clock += num_keys
 
 
 def _resolve_fallback_row(
@@ -226,7 +493,7 @@ def _resolve_fallback_row(
             return replicas[in_ball], dist_row[in_ball]
 
 
-def _materialise_group_rows(
+def _build_rows_csr(
     topology: Topology,
     cache: CacheState,
     g_origins: IntArray,
@@ -237,48 +504,91 @@ def _materialise_group_rows(
     fallback: FallbackPolicy,
     unconstrained: bool,
     chunk_size: int,
-) -> dict[int, tuple[IntArray, IntArray, bool]]:
-    """Per-group ``(nodes, dists, fallback)`` rows for the groups in ``gids``.
+    rows_fn=None,
+) -> tuple[IntArray, IntArray, IntArray, np.ndarray]:
+    """Fused count-then-scatter build of candidate rows for the groups ``gids``.
 
-    Used by the store-backed build to fill in groups the store has not seen.
-    Per chunk, one vectorised ``np.nonzero`` pass splits into per-group views
-    (each chunk's flat arrays back exactly the rows cut from them, so the
-    views waste no memory); only fallback rows (rare) take a scalar path.
+    Returns ``(counts, nodes, dists, fallback_flags)`` in ``gids`` order as one
+    contiguous CSR slab: group ``gids[i]``'s candidates are the next
+    ``counts[i]`` slots of ``nodes`` / ``dists``.  The cold build hands the
+    full group range; the store-backed build hands only its misses.
+
+    Per ``(file, chunk)`` one batched distance pass produces the chunk's flat
+    candidate rows (row-major, so already CSR within the chunk); the only
+    Python-level accumulation is one list append per chunk, and the final
+    arrays are assembled with a single ``np.concatenate`` + one vectorised
+    scatter via :func:`csr_scatter_destinations`.  When ``rows_fn`` is given
+    (a compiled row kernel from :func:`repro.backends.numba_backend.
+    torus_row_kernel`), it replaces the default matrix + mask + ``np.nonzero``
+    pass wholesale: ``rows_fn(origins, replicas)`` must return
+    ``(row_counts, flat_nodes, flat_dists)`` bit-identical to the default
+    path.  Fallback rows (no in-ball replica — rare) are resolved scalar in
+    both paths from the exact same integer distance row.
     """
-    rows: dict[int, tuple[IntArray, IntArray, bool]] = {}
+    num = int(gids.size)
+    counts = np.zeros(num, dtype=np.int64)
+    flags = np.zeros(num, dtype=bool)
+    # Per-chunk flat pieces, addressed by position within ``gids``; scattered
+    # into place once all counts are known.
+    piece_pos: list[IntArray] = []
+    piece_counts: list[IntArray] = []
+    piece_nodes: list[IntArray] = []
+    piece_dists: list[IntArray] = []
     for segment in iter_file_segments(g_files[gids]):
-        seg_gids = gids[segment]
-        file_id = int(g_files[seg_gids[0]])
+        file_id = int(g_files[gids[segment[0]]])
         replicas = cache.file_nodes(file_id)
         if replicas.size == 0:
             raise NoReplicaError(file_id)
-        for start in range(0, seg_gids.size, chunk_size):
-            chunk = seg_gids[start : start + chunk_size]
-            matrix = topology.pairwise_distances(g_origins[chunk], replicas)
-            if unconstrained:
-                mask = np.ones(matrix.shape, dtype=bool)
+        for start in range(0, segment.size, chunk_size):
+            local = segment[start : start + chunk_size]
+            chunk_origins = g_origins[gids[local]]
+            matrix: IntArray | None = None
+            if rows_fn is not None:
+                row_counts, flat_nodes, flat_dists = rows_fn(chunk_origins, replicas)
             else:
-                mask = matrix <= radius
-            row_counts = mask.sum(axis=1)
-            row_idx, cols = np.nonzero(mask)  # row-major: chunk order
-            flat_nodes = replicas[cols]
-            flat_dists = matrix[row_idx, cols].astype(np.int64)
-            bounds = np.cumsum(row_counts)[:-1]
-            node_parts = np.split(flat_nodes, bounds)
-            dist_parts = np.split(flat_dists, bounds)
-            for row, gid in enumerate(chunk):
-                if row_counts[row]:
-                    rows[int(gid)] = (node_parts[row], dist_parts[row], False)
+                matrix = topology.pairwise_distances(chunk_origins, replicas)
+                if unconstrained:
+                    mask = np.ones(matrix.shape, dtype=bool)
                 else:
-                    cand, cand_d = _resolve_fallback_row(
-                        fallback, radius, int(g_origins[gid]), file_id, replicas, matrix[row]
-                    )
-                    rows[int(gid)] = (
-                        cand.astype(np.int64),
-                        cand_d.astype(np.int64),
-                        True,
-                    )
-    return rows
+                    mask = matrix <= radius
+                row_counts = mask.sum(axis=1).astype(np.int64)
+                rows, cols = np.nonzero(mask)  # row-major: chunk order
+                flat_nodes = replicas[cols]
+                flat_dists = matrix[rows, cols].astype(np.int64)
+            for row in np.flatnonzero(row_counts == 0):
+                pos = int(local[row])
+                origin = int(g_origins[gids[pos]])
+                dist_row = (
+                    matrix[row]
+                    if matrix is not None
+                    else topology.distances_from(origin, replicas)
+                )
+                cand, cand_d = _resolve_fallback_row(
+                    fallback, radius, origin, file_id, replicas, dist_row
+                )
+                flags[pos] = True
+                counts[pos] = cand.size
+                piece_pos.append(np.asarray([pos], dtype=np.int64))
+                piece_counts.append(np.asarray([cand.size], dtype=np.int64))
+                piece_nodes.append(cand.astype(np.int64))
+                piece_dists.append(cand_d.astype(np.int64))
+            counts[local] = np.where(row_counts > 0, row_counts, counts[local])
+            piece_pos.append(local.astype(np.int64))
+            piece_counts.append(row_counts)
+            piece_nodes.append(flat_nodes)
+            piece_dists.append(flat_dists)
+    ends = np.cumsum(counts)
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), ends])
+    total = int(indptr[-1])
+    nodes = np.empty(total, dtype=np.int64)
+    dists = np.empty(total, dtype=np.int64)
+    if piece_pos:
+        all_pos = np.concatenate(piece_pos)
+        all_counts = np.concatenate(piece_counts)
+        dest = csr_scatter_destinations(indptr, all_pos, all_counts)
+        nodes[dest] = np.concatenate(piece_nodes)
+        dists[dest] = np.concatenate(piece_dists)
+    return counts, nodes, dists, flags
 
 
 def build_group_index(
@@ -291,6 +601,7 @@ def build_group_index(
     need_dists: bool = True,
     chunk_size: int = 4096,
     store: GroupStore | None = None,
+    row_kernel=None,
 ) -> GroupIndex:
     """Build the CSR candidate index for ``requests`` in batched passes.
 
@@ -312,8 +623,18 @@ def build_group_index(
         across calls.  The caller is responsible for handing over a store that
         was only ever used with this exact ``(topology, cache, radius,
         fallback)`` combination; groups already present in the store skip their
-        distance computation.  Ignored in shared (aliasing) mode, which does no
-        per-group work to begin with.
+        distance computation.  A fully cold store (``len(store) == 0``) is not
+        probed at all — the first window pays exactly the no-store build cost,
+        populates the store in one batch ``put_many``, and leaves the
+        hit/miss counters untouched.  Ignored in shared (aliasing) mode, which
+        does no per-group work to begin with.
+    row_kernel:
+        Optional factory ``row_kernel(topology, radius, unconstrained) ->
+        rows_fn | None`` providing a compiled replacement for the per-chunk
+        distance + filter pass (see :func:`repro.backends.numba_backend.
+        torus_row_kernel`).  A factory returning ``None`` (unsupported
+        topology) silently falls back to the default numpy path; the produced
+        index is bit-identical either way.
 
     Raises
     ------
@@ -345,131 +666,84 @@ def build_group_index(
             request_group=request_group,
         )
 
-    keys: IntArray | None = None
+    rows_fn = None
+    if row_kernel is not None:
+        rows_fn = row_kernel(topology, radius, unconstrained)
+
+    if store is not None and len(store):
+        keys = g_origins * np.int64(requests.num_files) + g_files
+        hit_mask, hit_counts, hit_nodes, hit_dists, hit_flags = store.get_many(keys)
+        miss_gids = np.flatnonzero(~hit_mask)
+        if miss_gids.size:
+            miss_counts, miss_nodes, miss_dists, miss_flags = _build_rows_csr(
+                topology,
+                cache,
+                g_origins,
+                g_files,
+                miss_gids,
+                radius=radius,
+                fallback=fallback,
+                unconstrained=unconstrained,
+                chunk_size=chunk_size,
+                rows_fn=rows_fn,
+            )
+            store.put_many(
+                keys[miss_gids], miss_counts, miss_nodes, miss_dists, miss_flags
+            )
+        else:
+            miss_counts = np.empty(0, dtype=np.int64)
+            miss_nodes = miss_dists = miss_counts
+            miss_flags = np.zeros(0, dtype=bool)
+        counts = np.empty(num_groups, dtype=np.int64)
+        counts[hit_mask] = hit_counts
+        counts[miss_gids] = miss_counts
+        fallback_flags[hit_mask] = hit_flags
+        fallback_flags[miss_gids] = miss_flags
+        ends = np.cumsum(counts)
+        indptr = np.concatenate([np.zeros(1, dtype=np.int64), ends])
+        total = int(indptr[-1])
+        nodes = np.empty(total, dtype=np.int64)
+        dists = np.empty(total, dtype=np.int64)
+        dest = csr_scatter_destinations(indptr, np.flatnonzero(hit_mask), hit_counts)
+        nodes[dest] = hit_nodes
+        dists[dest] = hit_dists
+        dest = csr_scatter_destinations(indptr, miss_gids, miss_counts)
+        nodes[dest] = miss_nodes
+        dists[dest] = miss_dists
+        return GroupIndex(
+            origins=g_origins,
+            files=g_files,
+            starts=ends - counts,
+            counts=counts,
+            nodes=nodes,
+            dists=dists,
+            fallback=fallback_flags,
+            request_group=request_group,
+        )
+
+    # Cold build: no store, or a store that has never seen a group (first
+    # window of a stream) — skip the pointless probe and the miss-counter
+    # inflation, build everything fused, and batch-populate the store.
+    counts, nodes, dists, fallback_flags = _build_rows_csr(
+        topology,
+        cache,
+        g_origins,
+        g_files,
+        np.arange(num_groups, dtype=np.int64),
+        radius=radius,
+        fallback=fallback,
+        unconstrained=unconstrained,
+        chunk_size=chunk_size,
+        rows_fn=rows_fn,
+    )
     if store is not None:
         keys = g_origins * np.int64(requests.num_files) + g_files
-        rows: list[tuple[IntArray, IntArray, bool] | None] = [
-            store.get(int(key)) for key in keys
-        ]
-        if all(row is None for row in rows):
-            # Fully cold store (first window of a stream, or a placement whose
-            # fingerprint will never repeat): fall through to the vectorised
-            # scatter build below — exactly the no-store cost — and populate
-            # the store from the finished CSR (per-group views share the CSR
-            # arrays, which the stored rows cover in full, so no copies).
-            pass
-        else:
-            missing = np.asarray(
-                [gid for gid, row in enumerate(rows) if row is None], dtype=np.int64
-            )
-            if missing.size:
-                fresh = _materialise_group_rows(
-                    topology,
-                    cache,
-                    g_origins,
-                    g_files,
-                    missing,
-                    radius=radius,
-                    fallback=fallback,
-                    unconstrained=unconstrained,
-                    chunk_size=chunk_size,
-                )
-                for gid, row in fresh.items():
-                    store.put(int(keys[gid]), *row)
-                    rows[gid] = row
-            counts = np.fromiter(
-                (row[0].size for row in rows), dtype=np.int64, count=num_groups
-            )
-            for gid, row in enumerate(rows):
-                fallback_flags[gid] = row[2]
-            indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
-            if num_groups:
-                nodes = np.concatenate([row[0] for row in rows])
-                dists = np.concatenate([row[1] for row in rows])
-            else:
-                nodes = np.empty(0, dtype=np.int64)
-                dists = np.empty(0, dtype=np.int64)
-            return GroupIndex(
-                origins=g_origins,
-                files=g_files,
-                starts=indptr[:-1],
-                counts=counts,
-                nodes=nodes,
-                dists=dists,
-                fallback=fallback_flags,
-                request_group=request_group,
-            )
-
-    counts = np.zeros(num_groups, dtype=np.int64)
-    # Pieces of the eventual flat arrays: (group ids, per-group candidate
-    # counts, flat candidate nodes, flat candidate distances) — assembled by
-    # scatter once all counts are known.
-    pieces: list[tuple[IntArray, IntArray, IntArray, IntArray]] = []
-
-    for segment in iter_file_segments(g_files):
-        file_id = int(g_files[segment[0]])
-        replicas = cache.file_nodes(file_id)
-        if replicas.size == 0:
-            raise NoReplicaError(file_id)
-        for start in range(0, segment.size, chunk_size):
-            gids = segment[start : start + chunk_size]
-            matrix = topology.pairwise_distances(g_origins[gids], replicas)
-            if unconstrained:
-                mask = np.ones(matrix.shape, dtype=bool)
-            else:
-                mask = matrix <= radius
-            row_counts = mask.sum(axis=1).astype(np.int64)
-            empty_rows = np.flatnonzero(row_counts == 0)
-            for row in empty_rows:
-                gid = int(gids[row])
-                cand, cand_d = _resolve_fallback_row(
-                    fallback, radius, int(g_origins[gid]), file_id, replicas, matrix[row]
-                )
-                fallback_flags[gid] = True
-                counts[gid] = cand.size
-                pieces.append(
-                    (
-                        np.asarray([gid], dtype=np.int64),
-                        np.asarray([cand.size], dtype=np.int64),
-                        cand.astype(np.int64),
-                        cand_d.astype(np.int64),
-                    )
-                )
-            rows, cols = np.nonzero(mask)  # row-major: groups in gids order
-            counts[gids] = np.where(row_counts > 0, row_counts, counts[gids])
-            if rows.size:
-                pieces.append(
-                    (
-                        gids.astype(np.int64),
-                        row_counts,
-                        replicas[cols],
-                        matrix[rows, cols].astype(np.int64),
-                    )
-                )
-
-    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
-    total = int(indptr[-1])
-    nodes = np.empty(total, dtype=np.int64)
-    dists = np.empty(total, dtype=np.int64)
-    for gids, row_counts, flat_nodes, flat_dists in pieces:
-        dest = csr_scatter_destinations(indptr, gids, row_counts)
-        nodes[dest] = flat_nodes
-        dists[dest] = flat_dists
-
-    if store is not None and keys is not None:
-        for gid in range(num_groups):
-            start, stop = int(indptr[gid]), int(indptr[gid + 1])
-            store.put(
-                int(keys[gid]),
-                nodes[start:stop],
-                dists[start:stop],
-                bool(fallback_flags[gid]),
-            )
+        store.put_many(keys, counts, nodes, dists, fallback_flags)
 
     return GroupIndex(
         origins=g_origins,
         files=g_files,
-        starts=indptr[:-1],
+        starts=np.cumsum(counts) - counts,
         counts=counts,
         nodes=nodes,
         dists=dists,

@@ -75,14 +75,25 @@ def torus_l1_matrix(
 ) -> IntArray:
     """Full ``len(a) x len(b)`` wrapped-L1 distance matrix on the torus.
 
-    This is the kernel used by Strategy I: rows are request origins, columns
-    are replica locations of a single file.
+    This is the kernel of the group-index precompute and of Strategy I: rows
+    are request origins, columns are replica locations of a single file.  The
+    per-axis work runs through ``out=`` ufuncs so a chunk allocates three
+    matrices (result + two scratch) instead of eight.
     """
     xa = np.asarray(xa, dtype=np.int64).reshape(-1, 1)
     ya = np.asarray(ya, dtype=np.int64).reshape(-1, 1)
     xb = np.asarray(xb, dtype=np.int64).reshape(1, -1)
     yb = np.asarray(yb, dtype=np.int64).reshape(1, -1)
-    return _wrap_abs_diff(xa, xb, side) + _wrap_abs_diff(ya, yb, side)
+    d = np.subtract(xa, xb)
+    np.abs(d, out=d)
+    wrap = np.subtract(side, d)
+    np.minimum(d, wrap, out=d)
+    e = np.subtract(ya, yb)
+    np.abs(e, out=e)
+    np.subtract(side, e, out=wrap)
+    np.minimum(e, wrap, out=e)
+    d += e
+    return d
 
 
 def grid_l1_matrix(xa: IntArray, ya: IntArray, xb: IntArray, yb: IntArray) -> IntArray:
@@ -91,7 +102,12 @@ def grid_l1_matrix(xa: IntArray, ya: IntArray, xb: IntArray, yb: IntArray) -> In
     ya = np.asarray(ya, dtype=np.int64).reshape(-1, 1)
     xb = np.asarray(xb, dtype=np.int64).reshape(1, -1)
     yb = np.asarray(yb, dtype=np.int64).reshape(1, -1)
-    return np.abs(xa - xb) + np.abs(ya - yb)
+    d = np.subtract(xa, xb)
+    np.abs(d, out=d)
+    e = np.subtract(ya, yb)
+    np.abs(e, out=e)
+    d += e
+    return d
 
 
 def average_pairwise_distance(matrix: FloatArray) -> float:

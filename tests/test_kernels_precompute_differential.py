@@ -1,0 +1,200 @@
+"""Differential suite for the precompute rewrite: every build path bit-identical.
+
+The fused cold build, the batch store-backed warm/mixed paths and the
+compiled row kernel (running pure Python here when numba is absent) must all
+produce the exact same :class:`~repro.kernels.group_index.GroupIndex` as a
+scalar per-group model of the paper's candidate semantics — one
+``distances_from`` row per ``(origin, file)`` group, the in-ball filter, and
+the shared :func:`~repro.kernels.group_index._resolve_fallback_row` policy.
+The grid covers radius ∈ {2, 8, inf} × fallback ∈ {NEAREST, EXPAND, ERROR}
+plus the shared (aliasing) mode; the radius-2 points do trigger fallback
+groups, so the ERROR cells assert every path raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.numba_backend import torus_row_kernel
+from repro.catalog.library import FileLibrary
+from repro.exceptions import StrategyError
+from repro.kernels.group_index import (
+    GroupStore,
+    _resolve_fallback_row,
+    build_group_index,
+    group_requests,
+)
+from repro.placement.proportional import ProportionalPlacement
+from repro.strategies.base import FallbackPolicy
+from repro.topology.torus import Torus2D
+from repro.workload.generators import UniformOriginWorkload
+
+RADII = [2.0, 8.0, np.inf]
+POLICIES = [FallbackPolicy.NEAREST, FallbackPolicy.EXPAND, FallbackPolicy.ERROR]
+
+
+@pytest.fixture(scope="module")
+def system():
+    topology = Torus2D(256)  # side 16 — radius 8 stays a real constraint
+    library = FileLibrary(20)
+    cache = ProportionalPlacement(3).place(topology, library, seed=0)
+    requests = UniformOriginWorkload(400).generate(topology, library, seed=1)
+    return topology, cache, requests
+
+
+def _model_build(topology, cache, requests, *, radius, fallback):
+    """Scalar per-group model of the candidate semantics (the authority)."""
+    g_origins, g_files, request_group = group_requests(requests)
+    unconstrained = bool(np.isinf(radius) or radius >= topology.diameter)
+    counts = np.empty(g_origins.size, dtype=np.int64)
+    flags = np.zeros(g_origins.size, dtype=bool)
+    nodes_rows, dists_rows = [], []
+    for gid, (origin, file_id) in enumerate(zip(g_origins, g_files)):
+        replicas = cache.file_nodes(int(file_id))
+        dist_row = topology.distances_from(int(origin), replicas)
+        mask = (
+            np.ones(dist_row.shape, dtype=bool)
+            if unconstrained
+            else dist_row <= radius
+        )
+        if np.any(mask):
+            cand, cand_d = replicas[mask], dist_row[mask]
+        else:
+            cand, cand_d = _resolve_fallback_row(
+                fallback, radius, int(origin), int(file_id), replicas, dist_row
+            )
+            flags[gid] = True
+        counts[gid] = cand.size
+        nodes_rows.append(cand)
+        dists_rows.append(cand_d)
+    return {
+        "origins": g_origins,
+        "files": g_files,
+        "counts": counts,
+        "nodes": np.concatenate(nodes_rows),
+        "dists": np.concatenate(dists_rows),
+        "fallback": flags,
+        "request_group": request_group,
+        "starts": np.cumsum(counts) - counts,
+    }
+
+
+def _assert_matches_model(index, model):
+    np.testing.assert_array_equal(index.origins, model["origins"])
+    np.testing.assert_array_equal(index.files, model["files"])
+    np.testing.assert_array_equal(index.starts, model["starts"])
+    np.testing.assert_array_equal(index.counts, model["counts"])
+    np.testing.assert_array_equal(index.nodes, model["nodes"])
+    np.testing.assert_array_equal(index.dists, model["dists"])
+    np.testing.assert_array_equal(index.fallback, model["fallback"])
+    np.testing.assert_array_equal(index.request_group, model["request_group"])
+
+
+def _build_paths(topology, cache, requests, *, radius, fallback):
+    """Every new build path, labelled: fused cold, store cold/warm/mixed, row kernel."""
+    kwargs = dict(radius=radius, fallback=fallback, need_dists=True)
+    yield "plain", lambda: build_group_index(topology, cache, requests, **kwargs)
+
+    def store_warm():
+        store = GroupStore()
+        build_group_index(topology, cache, requests, store=store, **kwargs)
+        return build_group_index(topology, cache, requests, store=store, **kwargs)
+
+    yield "store-warm", store_warm
+
+    def store_mixed():
+        # Half the requests first: the second build mixes hits with misses.
+        store = GroupStore()
+        half = requests.subset(np.arange(requests.num_requests // 2))
+        build_group_index(topology, cache, half, store=store, **kwargs)
+        return build_group_index(topology, cache, requests, store=store, **kwargs)
+
+    yield "store-mixed", store_mixed
+
+    yield "row-kernel", lambda: build_group_index(
+        topology, cache, requests, row_kernel=torus_row_kernel, **kwargs
+    )
+
+    def row_kernel_store():
+        store = GroupStore()
+        half = requests.subset(np.arange(requests.num_requests // 2))
+        build_group_index(
+            topology, cache, half, store=store, row_kernel=torus_row_kernel, **kwargs
+        )
+        return build_group_index(
+            topology, cache, requests, store=store, row_kernel=torus_row_kernel, **kwargs
+        )
+
+    yield "row-kernel-store", row_kernel_store
+
+
+@pytest.mark.parametrize("fallback", POLICIES, ids=lambda p: p.name.lower())
+@pytest.mark.parametrize("radius", RADII, ids=lambda r: f"r={r:g}")
+def test_all_paths_match_scalar_model(system, radius, fallback):
+    topology, cache, requests = system
+    try:
+        model = _model_build(
+            topology, cache, requests, radius=radius, fallback=fallback
+        )
+    except StrategyError:
+        # ERROR policy with fallback groups present: every path must raise.
+        for label, build in _build_paths(
+            topology, cache, requests, radius=radius, fallback=fallback
+        ):
+            with pytest.raises(StrategyError):
+                build()
+        return
+    for label, build in _build_paths(
+        topology, cache, requests, radius=radius, fallback=fallback
+    ):
+        _assert_matches_model(build(), model)
+
+
+def test_radius_two_exercises_fallback(system):
+    """The grid's radius-2 cells are only meaningful if fallback fires."""
+    topology, cache, requests = system
+    index = build_group_index(
+        topology, cache, requests, radius=2.0, fallback=FallbackPolicy.NEAREST
+    )
+    assert bool(index.fallback.any())
+
+
+def test_shared_mode_aliases_cache_and_ignores_row_kernel(system):
+    """Unconstrained + no dists: candidate sets alias the cache CSR exactly."""
+    topology, cache, requests = system
+    index = build_group_index(
+        topology,
+        cache,
+        requests,
+        radius=np.inf,
+        fallback=FallbackPolicy.NEAREST,
+        need_dists=False,
+        row_kernel=torus_row_kernel,
+    )
+    indptr, shared_nodes = cache.file_index()
+    assert index.nodes is shared_nodes  # aliased, not copied
+    assert index.dists is None
+    for gid in range(index.num_groups):
+        start, count = int(index.starts[gid]), int(index.counts[gid])
+        np.testing.assert_array_equal(
+            index.nodes[start : start + count],
+            cache.file_nodes(int(index.files[gid])),
+        )
+    assert not index.fallback.any()
+
+
+def test_row_kernel_matches_default_under_store_eviction(system):
+    """A tiny store (constant eviction churn) still yields identical indexes."""
+    topology, cache, requests = system
+    kwargs = dict(radius=8.0, fallback=FallbackPolicy.NEAREST, need_dists=True)
+    plain = build_group_index(topology, cache, requests, **kwargs)
+    store = GroupStore(max_groups=16)
+    for _ in range(3):
+        churned = build_group_index(
+            topology, cache, requests, store=store, row_kernel=torus_row_kernel, **kwargs
+        )
+        np.testing.assert_array_equal(churned.nodes, plain.nodes)
+        np.testing.assert_array_equal(churned.dists, plain.dists)
+        np.testing.assert_array_equal(churned.counts, plain.counts)
+    assert len(store) == 16

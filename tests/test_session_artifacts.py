@@ -139,8 +139,10 @@ class TestGroupStore:
             np.testing.assert_array_equal(built.dists, plain.dists)
             np.testing.assert_array_equal(built.fallback, plain.fallback)
             np.testing.assert_array_equal(built.request_group, plain.request_group)
-        assert store.misses == plain.num_groups
-        assert store.hits == plain.num_groups  # the warm pass hit every group
+        # The cold pass short-circuits the probe of an empty store: no wasted
+        # gets, no miss-counter inflation.  The warm pass hits every group.
+        assert store.misses == 0
+        assert store.hits == plain.num_groups
 
     def test_partial_overlap_only_computes_missing_groups(self):
         topology, library, cache, requests = _system(num_requests=300)
@@ -212,6 +214,182 @@ class TestGroupStore:
             assert len(store) <= 4
         # Only the four most recent keys survive.
         assert [key for key in range(20) if store.get(key) is not None] == [16, 17, 18, 19]
+
+
+class _ModelStore:
+    """The pre-rewrite OrderedDict protocol — the LRU-order authority."""
+
+    def __init__(self, max_groups):
+        from collections import OrderedDict
+
+        self.rows = OrderedDict()
+        self.max_groups = max_groups
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        row = self.rows.get(key)
+        if row is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self.rows.move_to_end(key)
+        return row
+
+    def put(self, key, nodes, dists, fallback):
+        if key in self.rows:
+            self.rows.move_to_end(key)
+        elif len(self.rows) >= self.max_groups:
+            self.rows.popitem(last=False)
+        self.rows[key] = (nodes, dists, fallback)
+
+
+class TestGroupStoreBatch:
+    """The batch interface against the scalar OrderedDict protocol."""
+
+    @staticmethod
+    def _csr(keys, rng):
+        keys = np.asarray(keys, dtype=np.int64)
+        counts = rng.integers(0, 4, size=keys.size).astype(np.int64)
+        nodes = rng.integers(0, 100, size=int(counts.sum())).astype(np.int64)
+        dists = rng.integers(0, 10, size=int(counts.sum())).astype(np.int64)
+        flags = rng.random(keys.size) < 0.2
+        return keys, counts, nodes, dists, flags
+
+    def test_empty_batches_are_noops(self):
+        store = GroupStore()
+        empty = np.empty(0, dtype=np.int64)
+        store.put_many(empty, empty, empty, empty, np.zeros(0, dtype=bool))
+        hit_mask, counts, nodes, dists, flags = store.get_many(empty)
+        assert hit_mask.size == counts.size == nodes.size == flags.size == 0
+        assert store.hits == 0 and store.misses == 0 and len(store) == 0
+
+    def test_put_many_get_many_roundtrip(self):
+        rng = np.random.default_rng(0)
+        store = GroupStore()
+        keys, counts, nodes, dists, flags = self._csr(np.arange(10) * 7, rng)
+        store.put_many(keys, counts, nodes, dists, flags)
+        # Probe in a different order, with misses interleaved.
+        probe = np.asarray([70, -1, 0, 35, 999, 7], dtype=np.int64)
+        hit_mask, hit_counts, hit_nodes, hit_dists, hit_flags = store.get_many(probe)
+        np.testing.assert_array_equal(
+            hit_mask, [False, False, True, True, False, True]
+        )
+        assert store.hits == 3 and store.misses == 3
+        ends = np.cumsum(counts)
+        expected = [0, 5, 1]  # positions of keys 0, 35, 7 in the put batch
+        pos = 0
+        for j, i in enumerate(expected):
+            assert hit_counts[j] == counts[i]
+            sl = slice(int(ends[i] - counts[i]), int(ends[i]))
+            np.testing.assert_array_equal(
+                hit_nodes[pos : pos + int(counts[i])], nodes[sl]
+            )
+            np.testing.assert_array_equal(
+                hit_dists[pos : pos + int(counts[i])], dists[sl]
+            )
+            assert hit_flags[j] == flags[i]
+            pos += int(counts[i])
+
+    def test_batch_eviction_at_capacity_matches_sequential_puts(self):
+        rng = np.random.default_rng(1)
+        store = GroupStore(max_groups=4)
+        model = _ModelStore(max_groups=4)
+        keys, counts, nodes, dists, flags = self._csr(np.arange(10), rng)
+        store.put_many(keys, counts, nodes, dists, flags)
+        ends = np.cumsum(counts)
+        for i, key in enumerate(keys):
+            sl = slice(int(ends[i] - counts[i]), int(ends[i]))
+            model.put(int(key), nodes[sl], dists[sl], bool(flags[i]))
+        assert len(store) == 4
+        assert sorted(store.keys()) == sorted(model.rows)
+
+    def test_interleaved_protocol_equivalent_to_scalar_model(self):
+        """Random interleavings of scalar/batch gets and puts: identical LRU
+        order (same survivor set under eviction), identical rows, identical
+        hit/miss ledger."""
+        rng = np.random.default_rng(2)
+        store = GroupStore(max_groups=6)
+        model = _ModelStore(max_groups=6)
+        keyspace = np.arange(16, dtype=np.int64)
+        for step in range(300):
+            op = rng.integers(0, 4)
+            if op == 0:  # scalar put
+                key = int(rng.choice(keyspace))
+                _, counts, nodes, dists, flags = self._csr([key], rng)
+                row_nodes, row_dists = nodes, dists
+                store.put(key, row_nodes, row_dists, bool(flags[0]))
+                model.put(key, row_nodes, row_dists, bool(flags[0]))
+            elif op == 1:  # scalar get
+                key = int(rng.choice(keyspace))
+                got = store.get(key)
+                expected = model.get(key)
+                assert (got is None) == (expected is None)
+                if got is not None:
+                    np.testing.assert_array_equal(got[0], expected[0])
+                    np.testing.assert_array_equal(got[1], expected[1])
+                    assert got[2] == expected[2]
+            elif op == 2:  # batch put (distinct keys)
+                batch = rng.choice(keyspace, size=rng.integers(1, 8), replace=False)
+                keys, counts, nodes, dists, flags = self._csr(batch, rng)
+                store.put_many(keys, counts, nodes, dists, flags)
+                ends = np.cumsum(counts)
+                for i, key in enumerate(keys):
+                    sl = slice(int(ends[i] - counts[i]), int(ends[i]))
+                    model.put(int(key), nodes[sl], dists[sl], bool(flags[i]))
+            else:  # batch get
+                batch = rng.choice(keyspace, size=rng.integers(1, 8), replace=True)
+                hit_mask, hit_counts, hit_nodes, hit_dists, hit_flags = (
+                    store.get_many(batch.astype(np.int64))
+                )
+                pos = 0
+                hit_j = 0
+                for j, key in enumerate(batch):
+                    expected = model.get(int(key))
+                    assert bool(hit_mask[j]) == (expected is not None)
+                    if expected is not None:
+                        count = int(hit_counts[hit_j])
+                        assert count == expected[0].size
+                        np.testing.assert_array_equal(
+                            hit_nodes[pos : pos + count], expected[0]
+                        )
+                        np.testing.assert_array_equal(
+                            hit_dists[pos : pos + count], expected[1]
+                        )
+                        assert bool(hit_flags[hit_j]) == expected[2]
+                        pos += count
+                        hit_j += 1
+            assert len(store) == len(model.rows)
+            assert sorted(store.keys()) == sorted(model.rows)
+            assert store.hits == model.hits and store.misses == model.misses
+        assert store.hits > 0 and store.misses > 0  # the walk exercised both
+
+    def test_rows_survive_pool_compaction(self):
+        """Heavy replacement churn forces compaction; live rows must be intact."""
+        rng = np.random.default_rng(3)
+        store = GroupStore(max_groups=8)
+        latest = {}
+        for step in range(500):
+            key = int(rng.integers(0, 8))
+            nodes = rng.integers(0, 1000, size=rng.integers(1, 30)).astype(np.int64)
+            dists = nodes + 1
+            store.put(key, nodes, dists, False)
+            latest[key] = (nodes, dists)
+        for key, (nodes, dists) in latest.items():
+            got = store.get(key)
+            np.testing.assert_array_equal(got[0], nodes)
+            np.testing.assert_array_equal(got[1], dists)
+
+    def test_rows_without_dists_report_none_scalar_and_zeros_batch(self):
+        store = GroupStore()
+        store.put(5, np.asarray([1, 2], dtype=np.int64), None, False)
+        nodes, dists, flag = store.get(5)
+        assert dists is None
+        hit_mask, counts, _, batch_dists, _ = store.get_many(
+            np.asarray([5], dtype=np.int64)
+        )
+        assert bool(hit_mask[0]) and int(counts[0]) == 2
+        np.testing.assert_array_equal(batch_dists, [0, 0])
 
 
 class TestGroupStoreRegistry:
