@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-differential test-service test-chaos bench bench-smoke bench-queueing bench-engines bench-sharded bench-service bench-recovery bench-precompute profile-precompute ci
+.PHONY: test test-differential test-service test-chaos bench bench-smoke bench-queueing bench-engines bench-sharded bench-service bench-recovery bench-precompute bench-commit profile-precompute ci
 
 # Tier-1 verification: the full test + benchmark suite.
 test:
@@ -29,16 +29,17 @@ bench-queueing:
 
 # The engine-registry suites alone: both in-process differential suites
 # (parametrised over every in-process engine the registry reports available,
-# numba included where importable), the multiprocess sharded-backend suite,
-# the numba-transcription fallback suite and the registry unit tests.  The
-# CI numba and sharded jobs run exactly this plus their bench gates.
+# batch and — where importable — numba included), the multiprocess sharded-
+# backend suite, the numba-transcription fallback suite, the batch-commit
+# adversarial/property suite and the registry unit tests.  The CI numba and
+# sharded jobs run exactly this plus their bench gates.
 test-differential:
-	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_kernels_precompute_differential.py tests/test_backends_sharded_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py -q
+	$(PYTHON) -m pytest tests/test_kernels_differential.py tests/test_kernels_queueing_differential.py tests/test_kernels_precompute_differential.py tests/test_backends_sharded_differential.py tests/test_backends_numba_fallback.py tests/test_backends_registry.py tests/test_kernels_batch_commit.py -q
 
-# Cross-engine comparison (reference/kernel/numba where available) on both
-# stacks at n = 4096; writes benchmarks/results/engine_speedup.txt and gates
-# the numba queueing event loop >= 1.5x over the kernel engine when numba is
-# importable.
+# Cross-engine comparison (reference/kernel/batch/numba where available) on
+# both stacks at n = 4096; writes benchmarks/results/engine_speedup.txt and
+# gates the numba queueing event loop >= 1.5x over the kernel engine when
+# numba is importable.
 bench-engines:
 	$(PYTHON) -m pytest benchmarks/test_bench_engines.py -q -s --benchmark-disable
 
@@ -84,6 +85,15 @@ bench-recovery:
 # benchmarks/results/precompute_speedup.txt.
 bench-precompute:
 	$(PYTHON) -m pytest benchmarks/test_bench_precompute.py -m bench_smoke -q -s --benchmark-disable
+
+# Vectorised-commit speedup gates: the batch engine's speculate-and-repair
+# commit must beat the kernel engine's pure-Python loop by >= 2x on the
+# strategy II shape at n = 65536, m = 5n (REPRO_BENCH_COMMIT_FLOOR), and the
+# dual-view LoadVector must retire the O(n)-per-window load round-trip by
+# >= 3x on 16-request windows (REPRO_BENCH_LOADVEC_FLOOR); writes
+# benchmarks/results/commit_speedup.txt.
+bench-commit:
+	$(PYTHON) -m pytest benchmarks/test_bench_commit.py -m bench_smoke -q -s --benchmark-disable
 
 # cProfile over the Strategy II precompute (group-index build + batched
 # distance matrices) at n = 4096; prints the top-10 by cumulative time and

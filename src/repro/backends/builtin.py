@@ -1,6 +1,6 @@
 """Registration of the built-in engines (imported lazily by the registry).
 
-Four backends per family:
+Five backends per family:
 
 ========== ======== ========================================================
 engine     priority implementation
@@ -14,6 +14,9 @@ sharded    5        tiled multiprocess fleet over shared-memory load
                     ``"auto"`` — its stale mode trades the bit-identity
                     contract for parallel throughput
 kernel     10       batched numpy precompute + pure-Python commit loop
+batch      15       the kernel precompute with the speculate-and-repair
+                    vectorised commit (:mod:`repro.kernels.batch_commit`);
+                    ``"batch[:rounds]"`` caps repair rounds per chunk
 numba      20       the kernel precompute with ``@njit``-compiled commit
                     loops; listed always, selectable only where ``numba``
                     imports
@@ -88,6 +91,57 @@ def _assignment_numba_fns():
         ),
         "nearest_replica": kernel.nearest_replica_kernel,
     }
+
+
+def _assignment_batch_fns(max_rounds=None):
+    from repro.kernels import batch_commit as bc
+    from repro.kernels import engine as kernel
+
+    # Speculate-and-repair vectorised commit for the three d-choice commit
+    # loops; the replica strategies have no sequential commit phase, so they
+    # run the kernel engine unchanged.
+    return {
+        "two_choice": partial(
+            kernel.two_choice_kernel,
+            commit=partial(bc.commit_least_loaded_of_sample, max_rounds=max_rounds),
+        ),
+        "least_loaded": partial(
+            kernel.least_loaded_kernel,
+            commit=partial(bc.commit_least_loaded_scan, max_rounds=max_rounds),
+        ),
+        "threshold_hybrid": partial(
+            kernel.threshold_hybrid_kernel,
+            commit=partial(bc.commit_threshold_hybrid, max_rounds=max_rounds),
+        ),
+        "random_replica": kernel.random_replica_kernel,
+        "nearest_replica": kernel.nearest_replica_kernel,
+    }
+
+
+def _queueing_batch_fns(max_rounds=None):
+    from repro.kernels import batch_commit as bc
+    from repro.kernels.queueing import queueing_kernel_window
+
+    return {
+        "window": partial(
+            queueing_kernel_window,
+            commit=partial(bc.commit_window, max_rounds=max_rounds),
+        )
+    }
+
+
+def _configure_batch_assignment(options):
+    from repro.kernels import batch_commit as bc
+
+    max_rounds = bc.parse_options(options)  # ValueError on junk
+    return lambda: _assignment_batch_fns(max_rounds)
+
+
+def _configure_batch_queueing(options):
+    from repro.kernels import batch_commit as bc
+
+    max_rounds = bc.parse_options(options)  # ValueError on junk
+    return lambda: _queueing_batch_fns(max_rounds)
 
 
 def _queueing_reference_fns():
@@ -180,6 +234,15 @@ register_engine(
     description="batched precompute + pure-Python commit loop",
 )
 register_engine(
+    "batch",
+    family="assignment",
+    commit_fns=_assignment_batch_fns,
+    priority=15,
+    supports_streaming=True,
+    description="speculate-and-repair vectorised commit; 'batch[:rounds]' caps repair rounds",
+    configure=_configure_batch_assignment,
+)
+register_engine(
     "numba",
     family="assignment",
     commit_fns=_assignment_numba_fns,
@@ -216,6 +279,15 @@ register_engine(
     priority=10,
     supports_streaming=True,
     description="event-batched precompute + pure-Python event loop",
+)
+register_engine(
+    "batch",
+    family="queueing",
+    commit_fns=_queueing_batch_fns,
+    priority=15,
+    supports_streaming=True,
+    description="speculative inter-departure batches; 'batch[:rounds]' accepted for parity",
+    configure=_configure_batch_queueing,
 )
 register_engine(
     "numba",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.loads import LoadVector
 from repro.types import IntArray
 
 __all__ = [
@@ -29,6 +30,22 @@ __all__ = [
     "commit_least_loaded_scan",
     "commit_threshold_hybrid",
 ]
+
+
+def _borrow_loads(num_nodes, initial_loads):
+    """The working load list plus whether it must be copied back on exit.
+
+    A :class:`~repro.kernels.loads.LoadVector` hands out its live list view —
+    mutating it *is* updating the vector, so neither the O(n) ``tolist()`` on
+    entry nor the O(n) write-back on exit happens; that is what makes tiny
+    windows against large networks cheap.  Bare arrays keep the original
+    round-trip contract.
+    """
+    if initial_loads is None:
+        return [0] * int(num_nodes), False
+    if isinstance(initial_loads, LoadVector):
+        return initial_loads.as_list(), False
+    return initial_loads.tolist(), True
 
 
 def commit_least_loaded_of_sample(
@@ -51,7 +68,7 @@ def commit_least_loaded_of_sample(
         return np.empty(0, dtype=np.int64)
     nodes = sample_nodes.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
+    loads, writeback = _borrow_loads(num_nodes, initial_loads)
     out = [0] * m
 
     if sample_nodes.size == 2 * m and int(sample_counts.min()) == 2:
@@ -72,7 +89,7 @@ def commit_least_loaded_of_sample(
                 winner, pick = b, j + 1
             loads[winner] += 1
             out[i] = pick
-        if initial_loads is not None:
+        if writeback:
             initial_loads[:] = loads
         return np.asarray(out, dtype=np.int64)
 
@@ -102,7 +119,7 @@ def commit_least_loaded_of_sample(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
-    if initial_loads is not None:
+    if writeback:
         initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)
 
@@ -131,7 +148,7 @@ def commit_least_loaded_scan(
     starts = request_starts.tolist()
     counts = request_counts.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
+    loads, writeback = _borrow_loads(num_nodes, initial_loads)
     out = [0] * m
 
     for i in range(m):
@@ -167,7 +184,7 @@ def commit_least_loaded_scan(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
-    if initial_loads is not None:
+    if writeback:
         initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)
 
@@ -196,7 +213,7 @@ def commit_threshold_hybrid(
     dists = sample_dists.tolist()
     indptr = sample_indptr.tolist()
     uniforms = tie_uniforms.tolist()
-    loads = [0] * int(num_nodes) if initial_loads is None else initial_loads.tolist()
+    loads, writeback = _borrow_loads(num_nodes, initial_loads)
     out = [0] * m
 
     for i in range(m):
@@ -231,6 +248,6 @@ def commit_threshold_hybrid(
         winner = nodes[pick]
         loads[winner] += 1
         out[i] = pick
-    if initial_loads is not None:
+    if writeback:
         initial_loads[:] = loads
     return np.asarray(out, dtype=np.int64)

@@ -45,6 +45,7 @@ from repro.catalog.library import FileLibrary
 from repro.exceptions import ConfigurationError, StrategyError
 from repro.placement.base import PlacementStrategy
 from repro.placement.cache import CacheState
+from repro.kernels.loads import LoadVector
 from repro.rng import SeedLike, seed_provenance, spawn_generators, spawn_seeds
 from repro.session.artifacts import ArtifactCache
 from repro.strategies.base import AssignmentResult, AssignmentStrategy
@@ -278,7 +279,11 @@ class CacheNetworkSession:
         self._cache = self._artifacts.placement(
             placement, topology, library, placement_seed
         )
-        self._loads = np.zeros(topology.n, dtype=np.int64)
+        # Dual-view load vector: the scalar commit loops borrow its list
+        # view, vectorised engines its array view, with at most one O(n)
+        # conversion when the serving engine changes representation — tiny
+        # windows against large networks no longer pay O(n) per window.
+        self._loads = LoadVector(topology.n)
         self.reset()
 
     # -------------------------------------------------------------- properties
@@ -340,7 +345,7 @@ class CacheNetworkSession:
 
     def loads(self) -> IntArray:
         """Copy of the persistent per-server load vector."""
-        return self._loads.copy()
+        return self._loads.readonly_array().copy()
 
     # ---------------------------------------------------------------- lifecycle
     @staticmethod
@@ -358,7 +363,8 @@ class CacheNetworkSession:
         identically.  The placement is part of the session's identity and is
         *not* redrawn.
         """
-        self._loads[:] = 0
+        self._loads.fill(0)
+        self._max_load = 0
         self._windows = 0
         self._total_requests = 0
         self._total_hops = 0
@@ -465,6 +471,10 @@ class CacheNetworkSession:
                     self._topology, self._cache, requests, seed=self._rng_strategy
                 )
                 self._loads += result.loads()
+            # Every load bump this window happened at one of the window's
+            # winning servers, so the cumulative maximum only needs an
+            # O(window) pass — not an O(n) scan of the whole load vector.
+            self._max_load = self._loads.max_at(result.servers, self._max_load)
         self._windows += 1
         self._total_requests += result.num_requests
         self._total_hops += result.total_hops()
@@ -474,7 +484,7 @@ class CacheNetworkSession:
             window_index=self._windows - 1,
             assignment=result,
             cumulative_requests=self._total_requests,
-            cumulative_max_load=int(self._loads.max()),
+            cumulative_max_load=self._max_load,
             cumulative_hops=self._total_hops,
             cumulative_fallbacks=self._total_fallbacks,
             remapped_requests=remapped,
@@ -533,7 +543,7 @@ class CacheNetworkSession:
         import json
 
         digest = hashlib.sha256()
-        digest.update(self._loads.tobytes())
+        digest.update(self._loads.readonly_array().tobytes())
         meta = {
             "windows": self._windows,
             "requests": self._total_requests,
@@ -554,10 +564,10 @@ class CacheNetworkSession:
         """The session's cumulative state as an immutable snapshot."""
         total = self._total_requests
         return SessionSnapshot(
-            loads=self._loads.copy(),
+            loads=self._loads.readonly_array().copy(),
             num_windows=self._windows,
             num_requests=total,
-            max_load=int(self._loads.max()),
+            max_load=self._max_load,
             communication_cost=self._total_hops / total if total else 0.0,
             fallback_rate=self._total_fallbacks / total if total else 0.0,
             remapped_requests=self._total_remapped,

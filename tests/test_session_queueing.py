@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backends import resolve_engine_name
 from repro.catalog.library import FileLibrary
 from repro.exceptions import ConfigurationError, StrategyError, WorkloadError
 from repro.placement.partition import PartitionPlacement
@@ -303,5 +304,7 @@ class TestOpenQueueingSession:
             topology, library, placement, arrivals, seed=SEED, radius=3.0
         )
         opened.serve(HORIZON)
+        # _one_shot pins the kernel engine, so this equality also holds the
+        # auto-resolved engine to the bit-identity contract.
         assert opened.result() == _one_shot()
-        assert opened.engine == "kernel"
+        assert opened.engine == resolve_engine_name("auto", "queueing")
